@@ -1,0 +1,74 @@
+//! Rent-greedy placement: minimize cost, ignore geography.
+
+use skute_cluster::ServerId;
+use skute_core::{PlacementContext, PlacementStrategy};
+use skute_economy::RegionQueries;
+
+/// Always picks the cheapest feasible server by posted rent — the
+/// economics-without-geography corner of the design space (the resource
+/// managers of refs. [3, 4] optimize cost but "do not consider …
+/// geographical distribution of replicas").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheapestPlacement;
+
+impl PlacementStrategy for CheapestPlacement {
+    fn name(&self) -> &'static str {
+        "cheapest"
+    }
+
+    fn place_replica(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+        _region_queries: &[RegionQueries],
+    ) -> Option<ServerId> {
+        ctx.cluster
+            .alive()
+            .filter(|s| !existing.contains(&s.id) && s.storage_free() >= partition_size)
+            .filter_map(|s| ctx.board.price_of(s.id).map(|p| (s.id, p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::test_support::small_ctx_fixture;
+
+    #[test]
+    fn cheapest_picks_lowest_rent() {
+        let fixture = small_ctx_fixture();
+        let ctx = fixture.ctx();
+        let mut strategy = CheapestPlacement;
+        let pick = strategy.place_replica(&ctx, &[], 0, &[]).unwrap();
+        let rent = ctx.board.price_of(pick).unwrap();
+        let min = ctx.board.min_price().unwrap();
+        assert!((rent - min).abs() < 1e-12);
+        assert_eq!(strategy.name(), "cheapest");
+    }
+
+    #[test]
+    fn cheapest_skips_existing_and_full() {
+        let fixture = small_ctx_fixture();
+        let ctx = fixture.ctx();
+        let mut strategy = CheapestPlacement;
+        let first = strategy.place_replica(&ctx, &[], 0, &[]).unwrap();
+        let second = strategy.place_replica(&ctx, &[first], 0, &[]).unwrap();
+        assert_ne!(first, second);
+        assert!(strategy.place_replica(&ctx, &[], u64::MAX, &[]).is_none());
+    }
+
+    #[test]
+    fn cheapest_is_deterministic() {
+        let fixture = small_ctx_fixture();
+        let ctx = fixture.ctx();
+        let mut a = CheapestPlacement;
+        let mut b = CheapestPlacement;
+        assert_eq!(
+            a.place_replica(&ctx, &[], 0, &[]),
+            b.place_replica(&ctx, &[], 0, &[])
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Pure-diversity placement: maximize geographic spread, ignore cost.
+
+use skute_cluster::ServerId;
+use skute_core::{PlacementContext, PlacementStrategy};
+use skute_economy::RegionQueries;
+use skute_geo::diversity;
+
+/// Picks the feasible server maximizing the summed diversity to the
+/// existing replicas, ignoring rent entirely — the availability-at-any-cost
+/// corner. Ties break on the lower server id for determinism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxSpreadPlacement;
+
+impl PlacementStrategy for MaxSpreadPlacement {
+    fn name(&self) -> &'static str {
+        "max-spread"
+    }
+
+    fn place_replica(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+        _region_queries: &[RegionQueries],
+    ) -> Option<ServerId> {
+        let existing_locations: Vec<_> = existing
+            .iter()
+            .filter_map(|id| ctx.cluster.get(*id).map(|s| s.location))
+            .collect();
+        ctx.cluster
+            .alive()
+            .filter(|s| !existing.contains(&s.id) && s.storage_free() >= partition_size)
+            .map(|s| {
+                let gain: u32 = existing_locations
+                    .iter()
+                    .map(|l| u32::from(diversity(l, &s.location)))
+                    .sum();
+                (s.id, gain)
+            })
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::test_support::small_ctx_fixture;
+    use skute_core::availability_of;
+
+    #[test]
+    fn spread_reaches_greedy_max_availability() {
+        let fixture = small_ctx_fixture();
+        let ctx = fixture.ctx();
+        let mut strategy = MaxSpreadPlacement;
+        let mut existing = vec![ServerId(0)];
+        for _ in 0..2 {
+            let pick = strategy.place_replica(&ctx, &existing, 0, &[]).unwrap();
+            existing.push(pick);
+        }
+        let placed: Vec<_> = existing
+            .iter()
+            .map(|id| (ctx.cluster.get(*id).unwrap().location, 1.0))
+            .collect();
+        // Three replicas spread greedily: every pair on distinct continents.
+        assert_eq!(availability_of(&placed), 3.0 * 63.0);
+    }
+
+    #[test]
+    fn spread_ignores_price() {
+        let fixture = small_ctx_fixture();
+        let ctx = fixture.ctx();
+        let mut strategy = MaxSpreadPlacement;
+        // From server 0, countless cross-continent candidates exist; the
+        // strategy must not systematically prefer cheap ones (ties break on
+        // id, and id 0's first cross-continent successor wins regardless of
+        // cost class).
+        let pick = strategy.place_replica(&ctx, &[ServerId(0)], 0, &[]).unwrap();
+        let a = ctx.cluster.get(ServerId(0)).unwrap().location;
+        let b = ctx.cluster.get(pick).unwrap().location;
+        assert_ne!(a.continent, b.continent);
+    }
+
+    #[test]
+    fn spread_with_no_existing_replicas_picks_lowest_id() {
+        let fixture = small_ctx_fixture();
+        let ctx = fixture.ctx();
+        let mut strategy = MaxSpreadPlacement;
+        assert_eq!(
+            strategy.place_replica(&ctx, &[], 0, &[]),
+            Some(ServerId(0)),
+            "zero gain everywhere, deterministic tie-break"
+        );
+    }
+}

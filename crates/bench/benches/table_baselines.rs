@@ -1,0 +1,76 @@
+//! A3 — baseline comparison table.
+//!
+//! The paper positions Skute against economic placement without geography
+//! (refs. [3, 4]) and Dynamo's successor-list placement (ref. [5]). This
+//! harness places 200 partitions at k = 2, 3, 4 replicas with each policy
+//! on the §III-A cluster and reports availability, rent and survival of
+//! 20-server failure bursts (the §III-C event).
+
+use skute_baseline::{
+    evaluate, CheapestPlacement, CtxFixture, EvaluationConfig, MaxSpreadPlacement,
+    RandomPlacement, StrategyOutcome, SuccessorPlacement,
+};
+use skute_core::placement::EconomicPlacement;
+use skute_core::{threshold_for_replicas, PlacementStrategy};
+
+fn row(o: &StrategyOutcome) {
+    println!(
+        "{:<16} {:>12.1} {:>10} {:>12.4} {:>12} {:>10}",
+        o.name,
+        o.mean_availability,
+        skute_bench::pct(o.sla_satisfied_frac),
+        o.mean_rent,
+        skute_bench::pct(o.surviving_sla_frac),
+        skute_bench::pct(o.lost_partition_frac),
+    );
+}
+
+fn main() {
+    println!("=== A3 — replica placement baselines (200 partitions, 20-server failure bursts) ===");
+    let fixture = CtxFixture::paper();
+    for k in [2usize, 3, 4] {
+        let cfg = EvaluationConfig {
+            partitions: 200,
+            replicas: k,
+            threshold: threshold_for_replicas(&fixture.topology, k, 0.2),
+            failures: 20,
+            trials: 20,
+            seed: 0xBA5E,
+        };
+        println!(
+            "\n--- k = {k} replicas (threshold {:.1}) ---",
+            cfg.threshold
+        );
+        println!(
+            "{:<16} {:>12} {:>10} {:>12} {:>12} {:>10}",
+            "strategy", "mean avail", "SLA ok", "mean rent", "survive SLA", "lost all"
+        );
+        let mut strategies: Vec<Box<dyn PlacementStrategy>> = vec![
+            Box::new(EconomicPlacement),
+            Box::new(MaxSpreadPlacement),
+            Box::new(CheapestPlacement),
+            Box::new(SuccessorPlacement),
+            Box::new(RandomPlacement::new(7)),
+        ];
+        let mut outcomes = Vec::new();
+        for s in &mut strategies {
+            let o = evaluate(s.as_mut(), &fixture, &cfg);
+            row(&o);
+            outcomes.push(o);
+        }
+        let economic = &outcomes[0];
+        let spread = &outcomes[1];
+        let successor = &outcomes[3];
+        assert!(economic.sla_satisfied_frac >= 0.99);
+        println!(
+            "→ economic matches max-spread availability ({}/{} SLA) at {} of its rent; \
+             successor-list survives bursts at only {}",
+            skute_bench::pct(economic.sla_satisfied_frac),
+            skute_bench::pct(spread.sla_satisfied_frac),
+            skute_bench::pct(economic.mean_rent / spread.mean_rent.max(1e-12)),
+            skute_bench::pct(successor.surviving_sla_frac),
+        );
+    }
+    println!("\npaper claim: geography-aware economic placement gives availability at minimum cost;");
+    println!("key-value stores without geographic awareness lose whole replica sets to correlated failures.");
+}

@@ -1,0 +1,129 @@
+//! The rent board.
+//!
+//! "The virtual rent of each server is announced at a board (i.e. an elected
+//! server) and is updated at the beginning of a new epoch" (§II). The board
+//! is the only shared state the decentralized virtual-node agents consult:
+//! posted prices plus liveness, nothing else.
+
+use std::collections::HashMap;
+
+use crate::server::ServerId;
+
+/// Posted virtual-rent prices for the current epoch.
+#[derive(Debug, Clone, Default)]
+pub struct Board {
+    epoch: u64,
+    prices: HashMap<ServerId, f64>,
+}
+
+impl Board {
+    /// An empty board at epoch zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all postings and advances the board to `epoch`.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.prices.clear();
+    }
+
+    /// The epoch the current postings refer to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Posts (or re-posts) the price of a server for this epoch.
+    pub fn post(&mut self, server: ServerId, price: f64) {
+        self.prices.insert(server, price);
+    }
+
+    /// Withdraws a server's posting (server retired mid-epoch).
+    pub fn withdraw(&mut self, server: ServerId) {
+        self.prices.remove(&server);
+    }
+
+    /// The posted price of `server`, if any.
+    pub fn price_of(&self, server: ServerId) -> Option<f64> {
+        self.prices.get(&server).copied()
+    }
+
+    /// Number of servers currently posted.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// True when no server is posted.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// The lowest posted price, used as the utility floor that stops
+    /// unpopular virtual nodes from migrating forever (§II-C).
+    pub fn min_price(&self) -> Option<f64> {
+        self.prices.values().copied().fold(None, |acc, p| match acc {
+            None => Some(p),
+            Some(m) => Some(m.min(p)),
+        })
+    }
+
+    /// The cheapest posted server and its price.
+    pub fn cheapest(&self) -> Option<(ServerId, f64)> {
+        self.prices
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(b.1).then_with(|| a.0.cmp(b.0)))
+            .map(|(&id, &p)| (id, p))
+    }
+
+    /// Iterates over all postings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, f64)> + '_ {
+        self.prices.iter().map(|(&id, &p)| (id, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn postings_are_per_epoch() {
+        let mut b = Board::new();
+        b.begin_epoch(1);
+        b.post(ServerId(0), 2.0);
+        b.post(ServerId(1), 1.5);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.epoch(), 1);
+        b.begin_epoch(2);
+        assert!(b.is_empty(), "prices do not carry across epochs");
+    }
+
+    #[test]
+    fn min_and_cheapest() {
+        let mut b = Board::new();
+        assert_eq!(b.min_price(), None);
+        assert_eq!(b.cheapest(), None);
+        b.post(ServerId(0), 2.0);
+        b.post(ServerId(1), 1.5);
+        b.post(ServerId(2), 3.0);
+        assert_eq!(b.min_price(), Some(1.5));
+        assert_eq!(b.cheapest(), Some((ServerId(1), 1.5)));
+    }
+
+    #[test]
+    fn cheapest_ties_break_deterministically() {
+        let mut b = Board::new();
+        b.post(ServerId(9), 1.0);
+        b.post(ServerId(2), 1.0);
+        assert_eq!(b.cheapest(), Some((ServerId(2), 1.0)), "lowest id wins ties");
+    }
+
+    #[test]
+    fn repost_overwrites_and_withdraw_removes() {
+        let mut b = Board::new();
+        b.post(ServerId(0), 2.0);
+        b.post(ServerId(0), 4.0);
+        assert_eq!(b.price_of(ServerId(0)), Some(4.0));
+        b.withdraw(ServerId(0));
+        assert_eq!(b.price_of(ServerId(0)), None);
+    }
+}

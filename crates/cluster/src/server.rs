@@ -1,0 +1,132 @@
+//! Physical servers.
+
+use std::fmt;
+
+use skute_geo::Location;
+
+use crate::capacity::{Capacities, UsageMeter};
+use crate::cost::MarginalPrice;
+
+/// Identifier of a physical server within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub u32);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Lifecycle state of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerStatus {
+    /// Serving traffic and hosting virtual nodes.
+    Alive,
+    /// Removed from the cloud (decommissioned or failed). Its data is gone;
+    /// surviving replicas must re-establish availability.
+    Retired,
+}
+
+/// A physical server: a location in the geographic hierarchy, capacity
+/// limits, usage meters, a real monthly cost and a confidence factor.
+///
+/// *Confidence* is the paper's `conf ∈ [0, 1]`: "a subjective estimation
+/// based on technical factors as well as non-technical factors (e.g.
+/// political and economical stability of the country)" (§II-B). It scales
+/// the availability contribution of every replica pair involving this
+/// server.
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// Server identifier.
+    pub id: ServerId,
+    /// Position in the geographic hierarchy.
+    pub location: Location,
+    /// Confidence factor in `[0, 1]`.
+    pub confidence: f64,
+    /// Fixed resource limits.
+    pub capacities: Capacities,
+    /// Consumption against the limits.
+    pub usage: UsageMeter,
+    /// Real operational cost in $/month paid by the data owner.
+    pub monthly_cost: f64,
+    /// Marginal usage price estimator (the `up` term of eq. 1).
+    pub marginal_price: MarginalPrice,
+    /// Lifecycle state.
+    pub status: ServerStatus,
+    /// Epoch at which the server joined the cloud.
+    pub joined_epoch: u64,
+    /// Epoch at which the server was retired, if it was.
+    pub retired_epoch: Option<u64>,
+}
+
+impl Server {
+    /// True when the server is alive.
+    pub fn is_alive(&self) -> bool {
+        self.status == ServerStatus::Alive
+    }
+
+    /// Fraction of storage used, in `[0, 1]`.
+    pub fn storage_frac(&self) -> f64 {
+        self.usage.storage_frac(&self.capacities)
+    }
+
+    /// Fraction of query capacity consumed this epoch, in `[0, 1]`.
+    pub fn query_load_frac(&self) -> f64 {
+        self.usage.query_load_frac(&self.capacities)
+    }
+
+    /// Combined utilization measure fed to the marginal-price estimator:
+    /// the mean of storage and query-load fractions.
+    pub fn utilization(&self) -> f64 {
+        0.5 * (self.storage_frac() + self.query_load_frac())
+    }
+
+    /// Free storage in bytes.
+    pub fn storage_free(&self) -> u64 {
+        self.usage.storage_free(&self.capacities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::MIB;
+
+    fn server() -> Server {
+        Server {
+            id: ServerId(3),
+            location: Location::new(0, 0, 0, 0, 0, 0),
+            confidence: 0.9,
+            capacities: Capacities::paper(1000 * MIB, 100.0),
+            usage: UsageMeter::default(),
+            monthly_cost: 100.0,
+            marginal_price: MarginalPrice::paper(),
+            status: ServerStatus::Alive,
+            joined_epoch: 0,
+            retired_epoch: None,
+        }
+    }
+
+    #[test]
+    fn alive_and_retired() {
+        let mut s = server();
+        assert!(s.is_alive());
+        s.status = ServerStatus::Retired;
+        assert!(!s.is_alive());
+    }
+
+    #[test]
+    fn utilization_averages_storage_and_load() {
+        let mut s = server();
+        assert!(s.usage.reserve_storage(&s.capacities, 500 * MIB));
+        s.usage.serve_queries(&s.capacities.clone(), 100.0);
+        assert!((s.storage_frac() - 0.5).abs() < 1e-12);
+        assert!((s.query_load_frac() - 1.0).abs() < 1e-12);
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_server_id() {
+        assert_eq!(ServerId(17).to_string(), "s17");
+    }
+}

@@ -1,0 +1,98 @@
+//! Cloud-wide configuration.
+
+use skute_economy::EconomyConfig;
+
+/// Number of bytes in a mebibyte.
+const MIB: u64 = 1024 * 1024;
+
+/// Default RNG seed of the paper configuration.
+pub const DEFAULT_SEED: u64 = 0x5C07E;
+
+/// Configuration of a [`crate::SkuteCloud`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkuteConfig {
+    /// Virtual-economy parameters (eq. 1, 3, 4, 5 and the decision window).
+    pub economy: EconomyConfig,
+    /// Partition capacity: "a maximum partition capacity of 256 MB after
+    /// which the data of the partition is split into two new ones" (§III-A).
+    pub split_threshold_bytes: u64,
+    /// Calibration fraction of
+    /// [`crate::availability::threshold_for_replicas`].
+    pub availability_frac: f64,
+    /// Seed of the cloud's deterministic RNG (initial placement and agent
+    /// iteration order).
+    pub seed: u64,
+    /// Upper bound on availability-restoring replications per partition per
+    /// epoch (bandwidth budgets also gate transfers).
+    pub max_repairs_per_partition_per_epoch: usize,
+}
+
+impl SkuteConfig {
+    /// The calibration used in the paper-reproduction experiments.
+    pub fn paper() -> Self {
+        Self {
+            economy: EconomyConfig::paper(),
+            split_threshold_bytes: 256 * MIB,
+            availability_frac: 0.2,
+            seed: DEFAULT_SEED,
+            max_repairs_per_partition_per_epoch: 4,
+        }
+    }
+
+    /// Returns a copy with a different RNG seed (deterministic replay with
+    /// a new sample path).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        self.economy.validate();
+        assert!(self.split_threshold_bytes > 0, "split threshold must be positive");
+        assert!(
+            self.availability_frac > 0.0 && self.availability_frac <= 1.0,
+            "availability_frac must be in (0, 1]"
+        );
+        assert!(
+            self.max_repairs_per_partition_per_epoch >= 1,
+            "at least one repair per epoch must be allowed"
+        );
+    }
+}
+
+impl Default for SkuteConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        SkuteConfig::paper().validate();
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let a = SkuteConfig::paper();
+        let b = a.with_seed(42);
+        assert_eq!(b.seed, 42);
+        assert_eq!(a.split_threshold_bytes, b.split_threshold_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "split threshold")]
+    fn zero_split_threshold_rejected() {
+        let mut c = SkuteConfig::paper();
+        c.split_threshold_bytes = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,269 @@
+//! The §II-C virtual-node decision process, as a pure, testable classifier.
+//!
+//! "A virtual node agent may decide to replicate, migrate, suicide or do
+//! nothing with its data at the end of an epoch":
+//!
+//! 1. availability below the threshold ⇒ replicate (handled at partition
+//!    level by [`crate::SkuteCloud`], driven by eq. 3 target selection);
+//! 2. negative balance for the last f epochs ⇒ suicide if the partition
+//!    stays available without this replica, otherwise migrate to a cheaper
+//!    server closer to the clients;
+//! 3. positive balance for the last f epochs ⇒ replicate, provided the
+//!    popularity "compensates for the increased network cost for data
+//!    consistency … and for the potentially increased virtual rent of the
+//!    candidate server".
+
+use skute_cluster::ServerId;
+
+/// What a virtual node resolved to do this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep the replica where it is.
+    Stay,
+    /// Delete this replica (availability holds without it).
+    Suicide,
+    /// Move this replica to the given server.
+    Migrate {
+        /// Destination server.
+        to: ServerId,
+    },
+    /// Add a new replica on the given server.
+    Replicate {
+        /// Target server for the new replica.
+        target: ServerId,
+        /// Why the replica is being added.
+        reason: ReplicationReason,
+    },
+}
+
+/// Why a replication happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationReason {
+    /// The partition's availability fell below its SLA threshold.
+    Availability,
+    /// A sustained positive balance justified load-spreading replication.
+    Profit,
+}
+
+/// Counters of the actions executed in one epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActionCounts {
+    /// Replications restoring sub-threshold availability.
+    pub availability_replications: u64,
+    /// Profit-driven (load-spreading) replications.
+    pub profit_replications: u64,
+    /// Replica migrations.
+    pub migrations: u64,
+    /// Replica suicides.
+    pub suicides: u64,
+    /// Partition splits (256 MB overflow).
+    pub splits: u64,
+    /// Transfers blocked by bandwidth or storage limits this epoch.
+    pub blocked_transfers: u64,
+    /// Bytes moved by replications this epoch (communication overhead).
+    pub replicated_bytes: u64,
+    /// Bytes moved by migrations this epoch (communication overhead).
+    pub migrated_bytes: u64,
+}
+
+impl ActionCounts {
+    /// Total replications of both kinds.
+    pub fn replications(&self) -> u64 {
+        self.availability_replications + self.profit_replications
+    }
+
+    /// Total bytes moved between servers this epoch.
+    pub fn transferred_bytes(&self) -> u64 {
+        self.replicated_bytes + self.migrated_bytes
+    }
+
+    /// Accumulates another epoch's counts into `self`.
+    pub fn merge(&mut self, other: &ActionCounts) {
+        self.availability_replications += other.availability_replications;
+        self.profit_replications += other.profit_replications;
+        self.migrations += other.migrations;
+        self.suicides += other.suicides;
+        self.splits += other.splits;
+        self.blocked_transfers += other.blocked_transfers;
+        self.replicated_bytes += other.replicated_bytes;
+        self.migrated_bytes += other.migrated_bytes;
+    }
+}
+
+/// Inputs of the pure per-vnode classification (economic branch of §II-C;
+/// the availability branch runs first and at partition level).
+#[derive(Debug, Clone, Copy)]
+pub struct VnodeSituation {
+    /// Last f epochs all strictly negative.
+    pub negative_streak: bool,
+    /// Last f epochs all strictly positive.
+    pub positive_streak: bool,
+    /// Mean balance over the window, if any history exists.
+    pub window_mean: Option<f64>,
+    /// Partition availability with this replica removed.
+    pub availability_without_self: f64,
+    /// SLA threshold of the ring.
+    pub threshold: f64,
+    /// Current replica count of the partition.
+    pub replica_count: usize,
+    /// Configured replica ceiling.
+    pub max_replicas: usize,
+    /// Projected extra per-epoch cost of one more replica: candidate rent
+    /// plus the data-consistency network cost.
+    pub projected_replica_cost: f64,
+    /// The replication hurdle multiplier from the economy config.
+    pub hurdle: f64,
+}
+
+/// The economic intent of a virtual node, before feasibility (candidate
+/// availability, bandwidth, storage) is checked by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intent {
+    /// Do nothing.
+    Stay,
+    /// Remove this replica.
+    Suicide,
+    /// Look for a cheaper, closer server.
+    Migrate,
+    /// Add a replica for load/profit.
+    ReplicateForProfit,
+}
+
+/// Classifies a vnode's situation into an intent, following §II-C exactly:
+/// losses dominate (suicide preferred over migration when availability
+/// allows), profits replicate only when the mean balance clears the hurdle
+/// over the projected cost of the extra replica.
+pub fn classify(situation: &VnodeSituation) -> Intent {
+    if situation.negative_streak {
+        if situation.replica_count > 1
+            && situation.availability_without_self >= situation.threshold
+        {
+            return Intent::Suicide;
+        }
+        return Intent::Migrate;
+    }
+    if situation.positive_streak && situation.replica_count < situation.max_replicas {
+        if let Some(mean) = situation.window_mean {
+            if mean > situation.hurdle * situation.projected_replica_cost {
+                return Intent::ReplicateForProfit;
+            }
+        }
+    }
+    Intent::Stay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> VnodeSituation {
+        VnodeSituation {
+            negative_streak: false,
+            positive_streak: false,
+            window_mean: None,
+            availability_without_self: 0.0,
+            threshold: 12.6,
+            replica_count: 2,
+            max_replicas: 12,
+            projected_replica_cost: 0.3,
+            hurdle: 1.5,
+        }
+    }
+
+    #[test]
+    fn default_is_stay() {
+        assert_eq!(classify(&base()), Intent::Stay);
+    }
+
+    #[test]
+    fn loss_with_redundancy_suicides() {
+        let s = VnodeSituation {
+            negative_streak: true,
+            availability_without_self: 63.0, // still over threshold
+            replica_count: 3,
+            ..base()
+        };
+        assert_eq!(classify(&s), Intent::Suicide);
+    }
+
+    #[test]
+    fn loss_without_redundancy_migrates() {
+        let s = VnodeSituation {
+            negative_streak: true,
+            availability_without_self: 5.0, // below threshold
+            replica_count: 3,
+            ..base()
+        };
+        assert_eq!(classify(&s), Intent::Migrate);
+    }
+
+    #[test]
+    fn last_replica_never_suicides() {
+        let s = VnodeSituation {
+            negative_streak: true,
+            availability_without_self: 100.0,
+            replica_count: 1,
+            ..base()
+        };
+        assert_eq!(classify(&s), Intent::Migrate);
+    }
+
+    #[test]
+    fn profit_replicates_only_over_hurdle() {
+        let mut s = VnodeSituation {
+            positive_streak: true,
+            window_mean: Some(0.5),
+            ..base()
+        };
+        // hurdle · cost = 1.5 · 0.3 = 0.45 < 0.5 → replicate
+        assert_eq!(classify(&s), Intent::ReplicateForProfit);
+        s.window_mean = Some(0.4);
+        assert_eq!(classify(&s), Intent::Stay, "0.4 under the 0.45 hurdle");
+    }
+
+    #[test]
+    fn replica_cap_blocks_profit_replication() {
+        let s = VnodeSituation {
+            positive_streak: true,
+            window_mean: Some(100.0),
+            replica_count: 12,
+            max_replicas: 12,
+            ..base()
+        };
+        assert_eq!(classify(&s), Intent::Stay);
+    }
+
+    #[test]
+    fn negative_streak_takes_priority_over_positive_history() {
+        // Cannot be both, but if flags disagree the loss branch wins.
+        let s = VnodeSituation {
+            negative_streak: true,
+            positive_streak: true,
+            window_mean: Some(10.0),
+            availability_without_self: 100.0,
+            replica_count: 3,
+            ..base()
+        };
+        assert_eq!(classify(&s), Intent::Suicide);
+    }
+
+    #[test]
+    fn action_counts_merge_and_sum() {
+        let mut a = ActionCounts {
+            availability_replications: 1,
+            profit_replications: 2,
+            migrations: 3,
+            suicides: 4,
+            splits: 5,
+            blocked_transfers: 6,
+            replicated_bytes: 100,
+            migrated_bytes: 50,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.availability_replications, 2);
+        assert_eq!(a.replications(), 6);
+        assert_eq!(a.blocked_transfers, 12);
+        assert_eq!(a.transferred_bytes(), 300);
+    }
+}

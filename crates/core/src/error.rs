@@ -1,0 +1,63 @@
+//! Errors of the core store.
+
+use std::fmt;
+
+use skute_store::StoreError;
+
+/// Errors surfaced by [`crate::SkuteCloud`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The application id is not registered.
+    UnknownApp,
+    /// The application exists but has no such availability level.
+    UnknownLevel,
+    /// No server could host a required replica (capacity or candidates
+    /// exhausted).
+    NoPlacement,
+    /// A storage-layer failure.
+    Store(StoreError),
+    /// The cloud has no alive servers.
+    EmptyCluster,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownApp => f.write_str("unknown application"),
+            CoreError::UnknownLevel => f.write_str("unknown availability level"),
+            CoreError::NoPlacement => f.write_str("no feasible replica placement"),
+            CoreError::Store(e) => write!(f, "store error: {e}"),
+            CoreError::EmptyCluster => f.write_str("cluster has no alive servers"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert_eq!(CoreError::UnknownApp.to_string(), "unknown application");
+        let e = CoreError::from(StoreError::NoReplicas);
+        assert!(e.to_string().contains("no replicas"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(CoreError::NoPlacement.source().is_none());
+    }
+}

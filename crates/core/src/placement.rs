@@ -1,0 +1,270 @@
+//! Replica target selection: eq. (3) and the pluggable strategy interface.
+
+use skute_cluster::{Board, Cluster, ServerId};
+use skute_economy::{candidate_score, proximity, EconomyConfig, RegionQueries};
+use skute_geo::{Location, Topology};
+
+/// Read-only view of the cloud a placement strategy may consult.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementContext<'a> {
+    /// The physical servers.
+    pub cluster: &'a Cluster,
+    /// Posted virtual rents of the current epoch.
+    pub board: &'a Board,
+    /// The geographic layout.
+    pub topology: &'a Topology,
+    /// Economy tunables (diversity unit value, etc.).
+    pub economy: &'a EconomyConfig,
+}
+
+/// A replica placement policy.
+///
+/// Skute's economic policy is [`EconomicPlacement`]; `skute-baseline`
+/// provides random, successor-list, cheapest-first and max-spread
+/// alternatives behind this same interface so the comparison benches can
+/// swap policies without touching the harness.
+pub trait PlacementStrategy {
+    /// Human-readable policy name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Chooses a server to host a new replica of a partition whose replicas
+    /// currently live on `existing`, or `None` if no feasible server exists.
+    ///
+    /// `partition_size` is the bytes the new replica will occupy;
+    /// `region_queries` is the partition's observed per-region query volume
+    /// (used by proximity-aware policies).
+    fn place_replica(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+        region_queries: &[RegionQueries],
+    ) -> Option<ServerId>;
+}
+
+/// Enumerates feasible candidates: alive, not already hosting the
+/// partition, enough free storage, and (optionally) cheaper than
+/// `rent_below`.
+///
+/// The rent returned per candidate is **projected**: the posted board price
+/// plus the eq.-(1) storage term the new replica itself would add
+/// (`up · α · size/capacity`). §II-C requires accounting for "the
+/// potentially increased virtual rent of the candidate server … after
+/// replication"; because storage reservations land immediately while board
+/// prices only refresh at epoch boundaries, the projection also gives
+/// within-epoch feedback that stops every concurrently repairing partition
+/// from herding onto the one currently-cheapest server.
+pub fn feasible_candidates<'a>(
+    ctx: &'a PlacementContext<'a>,
+    existing: &'a [ServerId],
+    partition_size: u64,
+    rent_below: Option<f64>,
+) -> impl Iterator<Item = (ServerId, Location, f64, f64)> + 'a {
+    ctx.cluster.alive().filter_map(move |server| {
+        if existing.contains(&server.id) {
+            return None;
+        }
+        if server.storage_free() < partition_size {
+            return None;
+        }
+        // A server must be posted on the board to be rentable at all.
+        ctx.board.price_of(server.id)?;
+        let up = server.marginal_price.price(server.monthly_cost);
+        let added_frac = if server.capacities.storage_bytes == 0 {
+            1.0
+        } else {
+            partition_size as f64 / server.capacities.storage_bytes as f64
+        };
+        // Eq. (1) evaluated on the live meters (which include storage
+        // reserved by placements earlier in this same decision phase) plus
+        // the replica being placed.
+        let projected_storage = (server.storage_frac() + added_frac).min(1.0);
+        let rent = up
+            * (1.0
+                + ctx.economy.alpha * projected_storage
+                + ctx.economy.beta * server.query_load_frac());
+        if let Some(cap) = rent_below {
+            if rent >= cap {
+                return None;
+            }
+        }
+        Some((server.id, server.location, server.confidence, rent))
+    })
+}
+
+/// Eq. (3): picks the feasible candidate maximizing
+/// `g_j · conf_j · Σ_k diversity(s_k, s_j) · v − c_j`.
+///
+/// `rent_below` restricts the search to servers cheaper than the given rent
+/// (the migration case: "find a less expensive server that is closer to the
+/// client locations"). Returns the winner and its score.
+pub fn economic_target(
+    ctx: &PlacementContext<'_>,
+    existing: &[ServerId],
+    partition_size: u64,
+    region_queries: &[RegionQueries],
+    rent_below: Option<f64>,
+) -> Option<(ServerId, f64)> {
+    let existing_locations: Vec<Location> = existing
+        .iter()
+        .filter_map(|id| ctx.cluster.get(*id).map(|s| s.location))
+        .collect();
+    feasible_candidates(ctx, existing, partition_size, rent_below)
+        .map(|(id, location, confidence, rent)| {
+            let g = proximity(region_queries, &location, ctx.topology);
+            let score = candidate_score(
+                &existing_locations,
+                &location,
+                confidence,
+                rent,
+                g,
+                ctx.economy.diversity_unit_value,
+            );
+            (id, score)
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+}
+
+/// The paper's placement policy (eq. 3) behind the strategy interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EconomicPlacement;
+
+impl PlacementStrategy for EconomicPlacement {
+    fn name(&self) -> &'static str {
+        "skute-economic"
+    }
+
+    fn place_replica(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+        region_queries: &[RegionQueries],
+    ) -> Option<ServerId> {
+        economic_target(ctx, existing, partition_size, region_queries, None).map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skute_cluster::{Capacities, ServerSpec};
+    use skute_geo::Topology;
+
+    fn setup() -> (Topology, Cluster, Board) {
+        let topology = Topology::paper();
+        let cluster = Cluster::from_topology(&topology, |i, location| ServerSpec {
+            location,
+            capacities: Capacities::paper(1 << 30, 1000.0),
+            monthly_cost: if i % 10 < 7 { 100.0 } else { 125.0 },
+            confidence: 1.0,
+        });
+        let mut board = Board::new();
+        board.begin_epoch(1);
+        for s in cluster.alive() {
+            // Price proportional to monthly cost so rents differentiate.
+            board.post(s.id, s.monthly_cost / 720.0);
+        }
+        (topology, cluster, board)
+    }
+
+    #[test]
+    fn economic_target_prefers_remote_cheap_servers() {
+        let (topology, cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        // One replica on server 0 (continent 0).
+        let existing = vec![ServerId(0)];
+        let (winner, _) = economic_target(&ctx, &existing, 0, &[], None).unwrap();
+        let winner_loc = cluster.get(winner).unwrap().location;
+        let origin = cluster.get(ServerId(0)).unwrap().location;
+        assert_ne!(winner_loc.continent, origin.continent, "max diversity first");
+        // Among the cross-continent candidates, a cheap one must win.
+        assert_eq!(cluster.get(winner).unwrap().monthly_cost, 100.0);
+    }
+
+    #[test]
+    fn existing_servers_are_excluded() {
+        let (topology, cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let existing: Vec<ServerId> = cluster.alive_ids();
+        assert!(economic_target(&ctx, &existing, 0, &[], None).is_none());
+    }
+
+    #[test]
+    fn storage_filter_applies() {
+        let (topology, cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        // Nothing can host 2 GiB on 1 GiB servers.
+        assert!(economic_target(&ctx, &[], 2 << 30, &[], None).is_none());
+        assert!(economic_target(&ctx, &[], 1 << 20, &[], None).is_some());
+    }
+
+    #[test]
+    fn rent_cap_restricts_to_cheaper_servers() {
+        let (topology, cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let cheap_rent = 100.0 / 720.0;
+        // Cap below the cheap price: no candidate at all.
+        assert!(economic_target(&ctx, &[], 0, &[], Some(cheap_rent)).is_none());
+        // Cap between cheap and expensive: only cheap servers eligible.
+        let (winner, _) =
+            economic_target(&ctx, &[], 0, &[], Some(cheap_rent + 1e-6)).unwrap();
+        assert_eq!(cluster.get(winner).unwrap().monthly_cost, 100.0);
+    }
+
+    #[test]
+    fn strategy_interface_returns_same_winner() {
+        let (topology, cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let existing = vec![ServerId(0)];
+        let direct = economic_target(&ctx, &existing, 0, &[], None).map(|(id, _)| id);
+        let mut strategy = EconomicPlacement;
+        assert_eq!(strategy.place_replica(&ctx, &existing, 0, &[]), direct);
+        assert_eq!(strategy.name(), "skute-economic");
+    }
+
+    #[test]
+    fn determinism_under_ties() {
+        let (topology, cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let a = economic_target(&ctx, &[ServerId(0)], 0, &[], None);
+        let b = economic_target(&ctx, &[ServerId(0)], 0, &[], None);
+        assert_eq!(a, b);
+    }
+}

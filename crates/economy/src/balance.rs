@@ -1,0 +1,176 @@
+//! Per-vnode balance bookkeeping and f-epoch streak detection.
+
+use std::collections::VecDeque;
+
+/// Rolling history of a virtual node's per-epoch balances
+/// (`b = u(pop, g) − c`, eq. 5), with detection of the f-epoch positive and
+/// negative streaks that drive the §II-C decision process.
+#[derive(Debug, Clone)]
+pub struct BalanceHistory {
+    window: usize,
+    recent: VecDeque<f64>,
+    lifetime_total: f64,
+    epochs_recorded: u64,
+}
+
+impl BalanceHistory {
+    /// A history that detects streaks of `window` (= f) epochs.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "decision window must be at least one epoch");
+        Self {
+            window,
+            recent: VecDeque::with_capacity(window),
+            lifetime_total: 0.0,
+            epochs_recorded: 0,
+        }
+    }
+
+    /// Records one epoch's balance.
+    pub fn record(&mut self, balance: f64) {
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(balance);
+        self.lifetime_total += balance;
+        self.epochs_recorded += 1;
+    }
+
+    /// The configured window f.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of epochs recorded over the vnode's lifetime.
+    pub fn epochs_recorded(&self) -> u64 {
+        self.epochs_recorded
+    }
+
+    /// Sum of all balances ever recorded (the vnode's "wealth").
+    pub fn lifetime_total(&self) -> f64 {
+        self.lifetime_total
+    }
+
+    /// True when the last f epochs were all strictly negative — the §II-C
+    /// trigger for migrate-or-suicide. Requires a full window of history.
+    pub fn negative_streak(&self) -> bool {
+        self.recent.len() == self.window && self.recent.iter().all(|&b| b < 0.0)
+    }
+
+    /// True when the last f epochs were all strictly positive — the §II-C
+    /// precondition for profit-driven replication.
+    pub fn positive_streak(&self) -> bool {
+        self.recent.len() == self.window && self.recent.iter().all(|&b| b > 0.0)
+    }
+
+    /// Mean of the balances inside the current window (`None` before any
+    /// epoch is recorded).
+    pub fn window_mean(&self) -> Option<f64> {
+        if self.recent.is_empty() {
+            None
+        } else {
+            Some(self.recent.iter().sum::<f64>() / self.recent.len() as f64)
+        }
+    }
+
+    /// Clears the streak state (used after a vnode migrates, so the clock
+    /// restarts at the new server).
+    pub fn reset_window(&mut self) {
+        self.recent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_streak_before_full_window() {
+        let mut h = BalanceHistory::new(3);
+        h.record(-1.0);
+        h.record(-1.0);
+        assert!(!h.negative_streak(), "window not yet full");
+        h.record(-1.0);
+        assert!(h.negative_streak());
+        assert!(!h.positive_streak());
+    }
+
+    #[test]
+    fn mixed_signs_break_streaks() {
+        let mut h = BalanceHistory::new(3);
+        for b in [-1.0, 2.0, -1.0] {
+            h.record(b);
+        }
+        assert!(!h.negative_streak());
+        assert!(!h.positive_streak());
+    }
+
+    #[test]
+    fn zero_balance_breaks_both_streaks() {
+        let mut h = BalanceHistory::new(2);
+        h.record(0.0);
+        h.record(0.0);
+        assert!(!h.negative_streak(), "break-even is not a loss");
+        assert!(!h.positive_streak(), "break-even is not a profit");
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut h = BalanceHistory::new(2);
+        h.record(-5.0);
+        h.record(1.0);
+        h.record(1.0);
+        assert!(h.positive_streak(), "old loss slid out of the window");
+        assert!((h.window_mean().unwrap() - 1.0).abs() < 1e-12);
+        assert!((h.lifetime_total() - (-3.0)).abs() < 1e-12);
+        assert_eq!(h.epochs_recorded(), 3);
+    }
+
+    #[test]
+    fn reset_window_clears_streaks_not_lifetime() {
+        let mut h = BalanceHistory::new(1);
+        h.record(2.0);
+        assert!(h.positive_streak());
+        h.reset_window();
+        assert!(!h.positive_streak());
+        assert_eq!(h.window_mean(), None);
+        assert!((h.lifetime_total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_window_rejected() {
+        let _ = BalanceHistory::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_streaks_are_mutually_exclusive(
+            window in 1usize..5,
+            balances in proptest::collection::vec(-10.0f64..10.0, 0..20)
+        ) {
+            let mut h = BalanceHistory::new(window);
+            for b in &balances {
+                h.record(*b);
+            }
+            prop_assert!(!(h.negative_streak() && h.positive_streak()));
+        }
+
+        #[test]
+        fn prop_negative_streak_matches_last_f(
+            window in 1usize..5,
+            balances in proptest::collection::vec(-10.0f64..10.0, 1..20)
+        ) {
+            let mut h = BalanceHistory::new(window);
+            for b in &balances {
+                h.record(*b);
+            }
+            let expected = balances.len() >= window
+                && balances[balances.len() - window..].iter().all(|&b| b < 0.0);
+            prop_assert_eq!(h.negative_streak(), expected);
+        }
+    }
+}

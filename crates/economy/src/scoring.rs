@@ -1,0 +1,203 @@
+//! Eq. (3) and (4): candidate-server scoring and client proximity.
+
+use skute_geo::{diversity, Location, Topology};
+
+/// Query volume observed from one client region for one partition — the
+/// `q_l` of eq. (4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionQueries {
+    /// The client region (country granularity).
+    pub location: Location,
+    /// Queries received from this region during the epoch.
+    pub queries: f64,
+}
+
+/// Raw eq. (4): `g_j = Σ_l q_l / (1 + Σ_l q_l · diversity(l, s_j))`.
+fn raw_g(regions: &[RegionQueries], server: &Location) -> f64 {
+    let total: f64 = regions.iter().map(|r| r.queries).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = regions
+        .iter()
+        .map(|r| r.queries * f64::from(diversity(&r.location, server)))
+        .sum();
+    total / (1.0 + weighted)
+}
+
+/// The client-proximity weight `g_j` of server `server` for a partition
+/// whose epoch queries came from `regions`.
+///
+/// Computed as eq. (4) normalized by eq. (4) evaluated with the same total
+/// query volume spread uniformly over all countries of `topology`: under a
+/// uniform client geography the weight is exactly 1 for every server, as the
+/// paper stipulates (§III-A), and regionally skewed traffic scales servers
+/// near the traffic above 1 and far servers below 1.
+///
+/// With no queries at all the weight is neutral (1).
+pub fn proximity(regions: &[RegionQueries], server: &Location, topology: &Topology) -> f64 {
+    let total: f64 = regions.iter().map(|r| r.queries).sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let uniform: Vec<RegionQueries> = {
+        let countries: Vec<(u16, u16)> = topology.iter_countries().collect();
+        let per = total / countries.len() as f64;
+        countries
+            .into_iter()
+            .map(|(ct, co)| RegionQueries {
+                location: Location::client_in_country(ct, co),
+                queries: per,
+            })
+            .collect()
+    };
+    let baseline = raw_g(&uniform, server);
+    if baseline <= 0.0 {
+        return 1.0;
+    }
+    raw_g(regions, server) / baseline
+}
+
+/// Eq. (3): the net benefit of adding candidate server `candidate` to a
+/// replica set currently hosted at `existing`:
+///
+/// `score_j = Σ_k g_j · conf_j · diversity(s_k, s_j) · v − c_j`
+///
+/// where `v` (`diversity_unit_value`) converts diversity units to money and
+/// `c_j` is the candidate's posted virtual rent. The caller picks the
+/// arg-max over candidates: availability rises as much as possible at
+/// minimum cost, and the proximity factor simultaneously pulls data towards
+/// its clients.
+pub fn candidate_score(
+    existing: &[Location],
+    candidate: &Location,
+    candidate_confidence: f64,
+    candidate_rent: f64,
+    g_candidate: f64,
+    diversity_unit_value: f64,
+) -> f64 {
+    let diversity_sum: f64 = existing
+        .iter()
+        .map(|s| f64::from(diversity(s, candidate)))
+        .sum();
+    g_candidate * candidate_confidence * diversity_sum * diversity_unit_value - candidate_rent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn topo() -> Topology {
+        Topology::paper()
+    }
+
+    #[test]
+    fn uniform_clients_give_unit_proximity_everywhere() {
+        let t = topo();
+        let total = 3000.0;
+        let per = total / 10.0;
+        let regions: Vec<RegionQueries> = t
+            .iter_countries()
+            .map(|(ct, co)| RegionQueries {
+                location: Location::client_in_country(ct, co),
+                queries: per,
+            })
+            .collect();
+        for i in [0u64, 57, 123, 199] {
+            let server = t.server_at(i);
+            let g = proximity(&regions, &server, &t);
+            assert!((g - 1.0).abs() < 1e-12, "server {i}: g = {g}");
+        }
+    }
+
+    #[test]
+    fn no_queries_is_neutral() {
+        let t = topo();
+        let server = t.server_at(0);
+        assert_eq!(proximity(&[], &server, &t), 1.0);
+    }
+
+    #[test]
+    fn local_traffic_boosts_local_servers() {
+        let t = topo();
+        let regions = [RegionQueries {
+            location: Location::client_in_country(0, 0),
+            queries: 1000.0,
+        }];
+        let local = t.server_at(0); // continent 0, country 0
+        let remote = t.server_at(199); // continent 4, country 1
+        let g_local = proximity(&regions, &local, &t);
+        let g_remote = proximity(&regions, &remote, &t);
+        assert!(g_local > 1.0, "g_local = {g_local}");
+        assert!(g_remote < 1.0, "g_remote = {g_remote}");
+        assert!(g_local > g_remote);
+    }
+
+    #[test]
+    fn candidate_score_prefers_diverse_then_cheap() {
+        let t = topo();
+        let existing = vec![t.server_at(0)];
+        let same_rack = t.server_at(1);
+        let other_continent = t.server_at(199);
+        let v = 0.02;
+        let s_near = candidate_score(&existing, &same_rack, 1.0, 0.2, 1.0, v);
+        let s_far = candidate_score(&existing, &other_continent, 1.0, 0.2, 1.0, v);
+        assert!(s_far > s_near, "diversity dominates at equal rent");
+        // Between two equally diverse candidates the cheaper one wins.
+        let other_continent_b = t.server_at(198);
+        let s_far_cheap = candidate_score(&existing, &other_continent_b, 1.0, 0.1, 1.0, v);
+        assert!(s_far_cheap > s_far);
+    }
+
+    #[test]
+    fn zero_confidence_candidate_scores_negative_rent() {
+        let t = topo();
+        let existing = vec![t.server_at(0)];
+        let cand = t.server_at(199);
+        let s = candidate_score(&existing, &cand, 0.0, 0.3, 1.0, 0.02);
+        assert!((s - (-0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_replica_set_scores_pure_rent() {
+        let t = topo();
+        let cand = t.server_at(5);
+        let s = candidate_score(&[], &cand, 1.0, 0.25, 1.0, 0.02);
+        assert!((s - (-0.25)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_proximity_positive_and_finite(
+            qs in proptest::collection::vec(0.0f64..1e5, 1..10),
+            server_idx in 0u64..200,
+        ) {
+            let t = topo();
+            let countries: Vec<(u16, u16)> = t.iter_countries().collect();
+            let regions: Vec<RegionQueries> = qs
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| {
+                    let (ct, co) = countries[i % countries.len()];
+                    RegionQueries { location: Location::client_in_country(ct, co), queries: q }
+                })
+                .collect();
+            let g = proximity(&regions, &t.server_at(server_idx), &t);
+            prop_assert!(g.is_finite());
+            prop_assert!(g > 0.0);
+        }
+
+        #[test]
+        fn prop_score_decreases_with_rent(
+            rent1 in 0.0f64..2.0, rent2 in 0.0f64..2.0, server_idx in 0u64..200
+        ) {
+            let t = topo();
+            let existing = vec![t.server_at(0), t.server_at(100)];
+            let cand = t.server_at(server_idx);
+            let lo = candidate_score(&existing, &cand, 1.0, rent1.min(rent2), 1.0, 0.02);
+            let hi = candidate_score(&existing, &cand, 1.0, rent1.max(rent2), 1.0, 0.02);
+            prop_assert!(lo >= hi);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! A latency model over the geographic hierarchy.
+//!
+//! The diversity metric (§II-B) is an ordinal distance; for the paper's
+//! future-work analysis ("analyze its performance regarding latency", §IV)
+//! a cardinal mapping to round-trip times is needed. This module maps the
+//! *first divergence level* of two locations to a configurable RTT, with
+//! defaults drawn from typical datacenter/WAN numbers.
+
+use crate::location::{Level, Location};
+
+/// Round-trip times (in milliseconds) by the coarsest level at which two
+/// locations diverge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Same physical server (loopback).
+    pub same_server_ms: f64,
+    /// Same rack, different server.
+    pub rack_ms: f64,
+    /// Same room, different rack.
+    pub room_ms: f64,
+    /// Same datacenter, different room.
+    pub datacenter_ms: f64,
+    /// Same country, different datacenter.
+    pub country_ms: f64,
+    /// Same continent, different country.
+    pub continent_ms: f64,
+    /// Different continents.
+    pub intercontinental_ms: f64,
+}
+
+impl LatencyModel {
+    /// Typical 2010-era WAN numbers: 0.1 ms loopback, 0.5 ms in-rack,
+    /// 1 ms in-room, 2 ms cross-room, 10 ms cross-datacenter, 30 ms
+    /// cross-country, 150 ms intercontinental.
+    pub fn typical() -> Self {
+        Self {
+            same_server_ms: 0.1,
+            rack_ms: 0.5,
+            room_ms: 1.0,
+            datacenter_ms: 2.0,
+            country_ms: 10.0,
+            continent_ms: 30.0,
+            intercontinental_ms: 150.0,
+        }
+    }
+
+    /// RTT between two locations, in milliseconds.
+    pub fn rtt_ms(&self, a: &Location, b: &Location) -> f64 {
+        match a.first_divergence(b) {
+            None => self.same_server_ms,
+            Some(Level::Server) => self.rack_ms,
+            Some(Level::Rack) => self.room_ms,
+            Some(Level::Room) => self.datacenter_ms,
+            Some(Level::Datacenter) => self.country_ms,
+            Some(Level::Country) => self.continent_ms,
+            Some(Level::Continent) => self.intercontinental_ms,
+        }
+    }
+
+    /// RTT for a given first-divergence level (`None` = same server).
+    pub fn rtt_at(&self, level: Option<Level>) -> f64 {
+        match level {
+            None => self.same_server_ms,
+            Some(Level::Server) => self.rack_ms,
+            Some(Level::Rack) => self.room_ms,
+            Some(Level::Room) => self.datacenter_ms,
+            Some(Level::Datacenter) => self.country_ms,
+            Some(Level::Country) => self.continent_ms,
+            Some(Level::Continent) => self.intercontinental_ms,
+        }
+    }
+
+    /// Checks the model is physically sensible (monotone in distance).
+    ///
+    /// # Panics
+    /// Panics if any RTT is negative or the ladder is not non-decreasing.
+    pub fn validate(&self) {
+        let ladder = [
+            self.same_server_ms,
+            self.rack_ms,
+            self.room_ms,
+            self.datacenter_ms,
+            self.country_ms,
+            self.continent_ms,
+            self.intercontinental_ms,
+        ];
+        for pair in ladder.windows(2) {
+            assert!(pair[0] >= 0.0, "RTTs must be non-negative");
+            assert!(
+                pair[0] <= pair[1],
+                "RTT must not decrease with distance: {} > {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diversity::diversity;
+    use proptest::prelude::*;
+
+    #[test]
+    fn typical_model_is_valid_and_monotone() {
+        LatencyModel::typical().validate();
+    }
+
+    #[test]
+    fn rtt_ladder_matches_divergence() {
+        let m = LatencyModel::typical();
+        let base = Location::new(0, 0, 0, 0, 0, 0);
+        assert_eq!(m.rtt_ms(&base, &base), 0.1);
+        assert_eq!(m.rtt_ms(&base, &Location::new(0, 0, 0, 0, 0, 1)), 0.5);
+        assert_eq!(m.rtt_ms(&base, &Location::new(0, 0, 0, 0, 1, 0)), 1.0);
+        assert_eq!(m.rtt_ms(&base, &Location::new(0, 0, 0, 1, 0, 0)), 2.0);
+        assert_eq!(m.rtt_ms(&base, &Location::new(0, 0, 1, 0, 0, 0)), 10.0);
+        assert_eq!(m.rtt_ms(&base, &Location::new(0, 1, 0, 0, 0, 0)), 30.0);
+        assert_eq!(m.rtt_ms(&base, &Location::new(1, 0, 0, 0, 0, 0)), 150.0);
+    }
+
+    #[test]
+    fn rtt_at_level_agrees_with_rtt_ms() {
+        let m = LatencyModel::typical();
+        let a = Location::new(0, 0, 0, 0, 0, 0);
+        let b = Location::new(0, 1, 0, 0, 0, 0);
+        assert_eq!(m.rtt_ms(&a, &b), m.rtt_at(a.first_divergence(&b)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not decrease")]
+    fn inverted_ladder_rejected() {
+        let mut m = LatencyModel::typical();
+        m.rack_ms = 500.0;
+        m.validate();
+    }
+
+    fn arb_location() -> impl Strategy<Value = Location> {
+        (0u16..3, 0u16..3, 0u16..2, 0u16..2, 0u16..2, 0u16..3)
+            .prop_map(|(a, b, c, d, e, f)| Location::new(a, b, c, d, e, f))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rtt_symmetric(a in arb_location(), b in arb_location()) {
+            let m = LatencyModel::typical();
+            prop_assert_eq!(m.rtt_ms(&a, &b), m.rtt_ms(&b, &a));
+        }
+
+        #[test]
+        fn prop_rtt_monotone_in_diversity(
+            a in arb_location(), b in arb_location(), c in arb_location()
+        ) {
+            let m = LatencyModel::typical();
+            if diversity(&a, &b) <= diversity(&a, &c) {
+                prop_assert!(m.rtt_ms(&a, &b) <= m.rtt_ms(&a, &c));
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Identified key-range partitions.
+
+use std::fmt;
+
+use crate::token::{KeyRange, Token};
+
+/// Identifier of a partition, unique within one [`crate::VirtualRing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub u64);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A partition: an identified arc of the key ring.
+///
+/// The paper caps partitions at 256 MB, "after which the data of the
+/// partition is split into two new ones" (§III-A); splitting is performed by
+/// [`crate::VirtualRing::split_partition`], which allocates two fresh ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Partition identifier.
+    pub id: PartitionId,
+    /// The keys this partition is responsible for.
+    pub range: KeyRange,
+}
+
+impl Partition {
+    /// Creates a partition over `range`.
+    pub const fn new(id: PartitionId, range: KeyRange) -> Self {
+        Self { id, range }
+    }
+
+    /// The partition's token (inclusive end of its range).
+    pub const fn token(&self) -> Token {
+        self.range.end
+    }
+
+    /// Whether this partition is responsible for `token`.
+    pub fn owns(&self, token: Token) -> bool {
+        self.range.contains(token)
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.id, self.range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_owns_its_range() {
+        let p = Partition::new(PartitionId(7), KeyRange::new(Token(100), Token(200)));
+        assert!(p.owns(Token(150)));
+        assert!(p.owns(Token(200)));
+        assert!(!p.owns(Token(100)));
+        assert!(!p.owns(Token(201)));
+        assert_eq!(p.token(), Token(200));
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Partition::new(PartitionId(3), KeyRange::new(Token(0), Token(16)));
+        assert_eq!(PartitionId(3).to_string(), "p3");
+        assert!(p.to_string().starts_with("p3@("));
+    }
+}

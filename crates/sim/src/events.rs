@@ -1,0 +1,81 @@
+//! Scheduled lifecycle events: server arrivals and failures.
+
+use std::collections::BTreeMap;
+
+/// A lifecycle event applied at the start of a scheduled epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloudEvent {
+    /// Commission `count` new servers (§III-C adds 20 at epoch 100). Costs
+    /// and capacities follow the scenario's server template; locations are
+    /// spread round-robin over the existing countries.
+    AddServers {
+        /// Number of servers to add.
+        count: usize,
+    },
+    /// Retire `count` random alive servers (§III-C removes 20 at epoch
+    /// 200). All their replicas are lost.
+    RemoveServers {
+        /// Number of servers to fail.
+        count: usize,
+    },
+}
+
+/// An epoch-indexed schedule of [`CloudEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    events: BTreeMap<u64, Vec<CloudEvent>>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event at `epoch` (events at the same epoch apply in
+    /// insertion order).
+    #[must_use]
+    pub fn at(mut self, epoch: u64, event: CloudEvent) -> Self {
+        self.events.entry(epoch).or_default().push(event);
+        self
+    }
+
+    /// The events scheduled for `epoch`.
+    pub fn events_at(&self, epoch: u64) -> &[CloudEvent] {
+        self.events.get(&epoch).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_lookup() {
+        let s = Schedule::new()
+            .at(100, CloudEvent::AddServers { count: 20 })
+            .at(200, CloudEvent::RemoveServers { count: 20 })
+            .at(100, CloudEvent::RemoveServers { count: 1 });
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.events_at(100),
+            &[
+                CloudEvent::AddServers { count: 20 },
+                CloudEvent::RemoveServers { count: 1 }
+            ]
+        );
+        assert_eq!(s.events_at(150), &[]);
+        assert!(!s.is_empty());
+        assert!(Schedule::new().is_empty());
+    }
+}

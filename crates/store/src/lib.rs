@@ -1,0 +1,39 @@
+//! # skute-store
+//!
+//! The key-value storage substrate of Skute: versioned records, a
+//! per-partition in-memory engine with byte accounting, and Dynamo-style
+//! quorum read/write helpers.
+//!
+//! The paper builds on a Dynamo-like design (§I, ref. \[5\]): data is
+//! identified by keys, partitions hold key ranges, replicas of a partition
+//! each hold a full copy. Skute's contribution is *where replicas live*, not
+//! a new consistency protocol, so this crate keeps the storage model simple
+//! and well-tested:
+//!
+//! * [`Version`] — totally ordered `(epoch, seq, writer)` stamps with
+//!   last-writer-wins (LWW) merge,
+//! * [`Record`] — a value or tombstone plus its version and a *logical size*
+//!   (simulated payloads can weigh 500 KB for capacity accounting while
+//!   carrying no actual bytes, which is how the saturation experiment of
+//!   Fig. 5 scales on a laptop),
+//! * [`PartitionStore`] — an ordered in-memory store for one replica of one
+//!   partition with precise size accounting and ring-aware splitting,
+//! * [`quorum`] — N/R/W arithmetic and response merging,
+//! * [`SharedPartitionStore`] — a thread-safe wrapper for concurrent use.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod merkle;
+pub mod quorum;
+pub mod value;
+
+mod shared;
+
+pub use engine::PartitionStore;
+pub use error::StoreError;
+pub use merkle::{diff_buckets, MerkleSummary};
+pub use quorum::QuorumConfig;
+pub use shared::SharedPartitionStore;
+pub use value::{Record, Version};

@@ -1,0 +1,140 @@
+//! Dynamo-style N/R/W quorum arithmetic and response merging.
+
+use crate::error::StoreError;
+use crate::value::Record;
+
+/// Replication/quorum parameters: `n` replicas, reads wait for `r`
+/// responses, writes for `w` acknowledgements.
+///
+/// `r + w > n` gives read-your-writes intersection; Skute cares primarily
+/// about *availability*, so the default is `r = 1`, `w = quorum(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Target replica count.
+    pub n: usize,
+    /// Read quorum.
+    pub r: usize,
+    /// Write quorum.
+    pub w: usize,
+}
+
+impl QuorumConfig {
+    /// Builds a config, validating `1 ≤ r ≤ n` and `1 ≤ w ≤ n`.
+    pub fn new(n: usize, r: usize, w: usize) -> Result<Self, StoreError> {
+        if n == 0 || r == 0 || w == 0 || r > n || w > n {
+            return Err(StoreError::InvalidQuorum { n, r, w });
+        }
+        Ok(Self { n, r, w })
+    }
+
+    /// Availability-leaning default for `n` replicas: `r = 1`,
+    /// `w = ⌊n/2⌋ + 1`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn availability(n: usize) -> Self {
+        Self::new(n, 1, n / 2 + 1).expect("n must be positive")
+    }
+
+    /// Strongly consistent variant: `r = w = ⌊n/2⌋ + 1`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn majority(n: usize) -> Self {
+        let q = n / 2 + 1;
+        Self::new(n, q, q).expect("n must be positive")
+    }
+
+    /// True when read and write quorums intersect (`r + w > n`).
+    pub fn intersecting(&self) -> bool {
+        self.r + self.w > self.n
+    }
+
+    /// Checks whether `acks` acknowledgements satisfy the write quorum.
+    pub fn write_ok(&self, acks: usize) -> Result<(), StoreError> {
+        if acks >= self.w {
+            Ok(())
+        } else {
+            Err(StoreError::QuorumNotMet { needed: self.w, got: acks })
+        }
+    }
+
+    /// Merges read responses: errors if fewer than `r` replicas responded,
+    /// otherwise returns the LWW winner (or `None` if every responding
+    /// replica had no record for the key).
+    pub fn read_merge(
+        &self,
+        responses: Vec<Option<Record>>,
+    ) -> Result<Option<Record>, StoreError> {
+        if responses.len() < self.r {
+            return Err(StoreError::QuorumNotMet { needed: self.r, got: responses.len() });
+        }
+        Ok(Record::merge_all(responses.into_iter().flatten()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Version;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(QuorumConfig::new(3, 1, 2).is_ok());
+        assert!(matches!(
+            QuorumConfig::new(0, 1, 1),
+            Err(StoreError::InvalidQuorum { .. })
+        ));
+        assert!(QuorumConfig::new(3, 4, 1).is_err());
+        assert!(QuorumConfig::new(3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn presets() {
+        let a = QuorumConfig::availability(4);
+        assert_eq!((a.n, a.r, a.w), (4, 1, 3));
+        let m = QuorumConfig::majority(5);
+        assert_eq!((m.n, m.r, m.w), (5, 3, 3));
+        assert!(m.intersecting());
+        assert!(!QuorumConfig::new(4, 1, 2).unwrap().intersecting());
+    }
+
+    #[test]
+    fn write_quorum_enforced() {
+        let q = QuorumConfig::new(3, 1, 2).unwrap();
+        assert!(q.write_ok(2).is_ok());
+        assert!(q.write_ok(3).is_ok());
+        assert!(matches!(
+            q.write_ok(1),
+            Err(StoreError::QuorumNotMet { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn read_merge_needs_r_responses() {
+        let q = QuorumConfig::new(3, 2, 2).unwrap();
+        assert!(q.read_merge(vec![None]).is_err());
+        assert_eq!(q.read_merge(vec![None, None]).unwrap(), None);
+    }
+
+    #[test]
+    fn read_merge_returns_lww_winner() {
+        let q = QuorumConfig::new(3, 2, 2).unwrap();
+        let old = Record::put(&b"old"[..], Version::new(1, 0, 0));
+        let new = Record::put(&b"new"[..], Version::new(2, 0, 0));
+        let merged = q
+            .read_merge(vec![Some(old), None, Some(new.clone())])
+            .unwrap()
+            .unwrap();
+        assert_eq!(merged, new);
+    }
+
+    #[test]
+    fn read_merge_tombstone_wins_when_newer() {
+        let q = QuorumConfig::new(2, 1, 1).unwrap();
+        let live = Record::put(&b"v"[..], Version::new(1, 0, 0));
+        let dead = Record::tombstone(Version::new(2, 0, 0));
+        let merged = q.read_merge(vec![Some(live), Some(dead)]).unwrap().unwrap();
+        assert!(merged.is_tombstone());
+    }
+}

@@ -1,0 +1,129 @@
+//! Thread-safe wrapper around [`PartitionStore`].
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::engine::PartitionStore;
+use crate::value::Record;
+
+/// A cheaply clonable, thread-safe handle to one replica's partition store.
+///
+/// Readers take a shared lock; writers an exclusive one. The handle exists
+/// so that embedding applications can serve concurrent reads against the
+/// same replica the simulation mutates between epochs.
+#[derive(Debug, Clone, Default)]
+pub struct SharedPartitionStore {
+    inner: Arc<RwLock<PartitionStore>>,
+}
+
+impl SharedPartitionStore {
+    /// A handle over an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing store.
+    pub fn from_store(store: PartitionStore) -> Self {
+        Self { inner: Arc::new(RwLock::new(store)) }
+    }
+
+    /// Applies a record (see [`PartitionStore::apply`]).
+    pub fn apply(&self, key: impl Into<Bytes>, record: Record) -> bool {
+        self.inner.write().apply(key, record)
+    }
+
+    /// Clone of the record under `key`.
+    pub fn get(&self, key: &[u8]) -> Option<Record> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Clone of the live value under `key`.
+    pub fn get_value(&self, key: &[u8]) -> Option<Bytes> {
+        self.inner.read().get_value(key).cloned()
+    }
+
+    /// Logical bytes stored.
+    pub fn logical_bytes(&self) -> u64 {
+        self.inner.read().logical_bytes()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs `f` with shared access to the underlying store.
+    pub fn read_with<T>(&self, f: impl FnOnce(&PartitionStore) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with exclusive access to the underlying store.
+    pub fn write_with<T>(&self, f: impl FnOnce(&mut PartitionStore) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Version;
+
+    #[test]
+    fn shared_roundtrip() {
+        let s = SharedPartitionStore::new();
+        assert!(s.apply(&b"k"[..], Record::put(&b"v"[..], Version::new(1, 0, 0))));
+        assert_eq!(s.get_value(b"k").unwrap().as_ref(), b"v");
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedPartitionStore::new();
+        let b = a.clone();
+        assert!(a.apply(&b"k"[..], Record::put(&b"v"[..], Version::new(1, 0, 0))));
+        assert_eq!(b.get_value(b"k").unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let store = SharedPartitionStore::new();
+        let handles: Vec<_> = (0..8u32)
+            .map(|writer| {
+                let s = store.clone();
+                std::thread::spawn(move || {
+                    for seq in 0..100u64 {
+                        s.apply(
+                            &b"contended"[..],
+                            Record::put(vec![writer as u8], Version::new(1, seq, writer)),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // LWW winner is the highest (epoch, seq, writer) = (1, 99, 7).
+        let winner = store.get(b"contended").unwrap();
+        assert_eq!(winner.version, Version::new(1, 99, 7));
+        assert_eq!(winner.value.unwrap().as_ref(), &[7u8]);
+    }
+
+    #[test]
+    fn with_accessors() {
+        let s = SharedPartitionStore::from_store(PartitionStore::new());
+        s.write_with(|st| {
+            let _ = st.apply(&b"a"[..], Record::put(&b"1"[..], Version::new(1, 0, 0)));
+        });
+        let n = s.read_with(|st| st.len());
+        assert_eq!(n, 1);
+    }
+}

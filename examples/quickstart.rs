@@ -1,0 +1,75 @@
+//! Quickstart: spin up the paper's 200-server cloud, register an
+//! application with a 3-replica availability SLA, store data, and watch the
+//! virtual economy replicate every partition to its target.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use skute::prelude::*;
+
+fn main() {
+    // The paper's physical layout: 10 countries on 5 continents,
+    // 2 datacenters per country, 2 racks per room, 5 servers per rack.
+    let topology = Topology::paper();
+    let cluster = Cluster::from_topology(&topology, |i, location| ServerSpec {
+        location,
+        capacities: Capacities::paper(4 << 30, 3_000.0),
+        monthly_cost: if i % 10 < 7 { 100.0 } else { 125.0 },
+        confidence: 1.0,
+    });
+    println!(
+        "cloud: {} servers, {} countries, total storage {} GiB",
+        cluster.alive_count(),
+        topology.country_count(),
+        cluster.total_storage() >> 30
+    );
+
+    let mut cloud = SkuteCloud::new(SkuteConfig::paper(), topology, cluster);
+
+    // One application, one availability level satisfied by 3 replicas.
+    let app = cloud
+        .create_application(AppSpec::new("photos").level(LevelSpec::new(3, 64)))
+        .expect("cluster has capacity");
+    let threshold = cloud.applications()[0].levels[0].threshold;
+    println!("SLA: 3 replicas, availability threshold {threshold:.1} (eq. 2 units)");
+
+    // Write some data.
+    cloud.begin_epoch();
+    for i in 0..100u32 {
+        let key = format!("user:{i}:profile");
+        cloud
+            .put(app, 0, key.as_bytes(), format!("profile-{i}").into_bytes())
+            .expect("write quorum");
+    }
+    cloud.end_epoch();
+
+    // Run epochs: partitions bootstrap from 1 replica to the SLA target.
+    for epoch in 0..8 {
+        cloud.begin_epoch();
+        let report = cloud.end_epoch();
+        let ring = &report.rings[0];
+        println!(
+            "epoch {epoch:>2}: vnodes={:<4} mean_avail={:>6.1} sla_ok={:>5.1}% repairs={} migrations={}",
+            ring.vnodes,
+            ring.mean_availability,
+            100.0 * ring.sla_satisfied_frac,
+            report.actions.availability_replications,
+            report.actions.migrations,
+        );
+    }
+
+    // Reads still return the data, now served by 3 scattered replicas.
+    let value = cloud
+        .get(app, 0, b"user:42:profile")
+        .expect("read quorum")
+        .expect("key exists");
+    println!("read back user:42:profile = {:?}", String::from_utf8_lossy(&value));
+
+    // Inspect one partition's replica placement.
+    let pid = cloud.partition_ids(app, 0).unwrap()[0];
+    let servers = cloud.replica_servers(app, 0, pid).unwrap();
+    println!("partition {pid} replicas:");
+    for id in servers {
+        let s = cloud.cluster().get(id).unwrap();
+        println!("  {id} at {} (cost ${}/month)", s.location, s.monthly_cost);
+    }
+}

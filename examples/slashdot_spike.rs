@@ -1,0 +1,56 @@
+//! Adaptation to a query-load spike (the paper's §III-D / Fig. 4 in
+//! miniature): a Slashdot-style surge hits three applications that attract
+//! 4/7, 2/7 and 1/7 of the traffic; popular partitions replicate for profit
+//! while the load stays balanced across servers, then the extra replicas
+//! suicide as the wave recedes.
+//!
+//! Run with: `cargo run --release --example slashdot_spike`
+
+use skute::prelude::*;
+
+fn main() {
+    let mut scenario = skute::sim::paper::scaled_scenario("slashdot-mini", 32, 3_000, 120);
+    scenario.trace = TraceKind::Slashdot(SlashdotTrace {
+        base: 3_000.0,
+        peak: 60_000.0,
+        spike_start: 20,
+        ramp_epochs: 10,
+        decay_epochs: 60,
+    });
+    scenario.load_fractions = vec![4.0, 2.0, 1.0];
+    let mut sim = Simulation::new(scenario);
+
+    println!(
+        "{:>5} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8}",
+        "epoch", "rate", "ring0", "ring1", "ring2", "repl+", "kills", "load_cv"
+    );
+    let mut peak_vnodes = 0usize;
+    let mut base_vnodes = 0usize;
+    for epoch in 0..120 {
+        let obs = sim.step();
+        let r = &obs.report;
+        if epoch == 15 {
+            base_vnodes = r.total_vnodes();
+        }
+        peak_vnodes = peak_vnodes.max(r.total_vnodes());
+        if epoch % 10 == 0 || (20..=35).contains(&epoch) && epoch % 5 == 0 {
+            println!(
+                "{:>5} {:>9.0} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8.3}",
+                r.epoch,
+                obs.offered_rate,
+                r.rings[0].vnodes,
+                r.rings[1].vnodes,
+                r.rings[2].vnodes,
+                r.actions.profit_replications,
+                r.actions.suicides,
+                r.rings[0].load_cv,
+            );
+        }
+    }
+    println!(
+        "\nvnodes before spike: {base_vnodes}, at peak: {peak_vnodes} \
+         (popular partitions replicated {}×)",
+        peak_vnodes as f64 / base_vnodes.max(1) as f64
+    );
+    assert!(peak_vnodes >= base_vnodes, "the system must scale out, not shrink");
+}

@@ -1,0 +1,158 @@
+//! `skute-sim` — command-line runner for the paper's simulation scenarios.
+//!
+//! ```text
+//! skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N] [--seed N]
+//!           [--csv PATH] [--print-every N]
+//! ```
+//!
+//! Runs the chosen scenario, prints a progress table, and optionally writes
+//! the full per-epoch time series as CSV.
+
+use std::process::ExitCode;
+
+use skute::prelude::*;
+use skute::sim::paper;
+
+struct Args {
+    scenario: String,
+    epochs: Option<u64>,
+    seed: Option<u64>,
+    csv: Option<String>,
+    print_every: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "base".to_string(),
+        epochs: None,
+        seed: None,
+        csv: None,
+        print_every: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--scenario" | "-s" => args.scenario = value("--scenario")?,
+            "--epochs" | "-e" => {
+                args.epochs = Some(
+                    value("--epochs")?
+                        .parse()
+                        .map_err(|e| format!("--epochs: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed =
+                    Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--print-every" => {
+                args.print_every = value("--print-every")?
+                    .parse()
+                    .map_err(|e| format!("--print-every: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "skute-sim: run a Skute paper scenario\n\n\
+                     USAGE: skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N]\n\
+                            [--seed N] [--csv PATH] [--print-every N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn scenario_by_name(name: &str) -> Option<Scenario> {
+    Some(match name {
+        "base" => paper::base_scenario(),
+        "fig2" => paper::fig2_scenario(),
+        "fig3" => paper::fig3_scenario(),
+        "fig4" => paper::fig4_scenario(),
+        "fig5" => paper::fig5_scenario(),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(mut scenario) = scenario_by_name(&args.scenario) else {
+        eprintln!(
+            "error: unknown scenario {:?} (expected base|fig2|fig3|fig4|fig5)",
+            args.scenario
+        );
+        return ExitCode::FAILURE;
+    };
+    if let Some(epochs) = args.epochs {
+        scenario.epochs = epochs;
+    }
+    if let Some(seed) = args.seed {
+        scenario.seed = seed;
+    }
+    println!(
+        "scenario {} — {} servers, {} apps, {} epochs, seed {}",
+        scenario.name,
+        scenario.topology.server_count(),
+        scenario.apps.len(),
+        scenario.epochs,
+        scenario.seed
+    );
+    println!(
+        "{:>6} {:>7} {:>8} {:>10} {:>9} {:>8} {:>9} {:>9}",
+        "epoch", "alive", "vnodes", "rate", "used%", "fails", "repairs", "migr"
+    );
+    let epochs = scenario.epochs;
+    let mut sim = Simulation::new(scenario);
+    let mut recorder = Recorder::new();
+    for epoch in 0..epochs {
+        let obs = sim.step();
+        if args.print_every > 0 && (epoch % args.print_every == 0 || epoch + 1 == epochs) {
+            let r = &obs.report;
+            println!(
+                "{:>6} {:>7} {:>8} {:>10.0} {:>8.1}% {:>8} {:>9} {:>9}",
+                r.epoch,
+                r.alive_servers,
+                r.total_vnodes(),
+                obs.offered_rate,
+                100.0 * r.storage_frac(),
+                r.insert_failures,
+                r.actions.availability_replications,
+                r.actions.migrations,
+            );
+        }
+        recorder.push(obs);
+    }
+    // Summary.
+    let last = recorder.observations().last().unwrap();
+    println!("\nfinal state:");
+    for ring in &last.report.rings {
+        println!(
+            "  {}: {} vnodes over {} partitions, SLA satisfied {:.1}%, mean availability {:.1}",
+            ring.ring,
+            ring.vnodes,
+            ring.partitions,
+            100.0 * ring.sla_satisfied_frac,
+            ring.mean_availability,
+        );
+    }
+    if let Some(path) = args.csv {
+        match recorder.write_csv(&path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,181 @@
+//! Resource-accounting invariants of the cloud.
+//!
+//! The virtual economy only works if the meters it prices from are exact:
+//! every byte a replica occupies must be charged to exactly one server, and
+//! every replica of a partition must sit on a distinct server. These tests
+//! drive the cloud through writes, synthetic ingest, epochs, failures and
+//! splits, and re-derive the cluster's storage from first principles after
+//! every phase.
+
+use skute::prelude::*;
+
+fn build_cloud(seed: u64) -> (SkuteCloud, Vec<AppId>) {
+    let topology = Topology::paper();
+    let cluster = Cluster::from_topology(&topology, |i, location| ServerSpec {
+        location,
+        capacities: Capacities::paper(512 << 20, 3_000.0),
+        monthly_cost: if i % 10 < 7 { 100.0 } else { 125.0 },
+        confidence: 1.0,
+    });
+    let mut config = SkuteConfig::paper().with_seed(seed);
+    config.split_threshold_bytes = 8 << 20;
+    let mut cloud = SkuteCloud::new(config, topology, cluster);
+    let apps = (0..3u32)
+        .map(|i| {
+            cloud
+                .create_application(
+                    AppSpec::new(format!("app{i}")).level(
+                        LevelSpec::new(2 + i as usize, 8).with_initial_bytes(1 << 20),
+                    ),
+                )
+                .unwrap()
+        })
+        .collect();
+    (cloud, apps)
+}
+
+/// Re-derives per-server storage from the partition tables and compares it
+/// with the cluster's meters, and checks replica-placement sanity.
+fn assert_invariants(cloud: &SkuteCloud, apps: &[AppId]) {
+    let mut derived: std::collections::HashMap<ServerId, u64> = Default::default();
+    for (i, app) in apps.iter().enumerate() {
+        let levels = cloud.applications()[i].levels.len();
+        for level in 0..levels as u32 {
+            for pid in cloud.partition_ids(*app, level).unwrap() {
+                let footprints = cloud.replica_footprints(*app, level, pid).unwrap();
+                assert!(
+                    !footprints.is_empty(),
+                    "{app} level {level} partition {pid} has no replicas"
+                );
+                // Replica servers must be distinct and alive.
+                let mut servers: Vec<ServerId> =
+                    footprints.iter().map(|(s, _)| *s).collect();
+                servers.sort();
+                let len = servers.len();
+                servers.dedup();
+                assert_eq!(servers.len(), len, "duplicate replica servers for {pid}");
+                for (server, bytes) in footprints {
+                    assert!(
+                        cloud.cluster().get_alive(server).is_some(),
+                        "replica of {pid} on dead server {server}"
+                    );
+                    *derived.entry(server).or_insert(0) += bytes;
+                }
+            }
+        }
+    }
+    for server in cloud.cluster().alive() {
+        let expect = derived.get(&server.id).copied().unwrap_or(0);
+        assert_eq!(
+            server.usage.storage_used, expect,
+            "server {} meter {} != derived {}",
+            server.id, server.usage.storage_used, expect
+        );
+    }
+}
+
+#[test]
+fn storage_accounting_exact_through_convergence() {
+    let (mut cloud, apps) = build_cloud(1);
+    assert_invariants(&cloud, &apps);
+    for _ in 0..8 {
+        cloud.begin_epoch();
+        cloud.end_epoch();
+        assert_invariants(&cloud, &apps);
+    }
+}
+
+#[test]
+fn storage_accounting_exact_through_writes_and_ingest() {
+    let (mut cloud, apps) = build_cloud(2);
+    for round in 0..5 {
+        cloud.begin_epoch();
+        for i in 0..50u32 {
+            let key = format!("w:{round}:{i}");
+            cloud
+                .put(apps[0], 0, key.as_bytes(), vec![0u8; 100])
+                .unwrap();
+            let _ = cloud.ingest_synthetic(apps[1], 0, key.as_bytes(), 200 * 1024);
+        }
+        cloud.end_epoch();
+        assert_invariants(&cloud, &apps);
+    }
+}
+
+#[test]
+fn storage_accounting_exact_through_overwrites_and_deletes() {
+    let (mut cloud, apps) = build_cloud(3);
+    cloud.begin_epoch();
+    for i in 0..40u32 {
+        let key = format!("k:{i}");
+        cloud.put(apps[0], 0, key.as_bytes(), vec![1u8; 64]).unwrap();
+        // Overwrite bigger, then smaller, then delete some.
+        cloud.put(apps[0], 0, key.as_bytes(), vec![2u8; 256]).unwrap();
+        cloud.put(apps[0], 0, key.as_bytes(), vec![3u8; 16]).unwrap();
+        if i % 3 == 0 {
+            cloud.delete(apps[0], 0, key.as_bytes()).unwrap();
+        }
+    }
+    cloud.end_epoch();
+    assert_invariants(&cloud, &apps);
+}
+
+#[test]
+fn storage_accounting_exact_through_failures() {
+    let (mut cloud, apps) = build_cloud(4);
+    for _ in 0..6 {
+        cloud.begin_epoch();
+        cloud.end_epoch();
+    }
+    // Kill a server that actually hosts replicas.
+    let victim = cloud.replica_servers(apps[2], 0, cloud.partition_ids(apps[2], 0).unwrap()[0])
+        .unwrap()[0];
+    cloud.begin_epoch();
+    cloud.retire_server(victim);
+    cloud.end_epoch();
+    assert_invariants(&cloud, &apps);
+    // Repairs on following epochs keep the books straight too.
+    for _ in 0..4 {
+        cloud.begin_epoch();
+        cloud.end_epoch();
+        assert_invariants(&cloud, &apps);
+    }
+}
+
+#[test]
+fn storage_accounting_exact_through_splits() {
+    let (mut cloud, apps) = build_cloud(5);
+    cloud.begin_epoch();
+    // Pump one ring hard enough to split several partitions (8 MiB cap).
+    for i in 0..200u32 {
+        let key = format!("fat:{i}");
+        cloud
+            .ingest_synthetic(apps[0], 0, key.as_bytes(), 300 * 1024)
+            .unwrap();
+    }
+    let report = cloud.end_epoch();
+    assert!(report.actions.splits > 0, "splits must trigger");
+    assert_invariants(&cloud, &apps);
+}
+
+#[test]
+fn transferred_bytes_match_action_counts() {
+    let (mut cloud, apps) = build_cloud(6);
+    let mut total_repl_bytes = 0;
+    let mut total_repl_count = 0;
+    for _ in 0..6 {
+        cloud.begin_epoch();
+        let r = cloud.end_epoch();
+        total_repl_bytes += r.actions.replicated_bytes;
+        total_repl_count += r.actions.replications();
+        // bytes are reported iff transfers happened
+        assert_eq!(
+            r.actions.replicated_bytes > 0,
+            r.actions.replications() > 0,
+            "replicated bytes and counts must agree"
+        );
+    }
+    assert!(total_repl_count > 0, "bootstrap must replicate");
+    assert!(total_repl_bytes > 0);
+    let _ = apps;
+}

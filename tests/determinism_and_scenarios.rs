@@ -1,0 +1,154 @@
+//! Deterministic replay and qualitative shape of every paper scenario at
+//! reduced scale — cheap versions of the figure benches that run in the
+//! regular test suite.
+
+use skute::prelude::*;
+use skute::sim::paper;
+
+fn fingerprint(obs: &[Observation]) -> Vec<(usize, u64, u64, String)> {
+    obs.iter()
+        .map(|o| {
+            let r = &o.report;
+            (
+                r.total_vnodes(),
+                r.actions.replications(),
+                r.actions.migrations,
+                format!("{:.6}", r.rent_paid),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn identical_seeds_replay_identically() {
+    let run = |seed| {
+        let mut s = paper::scaled_scenario("det", 16, 2_000, 12);
+        s.seed = seed;
+        s.schedule = Schedule::new().at(6, CloudEvent::RemoveServers { count: 10 });
+        fingerprint(&Simulation::new(s).run())
+    };
+    assert_eq!(run(1), run(1));
+    assert_eq!(run(2), run(2));
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn fig2_shape_scaled() {
+    // Convergence: vnodes reach 9·M and stay; cheap servers outnumber
+    // expensive in hosted vnodes.
+    let mut sim = Simulation::new(paper::scaled_scenario("fig2-it", 16, 3_000, 25));
+    let obs = sim.run();
+    let last = obs.last().unwrap();
+    assert_eq!(last.report.total_vnodes(), (2 + 3 + 4) * 16);
+    assert!(last.cheap_mean_vnodes > last.expensive_mean_vnodes);
+    // Stability: no availability repairs in the last five epochs.
+    let late_repairs: u64 = obs[20..]
+        .iter()
+        .map(|o| o.report.actions.availability_replications)
+        .sum();
+    assert_eq!(late_repairs, 0);
+}
+
+#[test]
+fn fig3_shape_scaled() {
+    let mut s = paper::scaled_scenario("fig3-it", 16, 3_000, 45);
+    s.schedule = Schedule::new()
+        .at(15, CloudEvent::AddServers { count: 20 })
+        .at(30, CloudEvent::RemoveServers { count: 20 });
+    let mut sim = Simulation::new(s);
+    let obs = sim.run();
+    let totals: Vec<usize> = obs.iter().map(|o| o.report.total_vnodes()).collect();
+    // Flat across the upgrade…
+    assert_eq!(totals[14], totals[25]);
+    // …and recovered after the failure.
+    assert!(*totals.last().unwrap() >= totals[28]);
+    for ring in &obs.last().unwrap().report.rings {
+        assert!(ring.sla_satisfied_frac > 0.99);
+    }
+}
+
+#[test]
+fn fig4_shape_scaled() {
+    let mut s = paper::scaled_scenario("fig4-it", 16, 3_000, 60);
+    s.trace = TraceKind::Slashdot(SlashdotTrace {
+        base: 3_000.0,
+        peak: 60_000.0,
+        spike_start: 15,
+        ramp_epochs: 5,
+        decay_epochs: 30,
+    });
+    s.load_fractions = vec![4.0, 2.0, 1.0];
+    let mut sim = Simulation::new(s);
+    let obs = sim.run();
+    // Load per server follows the spike.
+    let base_load = obs[10].report.rings[0].load_per_server;
+    let peak_load = obs
+        .iter()
+        .map(|o| o.report.rings[0].load_per_server)
+        .fold(0.0, f64::max);
+    assert!(peak_load > 10.0 * base_load, "{peak_load} vs {base_load}");
+    // Shares at the peak follow 4/7, 2/7, 1/7.
+    let peak = obs
+        .iter()
+        .max_by(|a, b| a.offered_rate.total_cmp(&b.offered_rate))
+        .unwrap();
+    let served: Vec<f64> = peak.report.rings.iter().map(|r| r.queries_served).collect();
+    let total: f64 = served.iter().sum();
+    assert!((served[0] / total - 4.0 / 7.0).abs() < 0.05);
+    assert!((served[2] / total - 1.0 / 7.0).abs() < 0.05);
+    // Nearly nothing dropped.
+    let dropped: f64 = obs
+        .iter()
+        .flat_map(|o| o.report.rings.iter().map(|r| r.queries_dropped))
+        .sum();
+    let offered: f64 = obs.iter().map(|o| o.offered_rate).sum();
+    assert!(dropped / offered < 0.01, "dropped {:.3}%", 100.0 * dropped / offered);
+}
+
+#[test]
+fn fig5_shape_scaled() {
+    let mut s = paper::scaled_scenario("fig5-it", 12, 1_000, 60);
+    s.server_storage_bytes = 512 << 20;
+    s.config.split_threshold_bytes = 16 << 20;
+    s.inserts = Some(InsertGenerator {
+        rate_per_epoch: 300.0,
+        object_bytes: 500 * 1000,
+        key_dist: Pareto::paper(),
+        unique_key_factor: 1000,
+    });
+    let mut sim = Simulation::new(s);
+    let obs = sim.run();
+    // No failures while the cloud is comfortably below 60% used.
+    for o in &obs {
+        if o.report.storage_frac() < 0.6 {
+            assert_eq!(
+                o.report.insert_failures, 0,
+                "failure at {:.1}% used",
+                100.0 * o.report.storage_frac()
+            );
+        }
+    }
+    // The stream keeps landing: storage grows monotonically until late.
+    let first = obs[0].report.storage_frac();
+    let last = obs.last().unwrap().report.storage_frac();
+    assert!(last > first + 0.2, "{first} → {last}");
+}
+
+#[test]
+fn paper_scenarios_all_validate_and_build() {
+    for scenario in [
+        paper::base_scenario(),
+        paper::fig2_scenario(),
+        paper::fig3_scenario(),
+        paper::fig4_scenario(),
+        paper::fig5_scenario(),
+    ] {
+        scenario.validate();
+        let mut short = scenario.clone();
+        short.epochs = 1;
+        let mut sim = Simulation::new(short);
+        let obs = sim.step();
+        assert_eq!(obs.report.epoch, 1);
+        assert!(obs.report.total_vnodes() >= 600);
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end key-value behaviour of the facade crate: writes, reads,
+//! deletes, overwrites and multi-application isolation across epochs,
+//! replications, migrations and splits.
+
+use skute::prelude::*;
+
+fn paper_cloud() -> SkuteCloud {
+    let topology = Topology::paper();
+    let cluster = Cluster::from_topology(&topology, |i, location| ServerSpec {
+        location,
+        capacities: Capacities::paper(4 << 30, 3_000.0),
+        monthly_cost: if i % 10 < 7 { 100.0 } else { 125.0 },
+        confidence: 1.0,
+    });
+    SkuteCloud::new(SkuteConfig::paper(), topology, cluster)
+}
+
+#[test]
+fn write_read_delete_lifecycle() {
+    let mut cloud = paper_cloud();
+    let app = cloud
+        .create_application(AppSpec::new("kv").level(LevelSpec::new(3, 16)))
+        .unwrap();
+    cloud.begin_epoch();
+    cloud.put(app, 0, b"k1", b"v1".to_vec()).unwrap();
+    assert_eq!(cloud.get(app, 0, b"k1").unwrap().unwrap().as_ref(), b"v1");
+    cloud.put(app, 0, b"k1", b"v2".to_vec()).unwrap();
+    assert_eq!(cloud.get(app, 0, b"k1").unwrap().unwrap().as_ref(), b"v2");
+    cloud.delete(app, 0, b"k1").unwrap();
+    assert_eq!(cloud.get(app, 0, b"k1").unwrap(), None);
+    // A write after the delete resurrects the key with the newer version.
+    cloud.put(app, 0, b"k1", b"v3".to_vec()).unwrap();
+    assert_eq!(cloud.get(app, 0, b"k1").unwrap().unwrap().as_ref(), b"v3");
+}
+
+#[test]
+fn many_keys_survive_convergence() {
+    let mut cloud = paper_cloud();
+    let app = cloud
+        .create_application(AppSpec::new("kv").level(LevelSpec::new(3, 32)))
+        .unwrap();
+    cloud.begin_epoch();
+    for i in 0..500u32 {
+        cloud
+            .put(app, 0, format!("key:{i}").as_bytes(), i.to_le_bytes().to_vec())
+            .unwrap();
+    }
+    for _ in 0..10 {
+        cloud.begin_epoch();
+        cloud.end_epoch();
+    }
+    for i in 0..500u32 {
+        let got = cloud
+            .get(app, 0, format!("key:{i}").as_bytes())
+            .unwrap()
+            .unwrap_or_else(|| panic!("key:{i} missing after convergence"));
+        assert_eq!(got.as_ref(), &i.to_le_bytes());
+    }
+}
+
+#[test]
+fn applications_are_isolated() {
+    let mut cloud = paper_cloud();
+    let a = cloud
+        .create_application(AppSpec::new("a").level(LevelSpec::new(2, 8)))
+        .unwrap();
+    let b = cloud
+        .create_application(AppSpec::new("b").level(LevelSpec::new(3, 8)))
+        .unwrap();
+    cloud.begin_epoch();
+    cloud.put(a, 0, b"shared-key", b"from-a".to_vec()).unwrap();
+    cloud.put(b, 0, b"shared-key", b"from-b".to_vec()).unwrap();
+    assert_eq!(
+        cloud.get(a, 0, b"shared-key").unwrap().unwrap().as_ref(),
+        b"from-a"
+    );
+    assert_eq!(
+        cloud.get(b, 0, b"shared-key").unwrap().unwrap().as_ref(),
+        b"from-b"
+    );
+    cloud.delete(a, 0, b"shared-key").unwrap();
+    assert_eq!(cloud.get(a, 0, b"shared-key").unwrap(), None);
+    assert_eq!(
+        cloud.get(b, 0, b"shared-key").unwrap().unwrap().as_ref(),
+        b"from-b",
+        "deleting in app a must not touch app b"
+    );
+}
+
+#[test]
+fn levels_of_one_application_are_distinct_namespaces() {
+    let mut cloud = paper_cloud();
+    let app = cloud
+        .create_application(
+            AppSpec::new("tiered")
+                .level(LevelSpec::new(2, 8))
+                .level(LevelSpec::new(4, 8)),
+        )
+        .unwrap();
+    cloud.begin_epoch();
+    cloud.put(app, 0, b"doc", b"cheap".to_vec()).unwrap();
+    cloud.put(app, 1, b"doc", b"precious".to_vec()).unwrap();
+    assert_eq!(cloud.get(app, 0, b"doc").unwrap().unwrap().as_ref(), b"cheap");
+    assert_eq!(
+        cloud.get(app, 1, b"doc").unwrap().unwrap().as_ref(),
+        b"precious"
+    );
+}
+
+#[test]
+fn data_survives_partition_splits() {
+    let topology = Topology::paper();
+    let cluster = Cluster::from_topology(&topology, |_, location| ServerSpec {
+        location,
+        capacities: Capacities::paper(4 << 30, 3_000.0),
+        monthly_cost: 100.0,
+        confidence: 1.0,
+    });
+    let mut config = SkuteConfig::paper();
+    config.split_threshold_bytes = 2048; // force lots of splits
+    let mut cloud = SkuteCloud::new(config, topology, cluster);
+    let app = cloud
+        .create_application(AppSpec::new("split").level(LevelSpec::new(2, 2)))
+        .unwrap();
+    cloud.begin_epoch();
+    for i in 0..300u32 {
+        cloud
+            .put(app, 0, format!("s:{i}").as_bytes(), vec![7u8; 32])
+            .unwrap();
+    }
+    let before = cloud.partition_ids(app, 0).unwrap().len();
+    for _ in 0..4 {
+        cloud.begin_epoch();
+        cloud.end_epoch();
+    }
+    let after = cloud.partition_ids(app, 0).unwrap().len();
+    assert!(after > before, "splits must have happened ({before} → {after})");
+    for i in 0..300u32 {
+        let got = cloud.get(app, 0, format!("s:{i}").as_bytes()).unwrap();
+        assert_eq!(got.unwrap().as_ref(), &vec![7u8; 32][..]);
+    }
+}
+
+#[test]
+fn errors_for_unknown_targets() {
+    let mut cloud = paper_cloud();
+    let app = cloud
+        .create_application(AppSpec::new("kv").level(LevelSpec::new(2, 4)))
+        .unwrap();
+    assert!(matches!(
+        cloud.put(AppId(42), 0, b"k", b"v".to_vec()),
+        Err(CoreError::UnknownApp)
+    ));
+    assert!(matches!(
+        cloud.put(app, 7, b"k", b"v".to_vec()),
+        Err(CoreError::UnknownLevel)
+    ));
+    assert!(cloud
+        .create_application(AppSpec::new("empty"))
+        .is_err());
+}
+
+#[test]
+fn empty_value_and_large_key_roundtrip() {
+    let mut cloud = paper_cloud();
+    let app = cloud
+        .create_application(AppSpec::new("kv").level(LevelSpec::new(2, 4)))
+        .unwrap();
+    cloud.begin_epoch();
+    let long_key = vec![0xABu8; 512];
+    cloud.put(app, 0, &long_key, Vec::new()).unwrap();
+    let got = cloud.get(app, 0, &long_key).unwrap().unwrap();
+    assert!(got.is_empty());
+}
