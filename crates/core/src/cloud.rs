@@ -16,7 +16,7 @@ use skute_store::{QuorumConfig, Record, StoreError, Version};
 use crate::app::{AppId, AppSpec, Application, AvailabilityLevel};
 use crate::availability::{availability_of, threshold_for_replicas};
 use crate::config::SkuteConfig;
-use crate::decision::{classify, ActionCounts, Intent, VnodeSituation};
+use crate::decision::{classify, clears_profit_hurdle, ActionCounts, Intent, VnodeSituation};
 use crate::error::CoreError;
 use crate::metrics::{mean_cv, EpochReport, RingReport};
 use crate::placement::{economic_target, PlacementContext};
@@ -984,6 +984,7 @@ impl SkuteCloud {
                 threshold,
                 replica_count: partition.replicas.len(),
                 max_replicas: economy.max_replicas,
+                current_rent: rent,
                 projected_replica_cost: min_rent.unwrap_or(0.0) + consistency_cost,
                 hurdle: economy.replication_hurdle,
             };
@@ -1029,9 +1030,11 @@ impl SkuteCloud {
                     if let Some((target, _)) = target {
                         // Re-verify the hurdle with the actual candidate rent.
                         let actual_rent = self.board.price_of(target).unwrap_or(f64::MAX);
-                        let mean = situation.window_mean.unwrap_or(0.0);
-                        if mean > economy.replication_hurdle * (actual_rent + consistency_cost)
-                        {
+                        let actual = VnodeSituation {
+                            projected_replica_cost: actual_rent + consistency_cost,
+                            ..situation
+                        };
+                        if clears_profit_hurdle(&actual) {
                             let epoch = self.epoch;
                             let vid = VnodeId(self.next_vnode);
                             let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
@@ -1115,7 +1118,9 @@ impl SkuteCloud {
         let mut rings = Vec::with_capacity(self.rings.len());
         for (ri, ring) in self.rings.iter().enumerate() {
             let mut availabilities = Vec::with_capacity(ring.partitions.len());
-            let mut per_server_load: HashMap<ServerId, f64> = HashMap::new();
+            // BTreeMap, not HashMap: the load c.v. sums these floats, and
+            // summation order must not vary between same-seed runs.
+            let mut per_server_load: BTreeMap<ServerId, f64> = BTreeMap::new();
             let mut vnodes = 0usize;
             for (pid, p) in &ring.partitions {
                 availabilities.push(availability_of(&self.replica_placement(ri, pid)));

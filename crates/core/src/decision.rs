@@ -108,11 +108,46 @@ pub struct VnodeSituation {
     pub replica_count: usize,
     /// Configured replica ceiling.
     pub max_replicas: usize,
+    /// Virtual rent this replica currently pays per epoch (used to recover
+    /// its income from the balance when projecting a new replica's share).
+    pub current_rent: f64,
     /// Projected extra per-epoch cost of one more replica: candidate rent
     /// plus the data-consistency network cost.
     pub projected_replica_cost: f64,
     /// The replication hurdle multiplier from the economy config.
     pub hurdle: f64,
+}
+
+/// Projects the per-epoch balance a *new* replica would earn, from the
+/// deciding replica's mean balance over the window.
+///
+/// Query income is shared between a partition's replicas in proportion to
+/// their proximity weights, so adding a replica dilutes every share from
+/// `1/k` to roughly `1/(k + 1)`. A rational §II-C optimizer therefore
+/// projects the candidate's income as the current per-replica income scaled
+/// by `k/(k + 1)`, minus the candidate's rent and the extra consistency
+/// traffic. Skipping the dilution (as a naive reading of eq. 5 would)
+/// overstates the candidate's income by `(k + 1)/k` and replicates on
+/// partitions that can never pay for the extra replica — the population
+/// then converges above the SLA target and stays there, because a
+/// profitable surplus replica never builds the negative streak it needs to
+/// suicide.
+pub fn projected_new_replica_balance(situation: &VnodeSituation) -> Option<f64> {
+    let mean = situation.window_mean?;
+    let k = situation.replica_count as f64;
+    let income = (mean + situation.current_rent) * k / (k + 1.0);
+    Some(income - situation.projected_replica_cost)
+}
+
+/// The §II-C profit test: does the projected post-dilution balance of a new
+/// replica clear the hurdle over its projected cost? Shared by
+/// [`classify`] and the executor's re-verification against the actual
+/// candidate rent, so the rule cannot drift between the two sites.
+pub fn clears_profit_hurdle(situation: &VnodeSituation) -> bool {
+    match projected_new_replica_balance(situation) {
+        Some(projected) => projected > situation.hurdle * situation.projected_replica_cost,
+        None => false,
+    }
 }
 
 /// The economic intent of a virtual node, before feasibility (candidate
@@ -131,8 +166,9 @@ pub enum Intent {
 
 /// Classifies a vnode's situation into an intent, following §II-C exactly:
 /// losses dominate (suicide preferred over migration when availability
-/// allows), profits replicate only when the mean balance clears the hurdle
-/// over the projected cost of the extra replica.
+/// allows), profits replicate only when the projected post-dilution balance
+/// of the *new* replica (see [`projected_new_replica_balance`]) clears the
+/// hurdle over the projected cost of the extra replica.
 pub fn classify(situation: &VnodeSituation) -> Intent {
     if situation.negative_streak {
         if situation.replica_count > 1
@@ -142,12 +178,11 @@ pub fn classify(situation: &VnodeSituation) -> Intent {
         }
         return Intent::Migrate;
     }
-    if situation.positive_streak && situation.replica_count < situation.max_replicas {
-        if let Some(mean) = situation.window_mean {
-            if mean > situation.hurdle * situation.projected_replica_cost {
-                return Intent::ReplicateForProfit;
-            }
-        }
+    if situation.positive_streak
+        && situation.replica_count < situation.max_replicas
+        && clears_profit_hurdle(situation)
+    {
+        return Intent::ReplicateForProfit;
     }
     Intent::Stay
 }
@@ -165,6 +200,7 @@ mod tests {
             threshold: 12.6,
             replica_count: 2,
             max_replicas: 12,
+            current_rent: 0.3,
             projected_replica_cost: 0.3,
             hurdle: 1.5,
         }
@@ -212,13 +248,33 @@ mod tests {
     fn profit_replicates_only_over_hurdle() {
         let mut s = VnodeSituation {
             positive_streak: true,
+            window_mean: Some(1.0),
+            ..base()
+        };
+        // Projected new-replica balance: (1.0 + 0.3) · 2/3 − 0.3 ≈ 0.567,
+        // over the hurdle 1.5 · 0.3 = 0.45 → replicate.
+        assert_eq!(classify(&s), Intent::ReplicateForProfit);
+        let p = projected_new_replica_balance(&s).unwrap();
+        assert!((p - (1.3 * 2.0 / 3.0 - 0.3)).abs() < 1e-12);
+        // (0.8 + 0.3) · 2/3 − 0.3 ≈ 0.433 under the 0.45 hurdle → stay.
+        s.window_mean = Some(0.8);
+        assert_eq!(classify(&s), Intent::Stay, "projected 0.433 under the 0.45 hurdle");
+    }
+
+    #[test]
+    fn dilution_blocks_marginal_replication() {
+        // Without the k/(k+1) dilution this mean would clear the hurdle
+        // (0.5 > 0.45) and create a surplus replica that never suicides.
+        let s = VnodeSituation {
+            positive_streak: true,
             window_mean: Some(0.5),
             ..base()
         };
-        // hurdle · cost = 1.5 · 0.3 = 0.45 < 0.5 → replicate
-        assert_eq!(classify(&s), Intent::ReplicateForProfit);
-        s.window_mean = Some(0.4);
-        assert_eq!(classify(&s), Intent::Stay, "0.4 under the 0.45 hurdle");
+        assert_eq!(classify(&s), Intent::Stay, "(0.5 + 0.3)·2/3 − 0.3 ≈ 0.233 < 0.45");
+        // More existing replicas soften the dilution: the same mean clears
+        // the hurdle once enough replicas already share the income.
+        let s = VnodeSituation { window_mean: Some(0.55), replica_count: 9, ..s };
+        assert_eq!(classify(&s), Intent::ReplicateForProfit, "(0.85)·9/10 − 0.3 = 0.465 > 0.45");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use skute_ring::RingId;
 use crate::decision::ActionCounts;
 
 /// Per-ring statistics for one epoch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RingReport {
     /// Which virtual ring.
     pub ring: RingId,
@@ -43,7 +43,7 @@ pub struct RingReport {
 
 /// Cloud-wide report for one epoch, produced by
 /// [`crate::SkuteCloud::end_epoch`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochReport {
     /// The epoch this report covers.
     pub epoch: u64,

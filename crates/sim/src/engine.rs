@@ -14,7 +14,7 @@ use crate::scenario::{Scenario, TraceKind};
 
 /// One epoch's observation: the cloud's report plus derived statistics that
 /// need cluster context (the cheap/expensive split of Fig. 2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Observation {
     /// The cloud's epoch report.
     pub report: EpochReport,

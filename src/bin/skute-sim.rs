@@ -132,18 +132,19 @@ fn main() -> ExitCode {
         }
         recorder.push(obs);
     }
-    // Summary.
-    let last = recorder.observations().last().unwrap();
-    println!("\nfinal state:");
-    for ring in &last.report.rings {
-        println!(
-            "  {}: {} vnodes over {} partitions, SLA satisfied {:.1}%, mean availability {:.1}",
-            ring.ring,
-            ring.vnodes,
-            ring.partitions,
-            100.0 * ring.sla_satisfied_frac,
-            ring.mean_availability,
-        );
+    // Summary (absent when the run had zero epochs).
+    if let Some(last) = recorder.observations().last() {
+        println!("\nfinal state:");
+        for ring in &last.report.rings {
+            println!(
+                "  {}: {} vnodes over {} partitions, SLA satisfied {:.1}%, mean availability {:.1}",
+                ring.ring,
+                ring.vnodes,
+                ring.partitions,
+                100.0 * ring.sla_satisfied_frac,
+                ring.mean_availability,
+            );
+        }
     }
     if let Some(path) = args.csv {
         match recorder.write_csv(&path) {

@@ -33,6 +33,26 @@ fn identical_seeds_replay_identically() {
 }
 
 #[test]
+fn identical_seeds_produce_identical_observation_series() {
+    // Stronger than the fingerprint test above: every field of every
+    // per-epoch `Observation` (reports, per-ring stats, cheap/expensive
+    // means, offered rates) must match exactly — bitwise-equal floats —
+    // across two independently constructed runs of the same scenario.
+    let run = || {
+        let mut s = paper::scaled_scenario("obs-det", 8, 1_500, 20);
+        s.seed = 7;
+        s.schedule = Schedule::new().at(9, CloudEvent::RemoveServers { count: 5 });
+        Simulation::new(s).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (epoch, (oa, ob)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(oa, ob, "observations diverge at epoch {epoch}");
+    }
+}
+
+#[test]
 fn fig2_shape_scaled() {
     // Convergence: vnodes reach 9·M and stay; cheap servers outnumber
     // expensive in hosted vnodes.
