@@ -40,7 +40,12 @@ impl CtxFixture {
         for s in cluster.alive() {
             board.post(s.id, rent_model.price_server(s));
         }
-        Self { cluster, board, topology, economy }
+        Self {
+            cluster,
+            board,
+            topology,
+            economy,
+        }
     }
 
     /// Borrows the fixture as a placement context.
@@ -181,7 +186,11 @@ pub fn evaluate(
         name: strategy.name(),
         mean_availability: avail_sum / cfg.partitions as f64,
         sla_satisfied_frac: satisfied as f64 / cfg.partitions as f64,
-        mean_rent: if rent_count == 0 { 0.0 } else { rent_sum / rent_count as f64 },
+        mean_rent: if rent_count == 0 {
+            0.0
+        } else {
+            rent_sum / rent_count as f64
+        },
         surviving_sla_frac: surviving_sum / cfg.trials as f64,
         lost_partition_frac: lost_sum / cfg.trials as f64,
     }
@@ -231,7 +240,11 @@ mod tests {
         let cfg = quick_cfg(&fixture);
         let economic = evaluate(&mut EconomicPlacement, &fixture, &cfg);
         let spread = evaluate(&mut MaxSpreadPlacement, &fixture, &cfg);
-        assert!(economic.sla_satisfied_frac >= 0.99, "{}", economic.sla_satisfied_frac);
+        assert!(
+            economic.sla_satisfied_frac >= 0.99,
+            "{}",
+            economic.sla_satisfied_frac
+        );
         assert!(
             economic.mean_rent <= spread.mean_rent + 1e-9,
             "economic {} vs spread {}",

@@ -18,7 +18,9 @@ pub struct RandomPlacement {
 impl RandomPlacement {
     /// A seeded random strategy (deterministic per seed).
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

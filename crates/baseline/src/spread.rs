@@ -75,7 +75,9 @@ mod tests {
         // strategy must not systematically prefer cheap ones (ties break on
         // id, and id 0's first cross-continent successor wins regardless of
         // cost class).
-        let pick = strategy.place_replica(&ctx, &[ServerId(0)], 0, &[]).unwrap();
+        let pick = strategy
+            .place_replica(&ctx, &[ServerId(0)], 0, &[])
+            .unwrap();
         let a = ctx.cluster.get(ServerId(0)).unwrap().location;
         let b = ctx.cluster.get(pick).unwrap().location;
         assert_ne!(a.continent, b.continent);

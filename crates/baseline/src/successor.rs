@@ -60,9 +60,7 @@ mod tests {
         let mut strategy = SuccessorPlacement;
         let mut existing = vec![ServerId(10)];
         for expect in [11u32, 12, 13] {
-            let pick = strategy
-                .place_replica(&ctx, &existing, 0, &[])
-                .unwrap();
+            let pick = strategy.place_replica(&ctx, &existing, 0, &[]).unwrap();
             assert_eq!(pick, ServerId(expect));
             existing.push(pick);
         }

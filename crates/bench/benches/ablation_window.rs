@@ -63,7 +63,9 @@ fn run(window: usize) -> Outcome {
 }
 
 fn main() {
-    println!("=== Ablation A2 — decision window f (§II-C) under a load spike + failure burst ===\n");
+    println!(
+        "=== Ablation A2 — decision window f (§II-C) under a load spike + failure burst ===\n"
+    );
     println!(
         "{:>4} {:>16} {:>12} {:>14} {:>10} {:>11}",
         "f", "scale-out lag", "peak vnodes", "churn/epoch", "dropped", "final SLA"
@@ -88,7 +90,11 @@ fn main() {
     let ordered = lag(&outcomes[0]) <= lag(&outcomes[3]);
     println!(
         "\nsmaller windows scale out {} (f=1 lag {:?} vs f=8 lag {:?}); all windows keep the SLA",
-        if ordered { "sooner" } else { "UNEXPECTEDLY later" },
+        if ordered {
+            "sooner"
+        } else {
+            "UNEXPECTEDLY later"
+        },
         outcomes[0].first_scale_out,
         outcomes[3].first_scale_out,
     );

@@ -1,0 +1,29 @@
+//! The epoch-loop throughput benchmark: the rent-indexed decision pipeline
+//! against the brute-force full-scan oracle at M ∈ {16, 50, 200} partitions
+//! per application, from a cold start (covering the decision-heavy
+//! convergence phase). Prints the comparison table and writes the
+//! machine-readable perf trajectory to `BENCH_epoch.json` at the workspace
+//! root.
+//!
+//! Run with `cargo bench -p skute-bench --bench epoch_loop`.
+
+use skute_bench::{perf, workspace_root};
+
+fn main() {
+    println!("epoch_loop: indexed vs brute-force decision pipeline\n");
+    let results = perf::standard_sweep();
+    perf::print_table(&results);
+    let path = workspace_root().join("BENCH_epoch.json");
+    match perf::write_json(&path, &results) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => println!("\n(could not write {}: {e})", path.display()),
+    }
+    if let Some(r) = results.iter().find(|r| r.partitions == 200) {
+        println!(
+            "M = 200 speedup: {:.2}x ({:.2} → {:.2} epochs/sec)",
+            r.speedup(),
+            r.brute_force.epochs_per_sec,
+            r.indexed.epochs_per_sec
+        );
+    }
+}

@@ -32,7 +32,9 @@ fn main() {
         );
     }
 
-    println!("\npaper claim: one ring per availability level; levels satisfied by 2, 3, 4 replicas");
+    println!(
+        "\npaper claim: one ring per availability level; levels satisfied by 2, 3, 4 replicas"
+    );
     let ok = report
         .rings
         .iter()
@@ -44,7 +46,11 @@ fn main() {
         report.rings[0].vnodes as f64 / report.rings[0].partitions as f64,
         report.rings[1].vnodes as f64 / report.rings[1].partitions as f64,
         report.rings[2].vnodes as f64 / report.rings[2].partitions as f64,
-        if ok && ordered { "REPRODUCED" } else { "NOT reproduced" }
+        if ok && ordered {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     skute_bench::footer("fig1_differentiation", &recorder);
 }

@@ -34,9 +34,8 @@ fn main() {
     let early_total = recorder.observations()[0].report.total_vnodes() as f64;
     let cheap = recorder.tail_mean(20, |o| o.cheap_mean_vnodes);
     let expensive = recorder.tail_mean(20, |o| o.expensive_mean_vnodes);
-    let repairs_late = recorder.tail_mean(20, |o| {
-        o.report.actions.availability_replications as f64
-    });
+    let repairs_late =
+        recorder.tail_mean(20, |o| o.report.actions.availability_replications as f64);
 
     println!("\npaper claim: system soon reaches equilibrium; fewer vnodes at expensive servers");
     println!(
@@ -46,7 +45,11 @@ fn main() {
     println!(
         "measured   : cheap servers host {cheap:.2} vnodes on average, expensive {expensive:.2} \
          → {}",
-        if cheap > expensive { "REPRODUCED" } else { "NOT reproduced" }
+        if cheap > expensive {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     skute_bench::footer("fig2_convergence", &recorder);
 }

@@ -50,7 +50,11 @@ fn main() {
             "ring{ring}: {before_add:.0} → {after_add:.0} across upgrade ({}), \
              {before_fail:.0} → {after_fail:.0} across failure ({})",
             if add_stable { "stable" } else { "MOVED" },
-            if fail_recovered { "recovered" } else { "NOT recovered" },
+            if fail_recovered {
+                "recovered"
+            } else {
+                "NOT recovered"
+            },
         );
     }
     // SLA must hold at the end despite losing 20 servers.
@@ -66,7 +70,11 @@ fn main() {
     println!(
         "final SLA satisfaction (mean over rings): {} → {}",
         skute_bench::pct(sla_end),
-        if reproduced && sla_end > 0.95 { "REPRODUCED" } else { "NOT reproduced" }
+        if reproduced && sla_end > 0.95 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     skute_bench::footer("fig3_elasticity", &recorder);
 }

@@ -50,9 +50,16 @@ fn main() {
         .map(|o| o.report.rings[0].load_cv)
         .sum::<f64>()
         / 40.0;
-    let dropped: f64 = obs.iter().map(|o| {
-        o.report.rings.iter().map(|r| r.queries_dropped).sum::<f64>()
-    }).sum();
+    let dropped: f64 = obs
+        .iter()
+        .map(|o| {
+            o.report
+                .rings
+                .iter()
+                .map(|r| r.queries_dropped)
+                .sum::<f64>()
+        })
+        .sum();
     let offered: f64 = obs.iter().map(|o| o.offered_rate).sum();
     let shares_ok = (shares[0] - 4.0 / 7.0).abs() < 0.05
         && (shares[1] - 2.0 / 7.0).abs() < 0.05

@@ -49,8 +49,9 @@ fn bench_availability(c: &mut Criterion) {
     let t = Topology::paper();
     let mut group = c.benchmark_group("core/availability_eq2");
     for k in [2usize, 4, 8] {
-        let replicas: Vec<(Location, f64)> =
-            (0..k).map(|i| (t.server_at((i * 37 % 200) as u64), 1.0)).collect();
+        let replicas: Vec<(Location, f64)> = (0..k)
+            .map(|i| (t.server_at((i * 37 % 200) as u64), 1.0))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(k), &replicas, |b, r| {
             b.iter(|| availability_of(black_box(r)))
         });

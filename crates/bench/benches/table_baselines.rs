@@ -7,8 +7,8 @@
 //! 20-server failure bursts (the §III-C event).
 
 use skute_baseline::{
-    evaluate, CheapestPlacement, CtxFixture, EvaluationConfig, MaxSpreadPlacement,
-    RandomPlacement, StrategyOutcome, SuccessorPlacement,
+    evaluate, CheapestPlacement, CtxFixture, EvaluationConfig, MaxSpreadPlacement, RandomPlacement,
+    StrategyOutcome, SuccessorPlacement,
 };
 use skute_core::placement::EconomicPlacement;
 use skute_core::{threshold_for_replicas, PlacementStrategy};
@@ -71,6 +71,8 @@ fn main() {
             skute_bench::pct(successor.surviving_sla_frac),
         );
     }
-    println!("\npaper claim: geography-aware economic placement gives availability at minimum cost;");
+    println!(
+        "\npaper claim: geography-aware economic placement gives availability at minimum cost;"
+    );
     println!("key-value stores without geographic awareness lose whole replica sets to correlated failures.");
 }

@@ -36,15 +36,31 @@ fn run(geo: ClientGeo, name: &str) -> (f64, f64, Vec<(u64, f64)>) {
 }
 
 fn main() {
-    println!("=== E-GEO — data moves close to its clients (paper §I, virtual-ring advantage 2) ===\n");
+    println!(
+        "=== E-GEO — data moves close to its clients (paper §I, virtual-ring advantage 2) ===\n"
+    );
     let (u_early, u_late, _) = run(ClientGeo::Uniform, "geo-uniform");
-    let (s_early, s_late, series) =
-        run(ClientGeo::SingleCountry { continent: 0, country: 0 }, "geo-regional");
+    let (s_early, s_late, series) = run(
+        ClientGeo::SingleCountry {
+            continent: 0,
+            country: 0,
+        },
+        "geo-regional",
+    );
 
     println!("mean client→replica distance (diversity units; 1=rack … 15=same country, 31=same continent, 63=other continent)\n");
-    println!("{:<22} {:>12} {:>12}", "client geography", "epoch 1", "steady state");
-    println!("{:<22} {:>12.2} {:>12.2}", "uniform (all countries)", u_early, u_late);
-    println!("{:<22} {:>12.2} {:>12.2}", "single country", s_early, s_late);
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "client geography", "epoch 1", "steady state"
+    );
+    println!(
+        "{:<22} {:>12.2} {:>12.2}",
+        "uniform (all countries)", u_early, u_late
+    );
+    println!(
+        "{:<22} {:>12.2} {:>12.2}",
+        "single country", s_early, s_late
+    );
 
     println!("\nregional-traffic distance over time:");
     for (epoch, dist) in series.iter().step_by(10) {

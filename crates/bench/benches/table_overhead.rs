@@ -20,8 +20,14 @@ fn main() {
     let obs = recorder.observations();
 
     let phase = |name: &str, lo: usize, hi: usize| {
-        let repl: u64 = obs[lo..hi].iter().map(|o| o.report.actions.replicated_bytes).sum();
-        let migr: u64 = obs[lo..hi].iter().map(|o| o.report.actions.migrated_bytes).sum();
+        let repl: u64 = obs[lo..hi]
+            .iter()
+            .map(|o| o.report.actions.replicated_bytes)
+            .sum();
+        let migr: u64 = obs[lo..hi]
+            .iter()
+            .map(|o| o.report.actions.migrated_bytes)
+            .sum();
         println!(
             "{:<26} {:>10.2} GiB replicated {:>10.2} GiB migrated ({:>5} epochs)",
             name,

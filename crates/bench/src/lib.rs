@@ -16,15 +16,23 @@ use std::path::PathBuf;
 
 use skute_sim::{Observation, Recorder, Scenario, Simulation};
 
+pub mod perf;
+
+/// The workspace root (where `BENCH_*.json` trajectory files live).
+pub fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p
+}
+
 /// Directory the figure benches write their CSVs to.
 pub fn figures_dir() -> PathBuf {
     // target/ relative to the workspace root, independent of cwd quirks.
     let target = std::env::var_os("CARGO_TARGET_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| {
-            let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-            p.pop(); // crates/
-            p.pop(); // workspace root
+            let mut p = workspace_root();
             p.push("target");
             p
         });

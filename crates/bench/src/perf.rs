@@ -1,0 +1,196 @@
+//! The epoch-loop performance harness behind `benches/epoch_loop.rs` and
+//! `skute-sim --bench-json`: drives identical scaled scenarios through the
+//! rent-indexed and brute-force decision pipelines, measures epochs/sec and
+//! ns/decision, and serializes the result as `BENCH_epoch.json` so every PR
+//! leaves a machine-readable perf trajectory behind.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use skute_sim::{paper, Simulation};
+
+/// Timing of one pipeline over one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineTiming {
+    /// Wall-clock seconds for the whole run.
+    pub seconds: f64,
+    /// Epochs per wall-clock second.
+    pub epochs_per_sec: f64,
+    /// Nanoseconds per virtual-node decision (total wall clock over the
+    /// summed per-epoch vnode counts — every vnode decides every epoch).
+    pub ns_per_decision: f64,
+    /// Total vnode decisions over the run.
+    pub decisions: u64,
+}
+
+/// Head-to-head result for one partition count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochLoopResult {
+    /// Partitions per application (the paper's M).
+    pub partitions: usize,
+    /// Epochs driven (from a cold start, so the run covers the
+    /// decision-heavy convergence phase, not just the converged steady
+    /// state).
+    pub epochs: u64,
+    /// The rent-indexed pipeline (the default).
+    pub indexed: PipelineTiming,
+    /// The brute-force full-scan pipeline (the pre-optimization oracle).
+    pub brute_force: PipelineTiming,
+}
+
+impl EpochLoopResult {
+    /// Indexed-over-brute-force throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.brute_force.epochs_per_sec <= 0.0 {
+            return 0.0;
+        }
+        self.indexed.epochs_per_sec / self.brute_force.epochs_per_sec
+    }
+}
+
+/// Times one pipeline over the scaled scenario with `partitions` per app.
+pub fn time_pipeline(partitions: usize, epochs: u64, brute_force: bool) -> PipelineTiming {
+    let mut scenario = paper::scaled_scenario(
+        &format!("epoch-loop-m{partitions}"),
+        partitions,
+        3_000,
+        epochs,
+    );
+    scenario.seed = 0xBE_7C;
+    scenario.config.brute_force_placement = brute_force;
+    let mut sim = Simulation::new(scenario);
+    let mut decisions = 0u64;
+    let start = Instant::now();
+    for _ in 0..epochs {
+        let obs = sim.step();
+        decisions += obs.report.total_vnodes() as u64;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    PipelineTiming {
+        seconds,
+        epochs_per_sec: epochs as f64 / seconds.max(1e-12),
+        ns_per_decision: seconds * 1e9 / decisions.max(1) as f64,
+        decisions,
+    }
+}
+
+/// Runs both pipelines at one partition count.
+pub fn run_epoch_loop(partitions: usize, epochs: u64) -> EpochLoopResult {
+    EpochLoopResult {
+        partitions,
+        epochs,
+        indexed: time_pipeline(partitions, epochs, false),
+        brute_force: time_pipeline(partitions, epochs, true),
+    }
+}
+
+/// The standard sweep: the paper's M = 200 plus two reduced scales. Epoch
+/// counts shrink as M grows so the whole sweep stays a smoke-test-sized
+/// run while still covering the decision-heavy convergence phase.
+pub fn standard_sweep() -> Vec<EpochLoopResult> {
+    [(16usize, 40u64), (50, 25), (200, 12)]
+        .into_iter()
+        .map(|(m, epochs)| run_epoch_loop(m, epochs))
+        .collect()
+}
+
+fn timing_json(t: &PipelineTiming) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"epochs_per_sec\": {:.3}, \"ns_per_decision\": {:.1}, \"decisions\": {}}}",
+        t.seconds, t.epochs_per_sec, t.ns_per_decision, t.decisions
+    )
+}
+
+/// Serializes a sweep as the `BENCH_epoch.json` document.
+pub fn to_json(results: &[EpochLoopResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"epoch_loop\",\n");
+    out.push_str("  \"scenario\": \"scaled paper workload, cold start, 3000 queries/epoch\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"partitions\": {}, \"epochs\": {}, \"indexed\": {}, \"brute_force\": {}, \"speedup\": {:.2}}}{}\n",
+            r.partitions,
+            r.epochs,
+            timing_json(&r.indexed),
+            timing_json(&r.brute_force),
+            r.speedup(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the sweep to `path` as JSON.
+pub fn write_json(path: &Path, results: &[EpochLoopResult]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(results).as_bytes())
+}
+
+/// Prints the human-readable comparison table for a sweep.
+pub fn print_table(results: &[EpochLoopResult]) {
+    println!(
+        "{:>6} {:>7} {:>14} {:>14} {:>12} {:>12} {:>8}",
+        "M", "epochs", "indexed ep/s", "brute ep/s", "idx ns/dec", "brute ns/dec", "speedup"
+    );
+    for r in results {
+        println!(
+            "{:>6} {:>7} {:>14.2} {:>14.2} {:>12.0} {:>12.0} {:>7.2}x",
+            r.partitions,
+            r.epochs,
+            r.indexed.epochs_per_sec,
+            r.brute_force.epochs_per_sec,
+            r.indexed.ns_per_decision,
+            r.brute_force.ns_per_decision,
+            r.speedup()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_positive_and_json_is_well_formed() {
+        let r = run_epoch_loop(4, 3);
+        assert!(r.indexed.seconds > 0.0);
+        assert!(r.brute_force.seconds > 0.0);
+        assert!(r.indexed.decisions > 0);
+        assert_eq!(
+            r.indexed.decisions, r.brute_force.decisions,
+            "same trajectory"
+        );
+        let json = to_json(&[r]);
+        assert!(json.contains("\"bench\": \"epoch_loop\""));
+        assert!(json.contains("\"partitions\": 4"));
+        assert!(json.contains("\"speedup\""));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the offline dependency set).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn write_json_roundtrips_to_disk() {
+        let path = figures_tmp().join("bench_epoch_test.json");
+        let r = run_epoch_loop(4, 2);
+        write_json(&path, &[r]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("epoch_loop"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn figures_tmp() -> std::path::PathBuf {
+        let d = crate::figures_dir();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+}

@@ -14,6 +14,7 @@ use crate::server::ServerId;
 pub struct Board {
     epoch: u64,
     prices: HashMap<ServerId, f64>,
+    version: u64,
 }
 
 impl Board {
@@ -26,6 +27,7 @@ impl Board {
     pub fn begin_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
         self.prices.clear();
+        self.version += 1;
     }
 
     /// The epoch the current postings refer to.
@@ -33,14 +35,24 @@ impl Board {
         self.epoch
     }
 
+    /// A counter bumped on every posting change ([`Board::post`],
+    /// [`Board::withdraw`], [`Board::begin_epoch`]). Derived structures
+    /// (e.g. a rent-sorted placement index) compare it against the value
+    /// they were built at to decide whether they are stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Posts (or re-posts) the price of a server for this epoch.
     pub fn post(&mut self, server: ServerId, price: f64) {
         self.prices.insert(server, price);
+        self.version += 1;
     }
 
     /// Withdraws a server's posting (server retired mid-epoch).
     pub fn withdraw(&mut self, server: ServerId) {
         self.prices.remove(&server);
+        self.version += 1;
     }
 
     /// The posted price of `server`, if any.
@@ -61,10 +73,13 @@ impl Board {
     /// The lowest posted price, used as the utility floor that stops
     /// unpopular virtual nodes from migrating forever (§II-C).
     pub fn min_price(&self) -> Option<f64> {
-        self.prices.values().copied().fold(None, |acc, p| match acc {
-            None => Some(p),
-            Some(m) => Some(m.min(p)),
-        })
+        self.prices
+            .values()
+            .copied()
+            .fold(None, |acc, p| match acc {
+                None => Some(p),
+                Some(m) => Some(m.min(p)),
+            })
     }
 
     /// The cheapest posted server and its price.
@@ -114,7 +129,25 @@ mod tests {
         let mut b = Board::new();
         b.post(ServerId(9), 1.0);
         b.post(ServerId(2), 1.0);
-        assert_eq!(b.cheapest(), Some((ServerId(2), 1.0)), "lowest id wins ties");
+        assert_eq!(
+            b.cheapest(),
+            Some((ServerId(2), 1.0)),
+            "lowest id wins ties"
+        );
+    }
+
+    #[test]
+    fn version_bumps_on_every_posting_change() {
+        let mut b = Board::new();
+        let v0 = b.version();
+        b.post(ServerId(0), 2.0);
+        let v1 = b.version();
+        assert!(v1 > v0);
+        b.withdraw(ServerId(0));
+        let v2 = b.version();
+        assert!(v2 > v1);
+        b.begin_epoch(5);
+        assert!(b.version() > v2);
     }
 
     #[test]

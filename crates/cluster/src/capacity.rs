@@ -180,7 +180,10 @@ mod tests {
 
     #[test]
     fn release_storage_saturates() {
-        let mut m = UsageMeter { storage_used: 10, ..Default::default() };
+        let mut m = UsageMeter {
+            storage_used: 10,
+            ..Default::default()
+        };
         m.release_storage(25);
         assert_eq!(m.storage_used, 0);
     }
@@ -213,7 +216,10 @@ mod tests {
         assert!(!m.reserve_replication_bw(&c, 1));
         // A transfer larger than the whole budget can start on a fresh epoch.
         m.begin_epoch();
-        assert!(m.reserve_migration_bw(&c, 1000), "oversized partition still moves");
+        assert!(
+            m.reserve_migration_bw(&c, 1000),
+            "oversized partition still moves"
+        );
         assert!(!m.reserve_migration_bw(&c, 1));
     }
 

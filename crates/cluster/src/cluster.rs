@@ -27,6 +27,8 @@ pub struct ServerSpec {
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
     servers: Vec<Server>,
+    /// Bumped on every mutable access; see [`Cluster::version`].
+    version: u64,
 }
 
 impl Cluster {
@@ -58,6 +60,7 @@ impl Cluster {
             (0.0..=1.0).contains(&spec.confidence),
             "confidence must lie in [0, 1]"
         );
+        self.version += 1;
         let id = ServerId(self.servers.len() as u32);
         self.servers.push(Server {
             id,
@@ -77,6 +80,7 @@ impl Cluster {
     /// Retires (removes/fails) a server at `epoch`. Its stored data is lost;
     /// callers must drop the virtual nodes it hosted. Idempotent.
     pub fn retire(&mut self, id: ServerId, epoch: u64) {
+        self.version += 1;
         if let Some(s) = self.servers.get_mut(id.0 as usize) {
             if s.status == ServerStatus::Alive {
                 s.status = ServerStatus::Retired;
@@ -93,7 +97,17 @@ impl Cluster {
 
     /// Mutable access to the server with id `id`.
     pub fn get_mut(&mut self, id: ServerId) -> Option<&mut Server> {
+        self.version += 1;
         self.servers.get_mut(id.0 as usize)
+    }
+
+    /// A counter bumped on every mutable access to the cluster (server
+    /// lifecycle *and* usage-meter mutation paths). It over-approximates
+    /// change — obtaining a `&mut Server` counts even if nothing is
+    /// written — which is exactly what derived read structures (e.g. a
+    /// rent-sorted placement index) need for conservative invalidation.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The server with id `id` if it is alive.
@@ -128,6 +142,7 @@ impl Cluster {
 
     /// Iterates mutably over alive servers.
     pub fn alive_mut(&mut self) -> impl Iterator<Item = &mut Server> {
+        self.version += 1;
         self.servers.iter_mut().filter(|s| s.is_alive())
     }
 
@@ -238,6 +253,30 @@ mod tests {
         let mut s = spec(Location::new(0, 0, 0, 0, 0, 0), 100.0);
         s.confidence = 1.5;
         let _ = cluster.commission(s, 0);
+    }
+
+    #[test]
+    fn version_tracks_every_mutation_path() {
+        let t = Topology::paper();
+        let mut cluster = Cluster::from_topology(&t, |_, loc| spec(loc, 100.0));
+        let v0 = cluster.version();
+        let _ = cluster.get_mut(ServerId(0));
+        let v1 = cluster.version();
+        assert!(v1 > v0, "get_mut must invalidate derived indexes");
+        let _ = cluster.alive_mut().count();
+        let v2 = cluster.version();
+        assert!(v2 > v1);
+        cluster.begin_epoch();
+        let v3 = cluster.version();
+        assert!(v3 > v2);
+        cluster.retire(ServerId(0), 1);
+        assert!(cluster.version() > v3);
+        // Read-only accessors leave the version untouched.
+        let v = cluster.version();
+        let _ = cluster.alive_count();
+        let _ = cluster.get(ServerId(1));
+        let _ = cluster.total_storage_used();
+        assert_eq!(cluster.version(), v);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl MarginalPrice {
     /// Panics unless `epochs_per_month ≥ 1`, `0 < ewma_alpha ≤ 1` and
     /// `0 < utilization_floor ≤ 1`.
     pub fn new(epochs_per_month: u32, ewma_alpha: f64, utilization_floor: f64) -> Self {
-        assert!(epochs_per_month >= 1, "a month must span at least one epoch");
+        assert!(
+            epochs_per_month >= 1,
+            "a month must span at least one epoch"
+        );
         assert!(
             ewma_alpha > 0.0 && ewma_alpha <= 1.0,
             "ewma_alpha must be in (0, 1]"

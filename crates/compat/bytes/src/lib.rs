@@ -27,12 +27,16 @@ impl Bytes {
     /// Creates `Bytes` from a static slice without copying semantics
     /// mattering (this subset copies once into the shared buffer).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self { data: Arc::from(bytes) }
+        Self {
+            data: Arc::from(bytes),
+        }
     }
 
     /// Copies `data` into a new shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: Arc::from(data) }
+        Self {
+            data: Arc::from(data),
+        }
     }
 
     /// Length in bytes.

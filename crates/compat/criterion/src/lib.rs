@@ -35,7 +35,10 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
     }
 
     /// Upstream-compatible no-op (command-line config is not modeled).
@@ -87,18 +90,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
-        Self { label: format!("{function_name}/{parameter}") }
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        Self { label: s.to_string() }
+        Self {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -130,8 +139,7 @@ impl Bencher {
             }
             batch *= 2;
         };
-        let iters = ((TARGET_MEASURE.as_secs_f64() / per_iter.max(1e-12)) as u64)
-            .clamp(1, 1 << 28);
+        let iters = ((TARGET_MEASURE.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 28);
         let start = Instant::now();
         for _ in 0..iters {
             black_box(routine());
@@ -153,7 +161,10 @@ impl Bencher {
         } else {
             (per * 1e3, "ms")
         };
-        println!("{name:<44} {value:>10.2} {unit}/iter   ({} iters)", self.iters);
+        println!(
+            "{name:<44} {value:>10.2} {unit}/iter   ({} iters)",
+            self.iters
+        );
     }
 }
 

@@ -24,7 +24,9 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates a new lock holding `value`.
     pub fn new(value: T) -> Self {
-        Self { inner: sync::RwLock::new(value) }
+        Self {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
@@ -77,7 +79,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex holding `value`.
     pub fn new(value: T) -> Self {
-        Self { inner: sync::Mutex::new(value) }
+        Self {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.

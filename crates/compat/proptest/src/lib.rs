@@ -45,7 +45,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, whence, f }
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
         }
     }
 
@@ -98,7 +102,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter rejected 1000 consecutive values: {}", self.whence)
+            panic!(
+                "prop_filter rejected 1000 consecutive values: {}",
+                self.whence
+            )
         }
     }
 
@@ -548,7 +555,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             l != r,
             "assertion failed: {} != {} (both: {:?})",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

@@ -252,7 +252,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(7);
         for _ in 0..1000 {
             let x: f64 = r.gen_range(f64::EPSILON..1.0);
-            assert!(x >= f64::EPSILON && x < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
         }
     }
 

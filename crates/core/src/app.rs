@@ -49,7 +49,12 @@ impl LevelSpec {
     /// A level satisfied by `replicas` replicas over `partitions` initial
     /// partitions, with no preloaded data and default quorum.
     pub fn new(replicas: usize, partitions: usize) -> Self {
-        Self { replicas, partitions, initial_partition_bytes: 0, quorum: None }
+        Self {
+            replicas,
+            partitions,
+            initial_partition_bytes: 0,
+            quorum: None,
+        }
     }
 
     /// Sets the preloaded logical bytes per partition.
@@ -80,7 +85,10 @@ impl AppSpec {
     /// An application with no levels yet; add at least one with
     /// [`AppSpec::level`].
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), levels: Vec::new() }
+        Self {
+            name: name.into(),
+            levels: Vec::new(),
+        }
     }
 
     /// Adds an availability level.

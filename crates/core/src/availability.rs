@@ -164,9 +164,7 @@ mod tests {
         // k = 3: three countries on one continent (3×31) passes, any two
         // replicas fail.
         let th3 = threshold_for_replicas(&t, 3, 0.2);
-        assert!(
-            availability_of(&[loc(0, 0, 0), loc(0, 1, 0), loc(1, 0, 0)]) >= th3
-        );
+        assert!(availability_of(&[loc(0, 0, 0), loc(0, 1, 0), loc(1, 0, 0)]) >= th3);
         assert!(availability_of(&[loc(0, 0, 0), loc(4, 1, 1)]) < th3);
     }
 

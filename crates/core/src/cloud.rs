@@ -8,18 +8,18 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use skute_cluster::{Board, Cluster, ServerId, ServerSpec};
-use skute_economy::{floored_utility, proximity, RegionQueries, RentModel};
-use skute_geo::{RegionWeight, Topology};
+use skute_economy::{floored_utility, ProximityCache, RegionQueries, RentModel};
+use skute_geo::{Location, RegionWeight, Topology};
 use skute_ring::{PartitionId, RingId, VirtualRing};
-use skute_store::{QuorumConfig, Record, StoreError, Version};
+use skute_store::{CowPartitionStore, QuorumConfig, Record, StoreError, Version};
 
 use crate::app::{AppId, AppSpec, Application, AvailabilityLevel};
 use crate::availability::{availability_of, threshold_for_replicas};
 use crate::config::SkuteConfig;
 use crate::decision::{classify, clears_profit_hurdle, ActionCounts, Intent, VnodeSituation};
 use crate::error::CoreError;
-use crate::metrics::{mean_cv, EpochReport, RingReport};
-use crate::placement::{economic_target, PlacementContext};
+use crate::metrics::{mean_cv, AntiEntropyReport, EpochReport, RingReport};
+use crate::placement::{economic_target, PlacementContext, PlacementIndex};
 use crate::vnode::{PartitionState, Replica, VnodeId};
 
 /// Runtime state of one virtual ring.
@@ -76,6 +76,17 @@ pub struct SkuteCloud {
     partitions_lost_epoch: u64,
     /// Actions executed outside end_epoch (emergency relocations).
     epoch_actions: ActionCounts,
+    /// Rent-sorted candidate index behind every eq.-(3) target selection
+    /// (unless `config.brute_force_placement` routes around it).
+    index: PlacementIndex,
+    /// Scratch buffers reused across epochs so the hot decision loop does
+    /// not allocate on its common paths.
+    work_scratch: Vec<(usize, PartitionId, VnodeId)>,
+    servers_scratch: Vec<ServerId>,
+    placed_scratch: Vec<(Location, f64)>,
+    gs_scratch: Vec<f64>,
+    dists_scratch: Vec<f64>,
+    order_scratch: Vec<usize>,
 }
 
 impl SkuteCloud {
@@ -101,6 +112,13 @@ impl SkuteCloud {
             insert_failures_epoch: 0,
             partitions_lost_epoch: 0,
             epoch_actions: ActionCounts::default(),
+            index: PlacementIndex::new(),
+            work_scratch: Vec::new(),
+            servers_scratch: Vec::new(),
+            placed_scratch: Vec::new(),
+            gs_scratch: Vec::new(),
+            dists_scratch: Vec::new(),
+            order_scratch: Vec::new(),
         };
         cloud.post_prices();
         cloud
@@ -157,8 +175,14 @@ impl SkuteCloud {
         let app_id = AppId(self.apps.len() as u32);
         let mut levels = Vec::with_capacity(spec.levels.len());
         for (level_idx, level_spec) in spec.levels.iter().enumerate() {
-            assert!(level_spec.replicas >= 1, "an SLA needs at least one replica");
-            assert!(level_spec.partitions >= 1, "a ring needs at least one partition");
+            assert!(
+                level_spec.replicas >= 1,
+                "an SLA needs at least one replica"
+            );
+            assert!(
+                level_spec.partitions >= 1,
+                "a ring needs at least one partition"
+            );
             let threshold = threshold_for_replicas(
                 &self.topology,
                 level_spec.replicas,
@@ -206,7 +230,11 @@ impl SkuteCloud {
                 distance_sum_epoch: 0.0,
             });
         }
-        self.apps.push(Application { id: app_id, name: spec.name, levels });
+        self.apps.push(Application {
+            id: app_id,
+            name: spec.name,
+            levels,
+        });
         Ok(app_id)
     }
 
@@ -230,7 +258,9 @@ impl SkuteCloud {
 
     /// Partition ids of one ring, in ring order.
     pub fn partition_ids(&self, app: AppId, level: u32) -> Result<Vec<PartitionId>, CoreError> {
-        Ok(self.rings[self.ring_index(app, level)?].ring.partition_ids())
+        Ok(self.rings[self.ring_index(app, level)?]
+            .ring
+            .partition_ids())
     }
 
     /// The servers hosting replicas of a partition.
@@ -394,12 +424,7 @@ impl SkuteCloud {
     }
 
     /// Reads a key: merges the first `r` replica responses (LWW).
-    pub fn get(
-        &mut self,
-        app: AppId,
-        level: u32,
-        key: &[u8],
-    ) -> Result<Option<Bytes>, CoreError> {
+    pub fn get(&mut self, app: AppId, level: u32, key: &[u8]) -> Result<Option<Bytes>, CoreError> {
         let ring_idx = self.ring_index(app, level)?;
         let pid = self.rings[ring_idx].ring.route(key);
         let quorum = self.rings[ring_idx].level.quorum;
@@ -491,16 +516,23 @@ impl SkuteCloud {
     /// Anti-entropy pass over one ring: detects divergent replica stores
     /// with Merkle summaries (replicas can diverge when a full server
     /// rejects a write) and repairs them by installing the LWW union on
-    /// every replica, with exact storage re-accounting. Returns the number
-    /// of partitions repaired.
+    /// every replica, with exact storage re-accounting.
     ///
-    /// A replica whose server cannot absorb the union's extra bytes is left
-    /// divergent (it will be retried after the economy rebalances).
-    pub fn anti_entropy(&mut self, app: AppId, level: u32) -> Result<usize, CoreError> {
+    /// The union is built once per divergent partition and written back as
+    /// a copy-on-write handle — every repaired replica shares one
+    /// allocation until it next diverges. Partitions whose replicas are
+    /// already identical (shared allocations, or all Merkle roots equal)
+    /// are skipped outright and contribute to no counter; within a
+    /// *divergent* partition, replicas that already hold the union are
+    /// skipped without a writeback and counted in
+    /// [`AntiEntropyReport::replicas_in_sync`]. A replica whose server
+    /// cannot absorb the union's extra bytes is left divergent and counted
+    /// as deferred (it will be retried after the economy rebalances).
+    pub fn anti_entropy(&mut self, app: AppId, level: u32) -> Result<AntiEntropyReport, CoreError> {
         let ring_idx = self.ring_index(app, level)?;
         let hasher = self.rings[ring_idx].ring.hasher();
         let pids = self.rings[ring_idx].ring.partition_ids();
-        let mut repaired = 0usize;
+        let mut report = AntiEntropyReport::default();
         for pid in pids {
             let Some(range) = self.rings[ring_idx].ring.range_of(pid) else {
                 continue;
@@ -509,6 +541,15 @@ impl SkuteCloud {
                 Some(p) if p.replicas.len() >= 2 => p,
                 _ => continue,
             };
+            // Replicas sharing one copy-on-write allocation are trivially
+            // in sync: skip the Merkle pass entirely.
+            if partition
+                .replicas
+                .windows(2)
+                .all(|w| w[0].store.shares_storage_with(&w[1].store))
+            {
+                continue;
+            }
             let roots: Vec<u64> = partition
                 .replicas
                 .iter()
@@ -517,33 +558,26 @@ impl SkuteCloud {
             if roots.windows(2).all(|w| w[0] == w[1]) {
                 continue;
             }
-            // Build the LWW union of all replica stores.
+            // Build the LWW union of all replica stores, once.
             let union = {
-                let partition = self.rings[ring_idx].partitions.get(&pid).unwrap();
-                let mut union = partition.replicas[0].store.clone();
+                let mut union = (*partition.replicas[0].store).clone();
                 for r in &partition.replicas[1..] {
-                    union.absorb(r.store.clone());
+                    union.merge_from(&r.store);
                 }
-                union
+                CowPartitionStore::from_store(union)
             };
             let union_bytes = union.logical_bytes();
-            let replica_count = self.rings[ring_idx].partitions[&pid].replicas.len();
+            let union_root = skute_store::MerkleSummary::build(&union, hasher, range, 32).root();
             let mut any_updated = false;
-            for idx in 0..replica_count {
-                let (server, old_bytes, differs) = {
-                    let p = &self.rings[ring_idx].partitions[&pid];
-                    let r = &p.replicas[idx];
-                    (
-                        r.server,
-                        r.store.logical_bytes(),
-                        skute_store::MerkleSummary::build(&r.store, hasher, range, 32).root()
-                            != skute_store::MerkleSummary::build(&union, hasher, range, 32)
-                                .root(),
-                    )
-                };
-                if !differs {
+            for (idx, &root) in roots.iter().enumerate() {
+                if root == union_root {
+                    report.replicas_in_sync += 1;
                     continue;
                 }
+                let (server, old_bytes) = {
+                    let r = &self.rings[ring_idx].partitions[&pid].replicas[idx];
+                    (r.server, r.store.logical_bytes())
+                };
                 let ok = if union_bytes >= old_bytes {
                     self.cluster
                         .get_mut(server)
@@ -561,14 +595,17 @@ impl SkuteCloud {
                 if ok {
                     let p = self.rings[ring_idx].partitions.get_mut(&pid).unwrap();
                     p.replicas[idx].store = union.clone();
+                    report.replicas_updated += 1;
                     any_updated = true;
+                } else {
+                    report.replicas_deferred += 1;
                 }
             }
             if any_updated {
-                repaired += 1;
+                report.partitions_repaired += 1;
             }
         }
-        Ok(repaired)
+        Ok(report)
     }
 
     /// Emergency rebalance: replica `idx` of a partition sits on a server
@@ -582,28 +619,50 @@ impl SkuteCloud {
         idx: usize,
         incoming: u64,
     ) {
-        let Some(partition) = self.rings[ring_idx].partitions.get(&pid) else {
+        let Some(partition) = self.rings[ring_idx].partitions.get_mut(&pid) else {
             return;
         };
         if idx >= partition.replicas.len() {
             return;
         }
         let size = partition.synthetic_bytes + partition.replicas[idx].store.logical_bytes();
-        let mut servers = partition.replica_servers();
-        servers.remove(idx);
-        let regions = partition.region_queries.clone();
+        self.servers_scratch.clear();
+        self.servers_scratch
+            .extend(partition.replicas.iter().map(|r| r.server));
+        self.servers_scratch.remove(idx);
         let target = {
-            let ctx = self.placement_ctx();
-            economic_target(&ctx, &servers, size.saturating_add(incoming), &regions, None)
+            let ctx = PlacementContext {
+                cluster: &self.cluster,
+                board: &self.board,
+                topology: &self.topology,
+                economy: &self.config.economy,
+            };
+            let PartitionState {
+                region_queries,
+                prox_cache,
+                ..
+            } = &mut *partition;
+            select_target(
+                &mut self.index,
+                self.config.brute_force_placement,
+                &ctx,
+                &self.servers_scratch,
+                size.saturating_add(incoming),
+                region_queries,
+                prox_cache,
+                None,
+            )
         };
         if let Some((target, _)) = target {
             let window = self.config.economy.decision_window;
             let epoch = self.epoch;
             let vid = VnodeId(self.next_vnode);
             let partition = self.rings[ring_idx].partitions.get_mut(&pid).unwrap();
+            let source = partition.replicas[idx].server;
             if let Some(bytes) = exec_migration(&mut self.cluster, partition, idx, target) {
                 self.epoch_actions.migrations += 1;
                 self.epoch_actions.migrated_bytes += bytes;
+                self.note_index(&[source, target]);
                 return;
             }
             // Migration budget exhausted: fall back to the (3× larger)
@@ -616,6 +675,7 @@ impl SkuteCloud {
                 exec_suicide(&mut self.cluster, partition, idx);
                 self.epoch_actions.migrations += 1;
                 self.epoch_actions.migrated_bytes += bytes;
+                self.note_index(&[source, target]);
             }
         }
     }
@@ -636,7 +696,10 @@ impl SkuteCloud {
         let pid = self.rings[ring_idx].ring.route(key);
         let quorum = self.rings[ring_idx].level.quorum;
         let ring = &mut self.rings[ring_idx];
-        let partition = ring.partitions.get_mut(&pid).ok_or(CoreError::NoPlacement)?;
+        let partition = ring
+            .partitions
+            .get_mut(&pid)
+            .ok_or(CoreError::NoPlacement)?;
         if partition.replicas.is_empty() {
             self.insert_failures_epoch += 1;
             return Err(CoreError::Store(StoreError::NoReplicas));
@@ -658,21 +721,21 @@ impl SkuteCloud {
             match old_entry {
                 Some(old) if new_entry <= old => {
                     // Shrinking update always fits.
-                    if replica.store.apply(key.to_vec(), record.clone()) {
+                    if replica.store.make_mut().apply(key.to_vec(), record.clone()) {
                         server.usage.release_storage(old - new_entry);
                     }
                     acks += 1;
                 }
                 Some(old) => {
                     if server.usage.reserve_storage(&caps, new_entry - old) {
-                        let applied = replica.store.apply(key.to_vec(), record.clone());
+                        let applied = replica.store.make_mut().apply(key.to_vec(), record.clone());
                         debug_assert!(applied, "fresh versions always dominate");
                         acks += 1;
                     }
                 }
                 None => {
                     if server.usage.reserve_storage(&caps, new_entry) {
-                        let applied = replica.store.apply(key.to_vec(), record.clone());
+                        let applied = replica.store.make_mut().apply(key.to_vec(), record.clone());
                         debug_assert!(applied, "fresh versions always dominate");
                         acks += 1;
                     }
@@ -728,45 +791,44 @@ impl SkuteCloud {
                 continue;
             }
             partition.queries_epoch += q;
+            let PartitionState {
+                region_queries,
+                prox_cache,
+                replicas,
+                ..
+            } = &mut *partition;
             for region in regions {
                 let add = q * region.weight;
                 if add <= 0.0 {
                     continue;
                 }
-                match partition
-                    .region_queries
+                match region_queries
                     .iter_mut()
                     .find(|r| r.location == region.location)
                 {
                     Some(r) => r.queries += add,
-                    None => partition.region_queries.push(RegionQueries {
+                    None => region_queries.push(RegionQueries {
                         location: region.location,
                         queries: add,
                     }),
                 }
             }
-            // Per-replica proximity.
-            let gs: Vec<f64> = partition
-                .replicas
-                .iter()
-                .map(|r| {
-                    self.cluster
-                        .get(r.server)
-                        .map(|s| {
-                            proximity(&partition.region_queries, &s.location, &self.topology)
-                        })
-                        .unwrap_or(1.0)
-                })
-                .collect();
-            // Region-weighted client distance of each replica (latency
-            // proxy, in diversity units 0..=63).
-            let dists: Vec<f64> = partition
-                .replicas
-                .iter()
-                .map(|r| {
-                    self.cluster
-                        .get(r.server)
-                        .map(|s| {
+            // The region mix just changed: drop stale memoized proximity,
+            // then refill it while computing the per-replica weights. The
+            // decision phase reuses the refilled cache.
+            prox_cache.clear();
+            let gs = &mut self.gs_scratch;
+            let dists = &mut self.dists_scratch;
+            gs.clear();
+            dists.clear();
+            for r in replicas.iter() {
+                match self.cluster.get(r.server) {
+                    Some(s) => {
+                        // Per-replica proximity, memoized per country.
+                        gs.push(prox_cache.g(region_queries, &s.location, &self.topology));
+                        // Region-weighted client distance of the replica
+                        // (latency proxy, in diversity units 0..=63).
+                        dists.push(
                             regions
                                 .iter()
                                 .map(|reg| {
@@ -776,11 +838,17 @@ impl SkuteCloud {
                                             &s.location,
                                         ))
                                 })
-                                .sum()
-                        })
-                        .unwrap_or(0.0)
-                })
-                .collect();
+                                .sum(),
+                        );
+                    }
+                    None => {
+                        gs.push(1.0);
+                        dists.push(0.0);
+                    }
+                }
+            }
+            let gs = &self.gs_scratch;
+            let dists = &self.dists_scratch;
             let mut distance_sum = 0.0;
             let sum_g: f64 = gs.iter().sum();
             if sum_g <= 0.0 {
@@ -791,17 +859,16 @@ impl SkuteCloud {
             // Pass 1: proximity-proportional shares, capped by capacity.
             let mut remaining = q;
             let mut served_total = 0.0;
-            let mut order: Vec<usize> = (0..partition.replicas.len()).collect();
+            let order = &mut self.order_scratch;
+            order.clear();
+            order.extend(0..replicas.len());
             order.sort_by(|&a, &b| gs[b].total_cmp(&gs[a]));
-            for &i in &order {
+            for &i in order.iter() {
                 let want = q * gs[i] / sum_g;
-                let served = Self::serve_on(
-                    &mut self.cluster,
-                    partition.replicas[i].server,
-                    want.min(remaining),
-                );
-                partition.replicas[i].queries_epoch += served;
-                partition.replicas[i].utility_epoch += gamma * served * gs[i];
+                let served =
+                    Self::serve_on(&mut self.cluster, replicas[i].server, want.min(remaining));
+                replicas[i].queries_epoch += served;
+                replicas[i].utility_epoch += gamma * served * gs[i];
                 distance_sum += served * dists[i];
                 remaining -= served;
                 served_total += served;
@@ -809,14 +876,13 @@ impl SkuteCloud {
             // Pass 2: spill the remainder to whoever still has capacity,
             // closest replicas first.
             if remaining > 1e-9 {
-                for &i in &order {
+                for &i in order.iter() {
                     if remaining <= 1e-9 {
                         break;
                     }
-                    let served =
-                        Self::serve_on(&mut self.cluster, partition.replicas[i].server, remaining);
-                    partition.replicas[i].queries_epoch += served;
-                    partition.replicas[i].utility_epoch += gamma * served * gs[i];
+                    let served = Self::serve_on(&mut self.cluster, replicas[i].server, remaining);
+                    replicas[i].queries_epoch += served;
+                    replicas[i].utility_epoch += gamma * served * gs[i];
                     distance_sum += served * dists[i];
                     remaining -= served;
                     served_total += served;
@@ -825,7 +891,7 @@ impl SkuteCloud {
             if remaining > 1e-9 {
                 // Genuinely dropped: record on the closest replica's server.
                 if let Some(&best) = order.first() {
-                    if let Some(s) = self.cluster.get_mut(partition.replicas[best].server) {
+                    if let Some(s) = self.cluster.get_mut(replicas[best].server) {
                         s.usage.queries_dropped += remaining;
                     }
                 }
@@ -886,22 +952,46 @@ impl SkuteCloud {
             pids.shuffle(&mut self.rng);
             for pid in pids {
                 for _ in 0..max_repairs {
-                    let Some(partition) = self.rings[ri].partitions.get(&pid) else {
+                    let Some(partition) = self.rings[ri].partitions.get_mut(&pid) else {
                         break;
                     };
                     if partition.replica_count() >= max_replicas {
                         break;
                     }
-                    let placed = self.replica_placement(ri, &pid);
-                    if availability_of(&placed) >= threshold {
+                    self.placed_scratch.clear();
+                    self.servers_scratch.clear();
+                    for r in &partition.replicas {
+                        self.servers_scratch.push(r.server);
+                        if let Some(s) = self.cluster.get(r.server) {
+                            self.placed_scratch.push((s.location, s.confidence));
+                        }
+                    }
+                    if availability_of(&self.placed_scratch) >= threshold {
                         break;
                     }
-                    let servers = partition.replica_servers();
-                    let regions = partition.region_queries.clone();
                     let size = partition.size_bytes();
                     let target = {
-                        let ctx = self.placement_ctx();
-                        economic_target(&ctx, &servers, size, &regions, None)
+                        let ctx = PlacementContext {
+                            cluster: &self.cluster,
+                            board: &self.board,
+                            topology: &self.topology,
+                            economy: &self.config.economy,
+                        };
+                        let PartitionState {
+                            region_queries,
+                            prox_cache,
+                            ..
+                        } = &mut *partition;
+                        select_target(
+                            &mut self.index,
+                            self.config.brute_force_placement,
+                            &ctx,
+                            &self.servers_scratch,
+                            size,
+                            region_queries,
+                            prox_cache,
+                            None,
+                        )
                     };
                     let Some((target, _)) = target else {
                         actions.blocked_transfers += 1;
@@ -916,6 +1006,7 @@ impl SkuteCloud {
                         self.next_vnode += 1;
                         actions.availability_replications += 1;
                         actions.replicated_bytes += bytes;
+                        self.note_index(&[target]);
                     } else {
                         actions.blocked_transfers += 1;
                         break;
@@ -935,10 +1026,13 @@ impl SkuteCloud {
     ) {
         let economy = self.config.economy;
         let window = economy.decision_window;
+        let brute_force = self.config.brute_force_placement;
         let min_rent = self.board.min_price();
         let mib = 1024.0 * 1024.0;
-        // Snapshot vnode identities; replicas mutate as we act.
-        let mut work: Vec<(usize, PartitionId, VnodeId)> = Vec::new();
+        // Snapshot vnode identities into the reusable work list; replicas
+        // mutate as we act.
+        let mut work = std::mem::take(&mut self.work_scratch);
+        work.clear();
         for (ri, ring) in self.rings.iter().enumerate() {
             for (pid, p) in &ring.partitions {
                 for r in &p.replicas {
@@ -947,10 +1041,10 @@ impl SkuteCloud {
             }
         }
         work.shuffle(&mut self.rng);
-        for (ri, pid, vid) in work {
+        for &(ri, pid, vid) in &work {
             let threshold = self.rings[ri].level.threshold;
             // The vnode may have been split away or suicided already.
-            let Some(partition) = self.rings[ri].partitions.get(&pid) else {
+            let Some(partition) = self.rings[ri].partitions.get_mut(&pid) else {
                 continue;
             };
             let Some(idx) = partition.replicas.iter().position(|r| r.id == vid) else {
@@ -965,22 +1059,23 @@ impl SkuteCloud {
             let balance = u_eff - rent;
             *rent_paid += rent;
             *utility_earned += u_eff;
-            let consistency_cost = economy.consistency_cost_per_mib
-                * (partition.write_bytes_epoch as f64 / mib);
-            let placed = self.replica_placement(ri, &pid);
-            let without: Vec<(skute_geo::Location, f64)> = placed
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != idx)
-                .map(|(_, x)| *x)
-                .collect();
-            let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
+            let consistency_cost =
+                economy.consistency_cost_per_mib * (partition.write_bytes_epoch as f64 / mib);
+            self.placed_scratch.clear();
+            for (i, r) in partition.replicas.iter().enumerate() {
+                if i == idx {
+                    continue;
+                }
+                if let Some(s) = self.cluster.get(r.server) {
+                    self.placed_scratch.push((s.location, s.confidence));
+                }
+            }
             partition.replicas[idx].balance.record(balance);
             let situation = VnodeSituation {
                 negative_streak: partition.replicas[idx].balance.negative_streak(),
                 positive_streak: partition.replicas[idx].balance.positive_streak(),
                 window_mean: partition.replicas[idx].balance.window_mean(),
-                availability_without_self: availability_of(&without),
+                availability_without_self: availability_of(&self.placed_scratch),
                 threshold,
                 replica_count: partition.replicas.len(),
                 max_replicas: economy.max_replicas,
@@ -993,39 +1088,82 @@ impl SkuteCloud {
                 Intent::Suicide => {
                     exec_suicide(&mut self.cluster, partition, idx);
                     actions.suicides += 1;
+                    self.note_index(&[server]);
                 }
                 Intent::Migrate => {
-                    let mut servers = partition.replica_servers();
-                    servers.remove(idx);
-                    let regions = partition.region_queries.clone();
-                    let size = partition.synthetic_bytes
-                        + partition.replicas[idx].store.logical_bytes();
+                    self.servers_scratch.clear();
+                    for (i, r) in partition.replicas.iter().enumerate() {
+                        if i != idx {
+                            self.servers_scratch.push(r.server);
+                        }
+                    }
+                    let size =
+                        partition.synthetic_bytes + partition.replicas[idx].store.logical_bytes();
                     // Hysteresis: only servers meaningfully cheaper than the
                     // current one are worth the transfer.
                     let rent_cap = rent * (1.0 - economy.migration_margin);
                     let target = {
-                        let ctx = self.placement_ctx();
-                        economic_target(&ctx, &servers, size, &regions, Some(rent_cap))
+                        let ctx = PlacementContext {
+                            cluster: &self.cluster,
+                            board: &self.board,
+                            topology: &self.topology,
+                            economy: &self.config.economy,
+                        };
+                        let PartitionState {
+                            region_queries,
+                            prox_cache,
+                            ..
+                        } = &mut *partition;
+                        select_target(
+                            &mut self.index,
+                            brute_force,
+                            &ctx,
+                            &self.servers_scratch,
+                            size,
+                            region_queries,
+                            prox_cache,
+                            Some(rent_cap),
+                        )
                     };
                     if let Some((target, _)) = target {
-                        let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
                         if target != server {
                             if let Some(bytes) =
                                 exec_migration(&mut self.cluster, partition, idx, target)
                             {
                                 actions.migrations += 1;
                                 actions.migrated_bytes += bytes;
+                                self.note_index(&[server, target]);
                             }
                         }
                     }
                 }
                 Intent::ReplicateForProfit => {
-                    let servers = partition.replica_servers();
-                    let regions = partition.region_queries.clone();
+                    self.servers_scratch.clear();
+                    self.servers_scratch
+                        .extend(partition.replicas.iter().map(|r| r.server));
                     let size = partition.size_bytes();
                     let target = {
-                        let ctx = self.placement_ctx();
-                        economic_target(&ctx, &servers, size, &regions, None)
+                        let ctx = PlacementContext {
+                            cluster: &self.cluster,
+                            board: &self.board,
+                            topology: &self.topology,
+                            economy: &self.config.economy,
+                        };
+                        let PartitionState {
+                            region_queries,
+                            prox_cache,
+                            ..
+                        } = &mut *partition;
+                        select_target(
+                            &mut self.index,
+                            brute_force,
+                            &ctx,
+                            &self.servers_scratch,
+                            size,
+                            region_queries,
+                            prox_cache,
+                            None,
+                        )
                     };
                     if let Some((target, _)) = target {
                         // Re-verify the hurdle with the actual candidate rent.
@@ -1049,6 +1187,7 @@ impl SkuteCloud {
                                 self.next_vnode += 1;
                                 actions.profit_replications += 1;
                                 actions.replicated_bytes += bytes;
+                                self.note_index(&[target]);
                             } else {
                                 actions.blocked_transfers += 1;
                             }
@@ -1057,6 +1196,7 @@ impl SkuteCloud {
                 }
             }
         }
+        self.work_scratch = work;
     }
 
     /// Splits every partition above the 256 MB capacity into two fresh
@@ -1080,11 +1220,12 @@ impl SkuteCloud {
                 let mut low_state = PartitionState::new(low.id, parent.popularity / 2.0);
                 let mut high_state = PartitionState::new(high.id, parent.popularity / 2.0);
                 low_state.synthetic_bytes = parent.synthetic_bytes / 2;
-                high_state.synthetic_bytes =
-                    parent.synthetic_bytes - low_state.synthetic_bytes;
+                high_state.synthetic_bytes = parent.synthetic_bytes - low_state.synthetic_bytes;
                 for replica in parent.replicas {
                     let mut low_store = replica.store;
-                    let high_store = low_store.split_off(hasher, high.range);
+                    let high_store = CowPartitionStore::from_store(
+                        low_store.make_mut().split_off(hasher, high.range),
+                    );
                     let mut low_replica =
                         Replica::new(VnodeId(self.next_vnode), replica.server, window, self.epoch);
                     self.next_vnode += 1;
@@ -1103,17 +1244,9 @@ impl SkuteCloud {
         }
     }
 
-    fn report(
-        &self,
-        actions: ActionCounts,
-        rent_paid: f64,
-        utility_earned: f64,
-    ) -> EpochReport {
-        let mut vnodes_per_server: HashMap<ServerId, usize> = self
-            .cluster
-            .alive()
-            .map(|s| (s.id, 0usize))
-            .collect();
+    fn report(&self, actions: ActionCounts, rent_paid: f64, utility_earned: f64) -> EpochReport {
+        let mut vnodes_per_server: HashMap<ServerId, usize> =
+            self.cluster.alive().map(|s| (s.id, 0usize)).collect();
         let alive_servers = vnodes_per_server.len();
         let mut rings = Vec::with_capacity(self.rings.len());
         for (ri, ring) in self.rings.iter().enumerate() {
@@ -1209,13 +1342,17 @@ impl SkuteCloud {
             .ok_or(CoreError::UnknownLevel)
     }
 
-    fn placement_ctx(&self) -> PlacementContext<'_> {
-        PlacementContext {
+    /// Tells the placement index exactly which servers the action just
+    /// executed has touched, so it repositions those entries instead of
+    /// rebuilding the whole snapshot on the next decision.
+    fn note_index(&mut self, ids: &[ServerId]) {
+        let ctx = PlacementContext {
             cluster: &self.cluster,
             board: &self.board,
             topology: &self.topology,
             economy: &self.config.economy,
-        }
+        };
+        self.index.note_servers_changed(&ctx, ids);
     }
 
     /// `(location, confidence)` pairs of a partition's replicas.
@@ -1290,6 +1427,35 @@ impl SkuteCloud {
     }
 }
 
+/// Routes one eq.-(3) target selection through the rent-sorted index or
+/// the brute-force oracle scan, per configuration. The two are bit-for-bit
+/// equivalent (property-tested in `placement`); the oracle exists for the
+/// equivalence tests and the `epoch_loop` benchmark's "before" side.
+#[allow(clippy::too_many_arguments)]
+fn select_target(
+    index: &mut PlacementIndex,
+    brute_force: bool,
+    ctx: &PlacementContext<'_>,
+    existing: &[ServerId],
+    partition_size: u64,
+    region_queries: &[RegionQueries],
+    prox: &mut ProximityCache,
+    rent_below: Option<f64>,
+) -> Option<(ServerId, f64)> {
+    if brute_force {
+        economic_target(ctx, existing, partition_size, region_queries, rent_below)
+    } else {
+        index.economic_target(
+            ctx,
+            existing,
+            partition_size,
+            region_queries,
+            rent_below,
+            prox,
+        )
+    }
+}
+
 /// Adds a replica of `partition` on `target`: consumes replication
 /// bandwidth on a source replica's server and on the target, reserves
 /// storage at the target, and clones the source's store. All-or-nothing;
@@ -1319,8 +1485,7 @@ fn exec_replication(
     }
     let (src_idx, size) = chosen?;
     let dst_ok = cluster.get_alive(target).is_some_and(|s| {
-        s.usage.replication_used < s.capacities.replication_bw
-            && s.storage_free() >= size
+        s.usage.replication_used < s.capacities.replication_bw && s.storage_free() >= size
     });
     if !dst_ok {
         return None;
@@ -1337,8 +1502,8 @@ fn exec_replication(
     {
         let dst = cluster.get_mut(target).expect("target exists");
         let caps = dst.capacities;
-        let ok = dst.usage.reserve_replication_bw(&caps, size)
-            && dst.usage.reserve_storage(&caps, size);
+        let ok =
+            dst.usage.reserve_replication_bw(&caps, size) && dst.usage.reserve_storage(&caps, size);
         debug_assert!(ok);
     }
     let store = partition.replicas[src_idx].store.clone();
@@ -1445,7 +1610,11 @@ mod tests {
         let threshold = cloud.applications()[0].levels[0].threshold;
         for pid in cloud.partition_ids(app, 0).unwrap() {
             let servers = cloud.replica_servers(app, 0, pid).unwrap();
-            assert!(servers.len() >= 3, "partition {pid} has {} replicas", servers.len());
+            assert!(
+                servers.len() >= 3,
+                "partition {pid} has {} replicas",
+                servers.len()
+            );
             let placed: Vec<_> = servers
                 .iter()
                 .map(|id| {
@@ -1564,7 +1733,10 @@ mod tests {
         let report = cloud.end_epoch();
         let ring = report.ring(RingId::new(app.0, 0)).unwrap();
         assert!((ring.queries_offered - 3000.0).abs() < 1e-6);
-        assert!(ring.queries_served > 2999.0, "capacity is ample: all served");
+        assert!(
+            ring.queries_served > 2999.0,
+            "capacity is ample: all served"
+        );
         assert!(report.utility_earned > 0.0);
         assert!(report.rent_paid > 0.0);
     }
@@ -1625,33 +1797,51 @@ mod tests {
             cloud.begin_epoch();
             cloud.end_epoch();
         }
-        assert_eq!(cloud.anti_entropy(app, 0).unwrap(), 0, "replicas start in sync");
+        assert_eq!(
+            cloud.anti_entropy(app, 0).unwrap(),
+            AntiEntropyReport::default(),
+            "replicas start in sync"
+        );
         // Inject divergence: a newer version of the key that only one
         // replica holds (as if a full server had rejected the write on the
         // others).
         let pid = cloud.rings[0].ring.route(b"base");
-        {
+        let replica_count = {
             let p = cloud.rings[0].partitions.get_mut(&pid).unwrap();
             let record = Record::put(&b"ghost-value"[..], Version::new(99, 0, 0));
             let old = p.replicas[0].store.get(b"base").unwrap().logical_size;
             let grow = record.logical_size - old;
-            assert!(p.replicas[0].store.apply(&b"base"[..], record));
+            assert!(p.replicas[0].store.make_mut().apply(&b"base"[..], record));
             let server = p.replicas[0].server;
             let s = cloud.cluster.get_mut(server).unwrap();
             let caps = s.capacities;
             assert!(s.usage.reserve_storage(&caps, grow));
-        }
-        let repaired = cloud.anti_entropy(app, 0).unwrap();
-        assert_eq!(repaired, 1);
-        assert_eq!(cloud.anti_entropy(app, 0).unwrap(), 0, "second pass is a no-op");
-        // Every replica now holds the ghost key with exact accounting.
+            p.replicas.len()
+        };
+        let report = cloud.anti_entropy(app, 0).unwrap();
+        assert_eq!(report.partitions_repaired, 1);
+        // The diverged replica already held the union; the others received
+        // copy-on-write handles of it.
+        assert_eq!(report.replicas_in_sync, 1);
+        assert_eq!(report.replicas_updated, replica_count - 1);
+        assert_eq!(report.replicas_deferred, 0);
+        assert_eq!(
+            cloud.anti_entropy(app, 0).unwrap(),
+            AntiEntropyReport::default(),
+            "second pass is a no-op"
+        );
+        // Every replica now holds the ghost key with exact accounting, and
+        // the repaired replicas share one store allocation.
         let p = &cloud.rings[0].partitions[&pid];
         for r in &p.replicas {
-            assert_eq!(
-                r.store.get_value(b"base").unwrap().as_ref(),
-                b"ghost-value"
-            );
+            assert_eq!(r.store.get_value(b"base").unwrap().as_ref(), b"ghost-value");
         }
+        assert!(
+            p.replicas[1..]
+                .windows(2)
+                .all(|w| w[0].store.shares_storage_with(&w[1].store)),
+            "anti-entropy writebacks share the union allocation"
+        );
         for r in &p.replicas {
             let server = cloud.cluster.get(r.server).unwrap();
             assert!(server.usage.storage_used >= r.store.logical_bytes());
@@ -1671,8 +1861,7 @@ mod tests {
             let mut sums = Vec::new();
             for _ in 0..4 {
                 cloud.begin_epoch();
-                let regions =
-                    skute_geo::ClientGeo::Uniform.region_weights(cloud.topology());
+                let regions = skute_geo::ClientGeo::Uniform.region_weights(cloud.topology());
                 cloud.deliver_queries(app, 0, 1000.0, &regions).unwrap();
                 let r = cloud.end_epoch();
                 sums.push((r.total_vnodes(), r.actions));

@@ -25,6 +25,12 @@ pub struct SkuteConfig {
     /// Upper bound on availability-restoring replications per partition per
     /// epoch (bandwidth budgets also gate transfers).
     pub max_repairs_per_partition_per_epoch: usize,
+    /// Forces every eq.-(3) target selection through the brute-force
+    /// full-cluster scan instead of the rent-sorted
+    /// [`crate::placement::PlacementIndex`]. The two are bit-for-bit
+    /// equivalent; this switch exists as the equivalence oracle for tests
+    /// and as the "before" side of the `epoch_loop` benchmark.
+    pub brute_force_placement: bool,
 }
 
 impl SkuteConfig {
@@ -36,7 +42,16 @@ impl SkuteConfig {
             availability_frac: 0.2,
             seed: DEFAULT_SEED,
             max_repairs_per_partition_per_epoch: 4,
+            brute_force_placement: false,
         }
+    }
+
+    /// Returns a copy routed through the brute-force placement scan (the
+    /// equivalence oracle; see the field docs).
+    #[must_use]
+    pub fn with_brute_force_placement(mut self) -> Self {
+        self.brute_force_placement = true;
+        self
     }
 
     /// Returns a copy with a different RNG seed (deterministic replay with
@@ -53,7 +68,10 @@ impl SkuteConfig {
     /// Panics on out-of-range parameters.
     pub fn validate(&self) {
         self.economy.validate();
-        assert!(self.split_threshold_bytes > 0, "split threshold must be positive");
+        assert!(
+            self.split_threshold_bytes > 0,
+            "split threshold must be positive"
+        );
         assert!(
             self.availability_frac > 0.0 && self.availability_frac <= 1.0,
             "availability_frac must be in (0, 1]"

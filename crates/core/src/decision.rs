@@ -171,8 +171,7 @@ pub enum Intent {
 /// hurdle over the projected cost of the extra replica.
 pub fn classify(situation: &VnodeSituation) -> Intent {
     if situation.negative_streak {
-        if situation.replica_count > 1
-            && situation.availability_without_self >= situation.threshold
+        if situation.replica_count > 1 && situation.availability_without_self >= situation.threshold
         {
             return Intent::Suicide;
         }
@@ -258,7 +257,11 @@ mod tests {
         assert!((p - (1.3 * 2.0 / 3.0 - 0.3)).abs() < 1e-12);
         // (0.8 + 0.3) · 2/3 − 0.3 ≈ 0.433 under the 0.45 hurdle → stay.
         s.window_mean = Some(0.8);
-        assert_eq!(classify(&s), Intent::Stay, "projected 0.433 under the 0.45 hurdle");
+        assert_eq!(
+            classify(&s),
+            Intent::Stay,
+            "projected 0.433 under the 0.45 hurdle"
+        );
     }
 
     #[test]
@@ -270,11 +273,23 @@ mod tests {
             window_mean: Some(0.5),
             ..base()
         };
-        assert_eq!(classify(&s), Intent::Stay, "(0.5 + 0.3)·2/3 − 0.3 ≈ 0.233 < 0.45");
+        assert_eq!(
+            classify(&s),
+            Intent::Stay,
+            "(0.5 + 0.3)·2/3 − 0.3 ≈ 0.233 < 0.45"
+        );
         // More existing replicas soften the dilution: the same mean clears
         // the hurdle once enough replicas already share the income.
-        let s = VnodeSituation { window_mean: Some(0.55), replica_count: 9, ..s };
-        assert_eq!(classify(&s), Intent::ReplicateForProfit, "(0.85)·9/10 − 0.3 = 0.465 > 0.45");
+        let s = VnodeSituation {
+            window_mean: Some(0.55),
+            replica_count: 9,
+            ..s
+        };
+        assert_eq!(
+            classify(&s),
+            Intent::ReplicateForProfit,
+            "(0.85)·9/10 − 0.3 = 0.465 > 0.45"
+        );
     }
 
     #[test]

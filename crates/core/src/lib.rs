@@ -64,6 +64,6 @@ pub use cloud::SkuteCloud;
 pub use config::SkuteConfig;
 pub use decision::{Action, ActionCounts};
 pub use error::CoreError;
-pub use metrics::{EpochReport, RingReport};
-pub use placement::{PlacementContext, PlacementStrategy};
+pub use metrics::{AntiEntropyReport, EpochReport, RingReport};
+pub use placement::{PlacementContext, PlacementIndex, PlacementStrategy};
 pub use vnode::{PartitionState, Replica, VnodeId};

@@ -1,7 +1,8 @@
-//! Replica target selection: eq. (3) and the pluggable strategy interface.
+//! Replica target selection: eq. (3), an incrementally maintained
+//! rent-sorted candidate index, and the pluggable strategy interface.
 
 use skute_cluster::{Board, Cluster, ServerId};
-use skute_economy::{candidate_score, proximity, EconomyConfig, RegionQueries};
+use skute_economy::{candidate_score, proximity, EconomyConfig, ProximityCache, RegionQueries};
 use skute_geo::{Location, Topology};
 
 /// Read-only view of the cloud a placement strategy may consult.
@@ -125,6 +126,387 @@ pub fn economic_target(
         .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
 }
 
+/// One feasibility-relevant snapshot of a candidate server, cached by
+/// [`PlacementIndex`].
+#[derive(Debug, Clone, Copy)]
+struct CandidateEntry {
+    id: ServerId,
+    location: Location,
+    confidence: f64,
+    /// Marginal usage price `up` of eq. (1).
+    up: f64,
+    /// Live storage fraction at index-build time.
+    storage_frac: f64,
+    /// Live query-load fraction at index-build time.
+    query_frac: f64,
+    storage_capacity: u64,
+    storage_free: u64,
+    /// Eq.-(1) rent with no replica added (`size = 0`): a lower bound on
+    /// the projected rent of any placement, and the sort key of the walk.
+    base_rent: f64,
+}
+
+/// All snapshotted candidates of one continent, rent-sorted.
+#[derive(Debug, Clone, Default)]
+struct ContinentBucket {
+    continent: u16,
+    /// Sorted by `(base_rent, id)` ascending.
+    entries: Vec<CandidateEntry>,
+    /// One representative location per distinct country in the bucket
+    /// (proximity is constant within a country; see [`ProximityCache`]).
+    reps: Vec<Location>,
+    conf_max: f64,
+    /// Identifies this bucket's `reps` set to proximity caches across
+    /// queries (unique per index instance, reassigned on rebuild).
+    token: u64,
+}
+
+/// An incrementally maintained, rent-sorted view of the feasible candidate
+/// set that answers eq.-(3) target queries without scanning every alive
+/// server.
+///
+/// The index snapshots every board-posted alive server (location,
+/// confidence, usage fractions, marginal price), grouped by continent and
+/// sorted within each group by **base rent** — the projected eq.-(1) rent
+/// of a zero-byte placement, which lower-bounds the projected rent of any
+/// real placement. A query runs a best-first merge over the group heads:
+/// each continent's next-cheapest candidate is bounded by
+///
+/// `g_max(continent) · conf_max(continent) · div_ub(continent) · v − base_rent`
+///
+/// where `div_ub` counts 63 per existing replica on another continent and
+/// 31 per replica on the same one — the diversity sum any candidate of the
+/// continent can at most reach — and the walk stops as soon as every
+/// remaining head's bound falls below the best score found. Every factor
+/// upper-bounds the corresponding factor of the eq.-(3) score and
+/// floating-point rounding is monotone for these non-negative products, so
+/// the cutoff is sound bit-for-bit: the walk returns **exactly** the
+/// winner (and tie-break) of the brute-force [`economic_target`] scan,
+/// which stays available as the equivalence oracle for tests and
+/// baselines.
+///
+/// Staleness is detected via [`Cluster::version`] and [`Board::version`]:
+/// the snapshot is rebuilt only when prices or usage meters actually
+/// changed, and the cloud reports executed actions through
+/// [`PlacementIndex::note_servers_changed`] so one placement repositions
+/// two entries instead of forcing a rebuild.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementIndex {
+    /// Buckets sorted by continent index.
+    buckets: Vec<ContinentBucket>,
+    /// Candidates inside a synthetic client zone defeat the country-level
+    /// proximity bound; fall back to the brute-force oracle when present.
+    has_client_zone: bool,
+    stamp: Option<(u64, u64)>,
+    /// Source of bucket tokens; never reused within one index.
+    next_token: u64,
+    /// Scratch for existing-replica locations (avoids a per-call alloc).
+    existing_locs: Vec<Location>,
+    /// Walk scratch: per-bucket head cursor and gain bound.
+    heads: Vec<usize>,
+    gains: Vec<f64>,
+}
+
+impl PlacementIndex {
+    /// An empty index; the first query builds it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry_fields(server: &skute_cluster::Server, economy: &EconomyConfig) -> CandidateEntry {
+        let up = server.marginal_price.price(server.monthly_cost);
+        let storage_frac = server.storage_frac();
+        let query_frac = server.query_load_frac();
+        let base_rent = up * (1.0 + economy.alpha * storage_frac + economy.beta * query_frac);
+        CandidateEntry {
+            id: server.id,
+            location: server.location,
+            confidence: server.confidence,
+            up,
+            storage_frac,
+            query_frac,
+            storage_capacity: server.capacities.storage_bytes,
+            storage_free: server.storage_free(),
+            base_rent,
+        }
+    }
+
+    /// Rebuilds the snapshot iff the cluster or board changed since the
+    /// last build. Returns `true` when a rebuild happened (test hook).
+    pub fn refresh(&mut self, ctx: &PlacementContext<'_>) -> bool {
+        let stamp = (ctx.cluster.version(), ctx.board.version());
+        if self.stamp == Some(stamp) {
+            return false;
+        }
+        self.buckets.clear();
+        self.has_client_zone = false;
+        for server in ctx.cluster.alive() {
+            if ctx.board.price_of(server.id).is_none() {
+                continue;
+            }
+            let entry = Self::entry_fields(server, ctx.economy);
+            let continent = server.location.continent;
+            let bi = match self
+                .buckets
+                .binary_search_by_key(&continent, |b| b.continent)
+            {
+                Ok(bi) => bi,
+                Err(bi) => {
+                    self.buckets.insert(
+                        bi,
+                        ContinentBucket {
+                            continent,
+                            ..ContinentBucket::default()
+                        },
+                    );
+                    bi
+                }
+            };
+            let bucket = &mut self.buckets[bi];
+            bucket.entries.push(entry);
+            if server.confidence > bucket.conf_max {
+                bucket.conf_max = server.confidence;
+            }
+            if server.location.is_client_zone() {
+                self.has_client_zone = true;
+            } else if !bucket
+                .reps
+                .iter()
+                .any(|l| l.country_key() == server.location.country_key())
+            {
+                bucket.reps.push(server.location);
+            }
+        }
+        for bucket in &mut self.buckets {
+            bucket.entries.sort_unstable_by(|a, b| {
+                a.base_rent
+                    .total_cmp(&b.base_rent)
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+            bucket.token = self.next_token;
+            self.next_token += 1;
+        }
+        self.stamp = Some(stamp);
+        true
+    }
+
+    /// Surgically refreshes the entries of `ids` after the caller mutated
+    /// **only those servers** since the snapshot was last in sync, then
+    /// re-stamps the snapshot as current — so executing a placement action
+    /// costs two entry repositions instead of a full rebuild before the
+    /// next decision.
+    ///
+    /// Contract: between the last [`PlacementIndex::refresh`] (or previous
+    /// note) and this call, no server outside `ids` may have changed in
+    /// any way that affects rent, storage or liveness. `SkuteCloud`
+    /// upholds this by noting the touched servers immediately after every
+    /// executed replication/migration/suicide. Board changes void the
+    /// contract and drop the snapshot so the next query rebuilds.
+    pub fn note_servers_changed(&mut self, ctx: &PlacementContext<'_>, ids: &[ServerId]) {
+        let Some((_, board_version)) = self.stamp else {
+            return; // never built; the next query will build it
+        };
+        if ctx.board.version() != board_version {
+            self.stamp = None;
+            return;
+        }
+        for &id in ids {
+            let pos =
+                self.buckets.iter().enumerate().find_map(|(bi, b)| {
+                    b.entries.iter().position(|e| e.id == id).map(|ei| (bi, ei))
+                });
+            let server = ctx
+                .cluster
+                .get_alive(id)
+                .filter(|s| ctx.board.price_of(s.id).is_some());
+            match (pos, server) {
+                (Some((bi, ei)), Some(server)) => {
+                    // Locations never change, so the entry stays in its
+                    // bucket; only its rent fields (and thus position) move.
+                    let entry = Self::entry_fields(server, ctx.economy);
+                    let bucket = &mut self.buckets[bi];
+                    bucket.entries.remove(ei);
+                    let at = bucket.entries.partition_point(|e| {
+                        matches!(
+                            e.base_rent
+                                .total_cmp(&entry.base_rent)
+                                .then_with(|| e.id.cmp(&entry.id)),
+                            std::cmp::Ordering::Less
+                        )
+                    });
+                    bucket.entries.insert(at, entry);
+                }
+                (Some((bi, ei)), None) => {
+                    // Retired or withdrawn mid-phase; conf_max and the
+                    // country representatives stay as (sound) over-bounds.
+                    self.buckets[bi].entries.remove(ei);
+                }
+                (None, Some(_)) => {
+                    // A server this snapshot never saw (e.g. commissioned
+                    // mid-phase): the surgical contract cannot cover its
+                    // country/confidence bounds — rebuild instead.
+                    self.stamp = None;
+                    return;
+                }
+                (None, None) => {}
+            }
+        }
+        self.stamp = Some((ctx.cluster.version(), board_version));
+    }
+
+    /// Number of candidates currently snapshotted (test hook).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.entries.len()).sum()
+    }
+
+    /// True when no candidate is snapshotted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Eq. (3) over the index: same contract — and bit-identical result —
+    /// as the brute-force [`economic_target`], but running a bounded
+    /// best-first walk over the per-continent rent-sorted buckets, and
+    /// reading per-country proximity through `prox` instead of recomputing
+    /// it per candidate.
+    ///
+    /// `prox` must have been filled (or cleared) against the same
+    /// `region_queries` it is handed here.
+    pub fn economic_target(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+        region_queries: &[RegionQueries],
+        rent_below: Option<f64>,
+        prox: &mut ProximityCache,
+    ) -> Option<(ServerId, f64)> {
+        self.refresh(ctx);
+        // The per-continent g_max bound relies on proximity being constant
+        // within a server country, which holds only when every client sits
+        // in a country zone and no candidate does. Anything else takes the
+        // oracle scan so the equivalence contract holds unconditionally.
+        if self.has_client_zone || !region_queries.iter().all(|r| r.location.is_client_zone()) {
+            return economic_target(ctx, existing, partition_size, region_queries, rent_below);
+        }
+        // Migration queries usually find nothing under their rent cap:
+        // when even the cheapest base rent is at or past the cap, no
+        // candidate is feasible — answer without computing any bound.
+        if let Some(cap) = rent_below {
+            if !self
+                .buckets
+                .iter()
+                .any(|b| b.entries.first().is_some_and(|e| e.base_rent < cap))
+            {
+                return None;
+            }
+        }
+        self.existing_locs.clear();
+        for id in existing {
+            if let Some(s) = ctx.cluster.get(*id) {
+                self.existing_locs.push(s.location);
+            }
+        }
+        let v = ctx.economy.diversity_unit_value;
+        let alpha = ctx.economy.alpha;
+        let beta = ctx.economy.beta;
+        // Per-bucket upper bound of the score's positive part: proximity,
+        // confidence and diversity-sum factors replaced by the bucket's
+        // maxima, multiplied in the same association order as
+        // `candidate_score` so monotone rounding keeps the bound sound.
+        // The diversity of a candidate pairs at most 63 with an existing
+        // replica on another continent and at most 31 with one on its own.
+        self.heads.clear();
+        self.gains.clear();
+        for b in &self.buckets {
+            let mut div_ub = 0u32;
+            for l in &self.existing_locs {
+                div_ub += if l.continent == b.continent { 31 } else { 63 };
+            }
+            let g_max = prox.g_max(b.token, &b.reps, region_queries, ctx.topology);
+            self.gains.push(g_max * b.conf_max * f64::from(div_ub) * v);
+            self.heads.push(0);
+        }
+        let mut best: Option<(ServerId, f64)> = None;
+        loop {
+            // Best-first: the head with the greatest score bound.
+            let mut pick: Option<(usize, f64)> = None;
+            for bi in 0..self.buckets.len() {
+                let Some(e) = self.buckets[bi].entries.get(self.heads[bi]) else {
+                    continue;
+                };
+                if let Some(cap) = rent_below {
+                    if e.base_rent >= cap {
+                        // Rent-sorted: the whole rest of this bucket is
+                        // past the cap too.
+                        self.heads[bi] = usize::MAX;
+                        continue;
+                    }
+                }
+                let ub = self.gains[bi] - e.base_rent;
+                if pick.is_none_or(|(_, best_ub)| ub > best_ub) {
+                    pick = Some((bi, ub));
+                }
+            }
+            let Some((bi, ub)) = pick else { break };
+            // Branch-and-bound cutoff: no remaining candidate can beat
+            // (or, because its rent is strictly costlier at equal gain,
+            // even tie) the best score found so far.
+            if let Some((_, best_score)) = best {
+                if ub < best_score {
+                    break;
+                }
+            }
+            let e = self.buckets[bi].entries[self.heads[bi]];
+            self.heads[bi] += 1;
+            if existing.contains(&e.id) {
+                continue;
+            }
+            if e.storage_free < partition_size {
+                continue;
+            }
+            let added_frac = if e.storage_capacity == 0 {
+                1.0
+            } else {
+                partition_size as f64 / e.storage_capacity as f64
+            };
+            let projected_storage = (e.storage_frac + added_frac).min(1.0);
+            let rent = e.up * (1.0 + alpha * projected_storage + beta * e.query_frac);
+            if let Some(cap) = rent_below {
+                if rent >= cap {
+                    continue;
+                }
+            }
+            // Cheap per-candidate cut with the exact projected rent: the
+            // real score can only be lower than the bucket gain bound
+            // minus it.
+            if let Some((_, best_score)) = best {
+                if self.gains[bi] - rent < best_score {
+                    continue;
+                }
+            }
+            let g = prox.g(region_queries, &e.location, ctx.topology);
+            let score = candidate_score(
+                &self.existing_locs,
+                &e.location,
+                e.confidence,
+                rent,
+                g,
+                ctx.economy.diversity_unit_value,
+            );
+            best = match best {
+                None => Some((e.id, score)),
+                Some((best_id, best_score)) => match score.total_cmp(&best_score) {
+                    std::cmp::Ordering::Greater => Some((e.id, score)),
+                    std::cmp::Ordering::Equal if e.id < best_id => Some((e.id, score)),
+                    _ => best,
+                },
+            };
+        }
+        best
+    }
+}
+
 /// The paper's placement policy (eq. 3) behind the strategy interface.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EconomicPlacement;
@@ -148,6 +530,7 @@ impl PlacementStrategy for EconomicPlacement {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use skute_cluster::{Capacities, ServerSpec};
     use skute_geo::Topology;
 
@@ -183,7 +566,10 @@ mod tests {
         let (winner, _) = economic_target(&ctx, &existing, 0, &[], None).unwrap();
         let winner_loc = cluster.get(winner).unwrap().location;
         let origin = cluster.get(ServerId(0)).unwrap().location;
-        assert_ne!(winner_loc.continent, origin.continent, "max diversity first");
+        assert_ne!(
+            winner_loc.continent, origin.continent,
+            "max diversity first"
+        );
         // Among the cross-continent candidates, a cheap one must win.
         assert_eq!(cluster.get(winner).unwrap().monthly_cost, 100.0);
     }
@@ -231,8 +617,7 @@ mod tests {
         // Cap below the cheap price: no candidate at all.
         assert!(economic_target(&ctx, &[], 0, &[], Some(cheap_rent)).is_none());
         // Cap between cheap and expensive: only cheap servers eligible.
-        let (winner, _) =
-            economic_target(&ctx, &[], 0, &[], Some(cheap_rent + 1e-6)).unwrap();
+        let (winner, _) = economic_target(&ctx, &[], 0, &[], Some(cheap_rent + 1e-6)).unwrap();
         assert_eq!(cluster.get(winner).unwrap().monthly_cost, 100.0);
     }
 
@@ -251,6 +636,215 @@ mod tests {
         let mut strategy = EconomicPlacement;
         assert_eq!(strategy.place_replica(&ctx, &existing, 0, &[]), direct);
         assert_eq!(strategy.name(), "skute-economic");
+    }
+
+    #[test]
+    fn index_matches_brute_force_on_the_paper_fixture() {
+        let (topology, mut cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        // Skew some usage meters so rents differentiate beyond cost tiers.
+        for i in [3u32, 57, 123, 199] {
+            let s = cluster.get_mut(ServerId(i)).unwrap();
+            let caps = s.capacities;
+            assert!(s.usage.reserve_storage(&caps, (u64::from(i) % 7 + 1) << 26));
+            s.usage.serve_queries(&caps, f64::from(i % 11) * 40.0);
+        }
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let mut index = PlacementIndex::new();
+        let regions = [RegionQueries {
+            location: Location::client_in_country(1, 0),
+            queries: 700.0,
+        }];
+        let cheap_rent = 100.0 / 720.0;
+        for existing in [
+            vec![],
+            vec![ServerId(0)],
+            vec![ServerId(0), ServerId(57), ServerId(123)],
+        ] {
+            for size in [0u64, 1 << 20, 1 << 29] {
+                for cap in [None, Some(cheap_rent * 1.5), Some(cheap_rent / 2.0)] {
+                    for rq in [&[][..], &regions[..]] {
+                        let brute = economic_target(&ctx, &existing, size, rq, cap);
+                        let mut prox = skute_economy::ProximityCache::new();
+                        let indexed =
+                            index.economic_target(&ctx, &existing, size, rq, cap, &mut prox);
+                        assert_eq!(
+                            indexed, brute,
+                            "existing {existing:?} size {size} cap {cap:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_brute_force_for_non_zone_clients() {
+        // Regression: a client at a *real server location* (reachable via
+        // `ClientGeo::Weighted`) makes proximity vary within a country, so
+        // the per-continent g_max bound is unsound — the index must detect
+        // the mix and take the oracle path instead of pruning the true
+        // winner (an exact-location match with a huge proximity weight).
+        let (topology, cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let regions = [RegionQueries {
+            location: topology.server_at(150),
+            queries: 5_000.0,
+        }];
+        let existing = vec![ServerId(0)];
+        let brute = economic_target(&ctx, &existing, 0, &regions, None);
+        let mut index = PlacementIndex::new();
+        let mut prox = skute_economy::ProximityCache::new();
+        let indexed = index.economic_target(&ctx, &existing, 0, &regions, None, &mut prox);
+        assert_eq!(indexed, brute);
+        assert_eq!(brute.unwrap().0, ServerId(150), "exact match dominates");
+    }
+
+    #[test]
+    fn index_invalidates_on_usage_and_price_changes() {
+        let (topology, mut cluster, mut board) = setup();
+        let economy = EconomyConfig::paper();
+        let mut index = PlacementIndex::new();
+        let mut prox = skute_economy::ProximityCache::new();
+        let winner = |index: &mut PlacementIndex,
+                      prox: &mut skute_economy::ProximityCache,
+                      cluster: &Cluster,
+                      board: &Board| {
+            let ctx = PlacementContext {
+                cluster,
+                board,
+                topology: &topology,
+                economy: &economy,
+            };
+            let rebuilt = index.refresh(&ctx);
+            let got = index.economic_target(&ctx, &[ServerId(0)], 1 << 20, &[], None, prox);
+            let want = economic_target(&ctx, &[ServerId(0)], 1 << 20, &[], None);
+            assert_eq!(got, want);
+            (rebuilt, got)
+        };
+        let (rebuilt, first) = winner(&mut index, &mut prox, &cluster, &board);
+        assert!(rebuilt, "first query builds the index");
+        let (rebuilt, again) = winner(&mut index, &mut prox, &cluster, &board);
+        assert!(!rebuilt, "unchanged cluster and board reuse the snapshot");
+        assert_eq!(again, first);
+        // Fill the current winner's storage: the usage-meter mutation must
+        // invalidate the snapshot and steer the choice elsewhere.
+        let (prev, _) = first.unwrap();
+        {
+            let s = cluster.get_mut(prev).unwrap();
+            let caps = s.capacities;
+            let free = s.storage_free();
+            assert!(s.usage.reserve_storage(&caps, free));
+        }
+        let (rebuilt, after_fill) = winner(&mut index, &mut prox, &cluster, &board);
+        assert!(rebuilt, "get_mut invalidates the snapshot");
+        assert_ne!(after_fill.unwrap().0, prev, "full server cannot win");
+        // Withdrawing a posting invalidates through the board version.
+        let (next, _) = after_fill.unwrap();
+        board.withdraw(next);
+        let (rebuilt, after_withdraw) = winner(&mut index, &mut prox, &cluster, &board);
+        assert!(rebuilt, "board changes invalidate the snapshot");
+        assert_ne!(after_withdraw.unwrap().0, next);
+    }
+
+    proptest::proptest! {
+        /// The rent-sorted walk must return the *same winner and tie-break*
+        /// as the brute-force scan on arbitrary clusters, prices, usage
+        /// meters, region mixes and rent caps.
+        #[test]
+        fn prop_index_equals_brute_force(
+            server_picks in proptest::collection::vec((0u64..200, 50.0f64..200.0, 0.2f64..1.0), 2..24),
+            usage in proptest::collection::vec((any::<u64>(), 0.0f64..900.0), 0..12),
+            unposted in proptest::collection::vec(0usize..24, 0..4),
+            existing_picks in proptest::collection::vec(0usize..24, 0..4),
+            region_picks in proptest::collection::vec(
+                (0u64..200, 0.0f64..1e4, any::<bool>()),
+                0..5,
+            ),
+            size_exp in 0u32..31,
+            cap_frac in proptest::option::of(0.1f64..3.0),
+        ) {
+            use proptest::prelude::*;
+            let topology = Topology::paper();
+            let mut cluster = Cluster::new();
+            for &(loc_idx, cost, conf) in &server_picks {
+                cluster.commission(
+                    ServerSpec {
+                        location: topology.server_at(loc_idx),
+                        capacities: Capacities::paper(1 << 30, 1000.0),
+                        monthly_cost: cost,
+                        confidence: conf,
+                    },
+                    0,
+                );
+            }
+            let n = cluster.len();
+            // Random usage meters, through get_mut like the real epoch loop.
+            for &(bytes, queries) in &usage {
+                let id = ServerId((bytes % n as u64) as u32);
+                let s = cluster.get_mut(id).unwrap();
+                let caps = s.capacities;
+                let _ = s.usage.reserve_storage(&caps, bytes % (1 << 30));
+                s.usage.serve_queries(&caps, queries);
+            }
+            let mut board = Board::new();
+            board.begin_epoch(1);
+            for s in cluster.alive() {
+                board.post(s.id, s.monthly_cost / 720.0);
+            }
+            for &u in &unposted {
+                board.withdraw(ServerId((u % n) as u32));
+            }
+            let existing: Vec<ServerId> =
+                existing_picks.iter().map(|&i| ServerId((i % n) as u32)).collect();
+            let regions: Vec<RegionQueries> = region_picks
+                .iter()
+                .map(|&(loc_idx, queries, in_zone)| RegionQueries {
+                    location: {
+                        let l = topology.server_at(loc_idx);
+                        if in_zone {
+                            Location::client_in_country(l.continent, l.country)
+                        } else {
+                            // A client at a real server location: proximity
+                            // is no longer country-constant, so the index
+                            // must detect it and take the oracle path.
+                            l
+                        }
+                    },
+                    queries,
+                })
+                .collect();
+            let partition_size = 1u64 << size_exp;
+            let rent_below = cap_frac.map(|f| f * 100.0 / 720.0);
+            let economy = EconomyConfig::paper();
+            let ctx = PlacementContext {
+                cluster: &cluster,
+                board: &board,
+                topology: &topology,
+                economy: &economy,
+            };
+            let brute = economic_target(&ctx, &existing, partition_size, &regions, rent_below);
+            let mut index = PlacementIndex::new();
+            let mut prox = skute_economy::ProximityCache::new();
+            let indexed =
+                index.economic_target(&ctx, &existing, partition_size, &regions, rent_below, &mut prox);
+            prop_assert_eq!(indexed, brute);
+            // Re-query through the warm snapshot and cache: still identical.
+            let indexed_warm =
+                index.economic_target(&ctx, &existing, partition_size, &regions, rent_below, &mut prox);
+            prop_assert_eq!(indexed_warm, brute);
+        }
     }
 
     #[test]

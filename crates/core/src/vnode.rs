@@ -3,9 +3,9 @@
 use std::fmt;
 
 use skute_cluster::ServerId;
-use skute_economy::{BalanceHistory, RegionQueries};
+use skute_economy::{BalanceHistory, ProximityCache, RegionQueries};
 use skute_ring::PartitionId;
-use skute_store::PartitionStore;
+use skute_store::CowPartitionStore;
 
 /// Identifier of a virtual node (one replica of one partition), unique for
 /// the lifetime of a cloud.
@@ -33,7 +33,9 @@ pub struct Replica {
     /// Per-epoch balance history (window f).
     pub balance: BalanceHistory,
     /// This replica's copy of the partition's explicitly stored records.
-    pub store: PartitionStore,
+    /// Copy-on-write: replicas synchronized by anti-entropy or replication
+    /// share one allocation until one of them diverges.
+    pub store: CowPartitionStore,
     /// Utility accrued in the current epoch (reset by `begin_epoch`).
     pub utility_epoch: f64,
     /// Queries served by this replica in the current epoch.
@@ -49,7 +51,7 @@ impl Replica {
             id,
             server,
             balance: BalanceHistory::new(window),
-            store: PartitionStore::new(),
+            store: CowPartitionStore::new(),
             utility_epoch: 0.0,
             queries_epoch: 0.0,
             created_epoch: epoch,
@@ -84,6 +86,11 @@ pub struct PartitionState {
     pub queries_epoch: f64,
     /// Bytes written to the partition this epoch (consistency-cost input).
     pub write_bytes_epoch: u64,
+    /// Per-country proximity weights memoized against the current
+    /// `region_queries`; cleared whenever they change (epoch start, query
+    /// delivery) and shared by every placement decision of the partition
+    /// within an epoch.
+    pub prox_cache: ProximityCache,
 }
 
 impl PartitionState {
@@ -97,6 +104,7 @@ impl PartitionState {
             region_queries: Vec::new(),
             queries_epoch: 0.0,
             write_bytes_epoch: 0,
+            prox_cache: ProximityCache::new(),
         }
     }
 
@@ -131,6 +139,7 @@ impl PartitionState {
     /// Resets the per-epoch accumulators of the partition and its replicas.
     pub fn begin_epoch(&mut self) {
         self.region_queries.clear();
+        self.prox_cache.clear();
         self.queries_epoch = 0.0;
         self.write_bytes_epoch = 0;
         for r in &mut self.replicas {
@@ -160,7 +169,10 @@ mod tests {
         p.synthetic_bytes = 1000;
         assert_eq!(p.size_bytes(), 1000);
         let mut r = Replica::new(VnodeId(1), ServerId(0), 3, 0);
-        assert!(r.store.apply(&b"key"[..], Record::put(&b"0123456789"[..], Version::new(1, 0, 0))));
+        assert!(r.store.make_mut().apply(
+            &b"key"[..],
+            Record::put(&b"0123456789"[..], Version::new(1, 0, 0))
+        ));
         p.replicas.push(r);
         assert_eq!(p.size_bytes(), 1000 + 3 + 10);
     }
@@ -185,10 +197,18 @@ mod tests {
             location: skute_geo::Location::client_in_country(0, 0),
             queries: 12.0,
         });
+        let topo = skute_geo::Topology::paper();
+        let _ = p.prox_cache.g(
+            &p.region_queries.clone(),
+            &skute_geo::Location::new(0, 0, 0, 0, 0, 0),
+            &topo,
+        );
+        assert!(!p.prox_cache.is_empty());
         p.begin_epoch();
         assert_eq!(p.queries_epoch, 0.0);
         assert_eq!(p.write_bytes_epoch, 0);
         assert!(p.region_queries.is_empty());
+        assert!(p.prox_cache.is_empty(), "stale proximity must not survive");
     }
 
     #[test]

@@ -60,8 +60,14 @@ impl EconomyConfig {
     /// # Panics
     /// Panics on non-finite or out-of-range parameters.
     pub fn validate(&self) {
-        assert!(self.alpha >= 0.0 && self.alpha.is_finite(), "alpha must be ≥ 0");
-        assert!(self.beta >= 0.0 && self.beta.is_finite(), "beta must be ≥ 0");
+        assert!(
+            self.alpha >= 0.0 && self.alpha.is_finite(),
+            "alpha must be ≥ 0"
+        );
+        assert!(
+            self.beta >= 0.0 && self.beta.is_finite(),
+            "beta must be ≥ 0"
+        );
         assert!(
             self.utility_per_query > 0.0 && self.utility_per_query.is_finite(),
             "utility_per_query must be > 0"
@@ -75,7 +81,10 @@ impl EconomyConfig {
             self.consistency_cost_per_mib >= 0.0,
             "consistency_cost_per_mib must be ≥ 0"
         );
-        assert!(self.replication_hurdle >= 0.0, "replication_hurdle must be ≥ 0");
+        assert!(
+            self.replication_hurdle >= 0.0,
+            "replication_hurdle must be ≥ 0"
+        );
         assert!(self.max_replicas >= 1, "max_replicas must be ≥ 1");
         assert!(
             (0.0..1.0).contains(&self.migration_margin),

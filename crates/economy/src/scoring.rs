@@ -12,17 +12,130 @@ pub struct RegionQueries {
     pub queries: f64,
 }
 
-/// Raw eq. (4): `g_j = Σ_l q_l / (1 + Σ_l q_l · diversity(l, s_j))`.
-fn raw_g(regions: &[RegionQueries], server: &Location) -> f64 {
-    let total: f64 = regions.iter().map(|r| r.queries).sum();
+/// Raw eq. (4) over an arbitrary `(queries, location)` stream:
+/// `g_j = Σ_l q_l / (1 + Σ_l q_l · diversity(l, s_j))`.
+///
+/// Takes a cloneable iterator so callers can evaluate the uniform client
+/// population without materializing a region list; summation order is the
+/// iterator's order, so the same stream always yields the same bits.
+fn raw_g_over<'a, I>(pairs: I, server: &Location) -> f64
+where
+    I: Iterator<Item = (f64, Location)> + Clone + 'a,
+{
+    let total: f64 = pairs.clone().map(|(q, _)| q).sum();
     if total <= 0.0 {
         return 0.0;
     }
-    let weighted: f64 = regions
-        .iter()
-        .map(|r| r.queries * f64::from(diversity(&r.location, server)))
+    let weighted: f64 = pairs
+        .map(|(q, l)| q * f64::from(diversity(&l, server)))
         .sum();
     total / (1.0 + weighted)
+}
+
+/// Raw eq. (4): `g_j = Σ_l q_l / (1 + Σ_l q_l · diversity(l, s_j))`.
+fn raw_g(regions: &[RegionQueries], server: &Location) -> f64 {
+    raw_g_over(regions.iter().map(|r| (r.queries, r.location)), server)
+}
+
+/// Client countries a [`RegionMasses`] aggregate can hold inline. Region
+/// mixes with more distinct client countries (none of the paper scenarios
+/// come close) take the general per-location scan instead; the cap keeps
+/// the aggregation allocation-free on every hot path.
+const MAX_CLIENT_COUNTRIES: usize = 24;
+
+/// Query mass aggregated per client country, in first-appearance order —
+/// the sufficient statistic of eq. (4) when every client sits in a country
+/// zone: the diversity between a country-zone client and a non-client-zone
+/// server is 15, 31 or 63 by country/continent relation alone, so the whole
+/// region mix collapses to one mass per country.
+#[derive(Debug, Clone, Copy)]
+struct RegionMasses {
+    total: f64,
+    len: usize,
+    countries: [((u16, u16), f64); MAX_CLIENT_COUNTRIES],
+}
+
+impl Default for RegionMasses {
+    fn default() -> Self {
+        Self {
+            total: 0.0,
+            len: 0,
+            countries: [((0, 0), 0.0); MAX_CLIENT_COUNTRIES],
+        }
+    }
+}
+
+impl RegionMasses {
+    /// Aggregates `regions`, or `None` when some client is not in a country
+    /// zone or there are more distinct client countries than the inline
+    /// capacity (the analytic kernel would be wrong or would allocate;
+    /// callers fall back to the general diversity scan).
+    fn aggregate(regions: &[RegionQueries]) -> Option<Self> {
+        let mut masses = Self::default();
+        for r in regions {
+            if !r.location.is_client_zone() {
+                return None;
+            }
+            masses.total += r.queries;
+            let key = r.location.country_key();
+            match masses.countries[..masses.len]
+                .iter_mut()
+                .find(|(k, _)| *k == key)
+            {
+                Some((_, q)) => *q += r.queries,
+                None => {
+                    if masses.len == MAX_CLIENT_COUNTRIES {
+                        return None;
+                    }
+                    masses.countries[masses.len] = (key, r.queries);
+                    masses.len += 1;
+                }
+            }
+        }
+        Some(masses)
+    }
+
+    fn countries(&self) -> &[((u16, u16), f64)] {
+        &self.countries[..self.len]
+    }
+}
+
+/// Country-zone diversity of a client country vs a server country: 15 in
+/// the same country (they always diverge at the synthetic datacenter), 31
+/// in the same continent, 63 across continents.
+#[inline]
+fn zone_diversity(client: (u16, u16), server: (u16, u16)) -> f64 {
+    if client.0 != server.0 {
+        63.0
+    } else if client.1 != server.1 {
+        31.0
+    } else {
+        15.0
+    }
+}
+
+/// The analytic eq.-(4) proximity of a non-client-zone server against
+/// aggregated country masses: O(client countries + topology countries) of
+/// plain arithmetic, no per-location diversity scans.
+fn analytic_g(masses: &RegionMasses, server_key: (u16, u16), topology: &Topology) -> f64 {
+    let mut weighted = 0.0;
+    for &(client, mass) in masses.countries() {
+        weighted += mass * zone_diversity(client, server_key);
+    }
+    let raw = masses.total / (1.0 + weighted);
+    // Baseline: the same total spread uniformly over the topology's
+    // countries (the paper's uniform client geography).
+    let count = topology.country_count() as f64;
+    let per = masses.total / count;
+    let mut weighted_uniform = 0.0;
+    for client in topology.iter_countries() {
+        weighted_uniform += per * zone_diversity(client, server_key);
+    }
+    let baseline = (per * count) / (1.0 + weighted_uniform);
+    if baseline <= 0.0 {
+        return 1.0;
+    }
+    raw / baseline
 }
 
 /// The client-proximity weight `g_j` of server `server` for a partition
@@ -34,28 +147,128 @@ fn raw_g(regions: &[RegionQueries], server: &Location) -> f64 {
 /// paper stipulates (§III-A), and regionally skewed traffic scales servers
 /// near the traffic above 1 and far servers below 1.
 ///
-/// With no queries at all the weight is neutral (1).
+/// The common case — every client in a country zone, the server not —
+/// evaluates through the analytic per-country kernel ([`analytic_g`]);
+/// arbitrary client or server locations take the general per-location
+/// diversity scan. With no queries at all the weight is neutral (1).
 pub fn proximity(regions: &[RegionQueries], server: &Location, topology: &Topology) -> f64 {
     let total: f64 = regions.iter().map(|r| r.queries).sum();
     if total <= 0.0 {
         return 1.0;
     }
-    let uniform: Vec<RegionQueries> = {
-        let countries: Vec<(u16, u16)> = topology.iter_countries().collect();
-        let per = total / countries.len() as f64;
-        countries
-            .into_iter()
-            .map(|(ct, co)| RegionQueries {
-                location: Location::client_in_country(ct, co),
-                queries: per,
-            })
-            .collect()
-    };
-    let baseline = raw_g(&uniform, server);
+    if !server.is_client_zone() {
+        if let Some(masses) = RegionMasses::aggregate(regions) {
+            return analytic_g(&masses, server.country_key(), topology);
+        }
+    }
+    let per = total / topology.country_count() as f64;
+    let baseline = raw_g_over(
+        topology.iter_client_locations().map(move |l| (per, l)),
+        server,
+    );
     if baseline <= 0.0 {
         return 1.0;
     }
     raw_g(regions, server) / baseline
+}
+
+/// Memoizes eq.-(4) proximity per server country for one fixed region mix.
+///
+/// Query clients are synthetic country-level locations
+/// ([`Location::client_in_country`]), so the diversity between a client and
+/// any *real* (non-client-zone) server — and therefore the whole proximity
+/// weight — depends only on the server's `(continent, country)` prefix.
+/// One partition's decision phase evaluates proximity for every feasible
+/// candidate server; this cache collapses that to one evaluation per
+/// country. Servers that themselves sit in a client zone (a synthetic
+/// datacenter index) bypass the cache, preserving exactness for arbitrary
+/// locations.
+///
+/// The caller owns invalidation: [`ProximityCache::clear`] must run
+/// whenever the region mix it was filled from changes (`SkuteCloud` clears
+/// per-partition caches at epoch start and on every query delivery).
+#[derive(Debug, Clone, Default)]
+pub struct ProximityCache {
+    /// Aggregated country masses, computed once per region mix.
+    /// `None` before first use; `Some(None)` when the mix is not
+    /// country-zone-shaped and caching would be unsound.
+    masses: Option<Option<RegionMasses>>,
+    entries: Vec<((u16, u16), f64)>,
+    /// Memoized maximum weights over caller-identified location sets
+    /// (see [`ProximityCache::g_max`]).
+    g_max_memo: Vec<(u64, f64)>,
+}
+
+impl ProximityCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all memoized weights (the region mix changed).
+    pub fn clear(&mut self) {
+        self.masses = None;
+        self.entries.clear();
+        self.g_max_memo.clear();
+    }
+
+    /// The maximum proximity weight over `locations`, memoized under
+    /// `token`: callers that query the same location sets many times per
+    /// region mix (e.g. a placement index bounding each per-continent
+    /// candidate walk by the best weight over that continent's country
+    /// representatives) pass a token per set that changes when the set
+    /// changes, and pay for each scan once.
+    pub fn g_max(
+        &mut self,
+        token: u64,
+        locations: &[Location],
+        regions: &[RegionQueries],
+        topology: &Topology,
+    ) -> f64 {
+        if let Some(&(_, g)) = self.g_max_memo.iter().find(|(t, _)| *t == token) {
+            return g;
+        }
+        let mut g_max = 0.0f64;
+        for l in locations {
+            g_max = g_max.max(self.g(regions, l, topology));
+        }
+        self.g_max_memo.push((token, g_max));
+        g_max
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.masses.is_none() && self.entries.is_empty()
+    }
+
+    /// The proximity weight of `server` for `regions`, memoized by the
+    /// server's country. Bit-for-bit identical to calling [`proximity`]
+    /// directly.
+    pub fn g(&mut self, regions: &[RegionQueries], server: &Location, topology: &Topology) -> f64 {
+        if server.is_client_zone() {
+            // A pathological server inside a client zone can match a client
+            // location deeper than the country level; compute it directly.
+            return proximity(regions, server, topology);
+        }
+        let masses = self
+            .masses
+            .get_or_insert_with(|| RegionMasses::aggregate(regions));
+        let Some(masses) = masses else {
+            // Clients outside country zones: same-country servers can have
+            // different weights, so per-country memoization is unsound.
+            return proximity(regions, server, topology);
+        };
+        if masses.total <= 0.0 {
+            return 1.0;
+        }
+        let key = server.country_key();
+        if let Some(&(_, g)) = self.entries.iter().find(|(k, _)| *k == key) {
+            return g;
+        }
+        let g = analytic_g(masses, key, topology);
+        self.entries.push((key, g));
+        g
+    }
 }
 
 /// Eq. (3): the net benefit of adding candidate server `candidate` to a
@@ -165,6 +378,53 @@ mod tests {
         let cand = t.server_at(5);
         let s = candidate_score(&[], &cand, 1.0, 0.25, 1.0, 0.02);
         assert!((s - (-0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_matches_direct_proximity_and_collapses_countries() {
+        let t = topo();
+        let regions = [
+            RegionQueries {
+                location: Location::client_in_country(0, 0),
+                queries: 900.0,
+            },
+            RegionQueries {
+                location: Location::client_in_country(2, 1),
+                queries: 100.0,
+            },
+        ];
+        let mut cache = ProximityCache::new();
+        for i in 0..200u64 {
+            let server = t.server_at(i);
+            let direct = proximity(&regions, &server, &t);
+            let cached = cache.g(&regions, &server, &t);
+            assert_eq!(cached.to_bits(), direct.to_bits(), "server {i}");
+        }
+        // 200 servers share 10 countries: the cache holds 10 entries.
+        assert!(!cache.is_empty());
+        // Re-querying stays identical and clearing resets.
+        let s = t.server_at(3);
+        assert_eq!(cache.g(&regions, &s, &t), proximity(&regions, &s, &t));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_bypasses_client_zone_servers() {
+        let t = topo();
+        let regions = [RegionQueries {
+            location: Location::client_in_country(0, 0),
+            queries: 500.0,
+        }];
+        // A server that *is* the client zone location matches the client at
+        // every level — its proximity differs from its country siblings'.
+        let weird = Location::client_in_country(0, 0);
+        let sibling = t.server_at(0);
+        let mut cache = ProximityCache::new();
+        let g_sibling = cache.g(&regions, &sibling, &t);
+        let g_weird = cache.g(&regions, &weird, &t);
+        assert_eq!(g_weird, proximity(&regions, &weird, &t));
+        assert!(g_weird > g_sibling, "exact-match client zone is closer");
     }
 
     proptest! {

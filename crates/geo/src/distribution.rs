@@ -64,7 +64,10 @@ impl ClientGeo {
         }
         raw.into_iter()
             .filter(|r| r.weight > 0.0)
-            .map(|r| RegionWeight { location: r.location, weight: r.weight / total })
+            .map(|r| RegionWeight {
+                location: r.location,
+                weight: r.weight / total,
+            })
             .collect()
     }
 
@@ -95,7 +98,10 @@ mod tests {
     #[test]
     fn single_country_is_a_point_mass() {
         let t = Topology::paper();
-        let g = ClientGeo::SingleCountry { continent: 2, country: 1 };
+        let g = ClientGeo::SingleCountry {
+            continent: 2,
+            country: 1,
+        };
         let regions = g.region_weights(&t);
         assert_eq!(regions.len(), 1);
         assert_eq!(regions[0].weight, 1.0);
@@ -107,9 +113,18 @@ mod tests {
     fn weighted_normalizes_and_drops_nonpositive() {
         let t = Topology::paper();
         let g = ClientGeo::Weighted(vec![
-            RegionWeight { location: Location::client_in_country(0, 0), weight: 3.0 },
-            RegionWeight { location: Location::client_in_country(1, 0), weight: 1.0 },
-            RegionWeight { location: Location::client_in_country(2, 0), weight: 0.0 },
+            RegionWeight {
+                location: Location::client_in_country(0, 0),
+                weight: 3.0,
+            },
+            RegionWeight {
+                location: Location::client_in_country(1, 0),
+                weight: 1.0,
+            },
+            RegionWeight {
+                location: Location::client_in_country(2, 0),
+                weight: 0.0,
+            },
         ]);
         let regions = g.region_weights(&t);
         assert_eq!(regions.len(), 2);
@@ -120,12 +135,18 @@ mod tests {
     #[test]
     fn empty_weighted_yields_empty() {
         let t = Topology::paper();
-        assert!(ClientGeo::Weighted(Vec::new()).region_weights(&t).is_empty());
+        assert!(ClientGeo::Weighted(Vec::new())
+            .region_weights(&t)
+            .is_empty());
     }
 
     #[test]
     fn is_uniform_only_for_uniform() {
         assert!(ClientGeo::Uniform.is_uniform());
-        assert!(!ClientGeo::SingleCountry { continent: 0, country: 0 }.is_uniform());
+        assert!(!ClientGeo::SingleCountry {
+            continent: 0,
+            country: 0
+        }
+        .is_uniform());
     }
 }

@@ -138,7 +138,14 @@ impl Location {
         rack: u16,
         server: u16,
     ) -> Self {
-        Self { continent, country, datacenter, room, rack, server }
+        Self {
+            continent,
+            country,
+            datacenter,
+            room,
+            rack,
+            server,
+        }
     }
 
     /// The component at `level`.
@@ -201,6 +208,17 @@ impl Location {
     /// True when this location was produced by [`Location::client_in_country`].
     pub const fn is_client_zone(&self) -> bool {
         self.datacenter == CLIENT_ZONE
+    }
+
+    /// The `(continent, country)` prefix of this location.
+    ///
+    /// Because query clients live at country granularity (their synthetic
+    /// datacenter never matches a real server's), the diversity between a
+    /// client and a server — and therefore the eq.-(4) proximity weight —
+    /// depends only on this prefix for every non-client-zone server.
+    /// Proximity caches key on it.
+    pub const fn country_key(&self) -> (u16, u16) {
+        (self.continent, self.country)
     }
 }
 
@@ -295,6 +313,13 @@ mod tests {
         assert!(client.is_client_zone());
         assert!(!server.is_client_zone());
         assert_eq!(client.first_divergence(&server), Some(Level::Datacenter));
+    }
+
+    #[test]
+    fn country_key_is_the_two_level_prefix() {
+        let loc = Location::new(3, 1, 2, 0, 1, 4);
+        assert_eq!(loc.country_key(), (3, 1));
+        assert_eq!(Location::client_in_country(3, 1).country_key(), (3, 1));
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl KeyRange {
 
     /// The range covering the whole ring.
     pub const fn full() -> Self {
-        Self { start: Token(0), end: Token(0) }
+        Self {
+            start: Token(0),
+            end: Token(0),
+        }
     }
 
     /// True when this range covers the whole ring.
@@ -93,7 +96,11 @@ impl KeyRange {
     /// # Panics
     /// Panics if the range holds fewer than two positions and cannot split.
     pub fn split(&self) -> (KeyRange, KeyRange) {
-        assert!(self.width() >= 2, "cannot split a range of width {}", self.width());
+        assert!(
+            self.width() >= 2,
+            "cannot split a range of width {}",
+            self.width()
+        );
         let mid = if self.is_full() {
             Token(self.start.0.wrapping_add(u64::MAX / 2).wrapping_add(1))
         } else {

@@ -67,7 +67,10 @@ impl VirtualRing {
     /// # Panics
     /// Panics if `partitions == 0`.
     pub fn with_hasher(id: RingId, partitions: usize, hasher: KeyHasher) -> Self {
-        assert!(partitions > 0, "a virtual ring needs at least one partition");
+        assert!(
+            partitions > 0,
+            "a virtual ring needs at least one partition"
+        );
         let mut ring = Self {
             id,
             hasher,
@@ -258,7 +261,10 @@ mod tests {
         let (low, high) = ring.split_partition(victim).unwrap();
         for k in keys {
             let pid = ring.route(&k);
-            assert!(pid == low.id || pid == high.id, "key stayed in the split pair");
+            assert!(
+                pid == low.id || pid == high.id,
+                "key stayed in the split pair"
+            );
         }
     }
 
@@ -307,7 +313,10 @@ mod tests {
                 a.route(&k) != b.route(&k)
             })
             .count();
-        assert!(moved > 256, "different seeds should shuffle most keys, moved={moved}");
+        assert!(
+            moved > 256,
+            "different seeds should shuffle most keys, moved={moved}"
+        );
     }
 
     proptest! {

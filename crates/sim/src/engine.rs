@@ -272,8 +272,8 @@ mod tests {
     #[test]
     fn removal_events_trigger_recovery() {
         let mut scenario = tiny();
-        scenario.schedule = crate::Schedule::new()
-            .at(10, crate::CloudEvent::RemoveServers { count: 10 });
+        scenario.schedule =
+            crate::Schedule::new().at(10, crate::CloudEvent::RemoveServers { count: 10 });
         scenario.epochs = 20;
         let mut sim = Simulation::new(scenario);
         let obs: Vec<Observation> = sim.run();

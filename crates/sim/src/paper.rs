@@ -35,9 +35,21 @@ pub fn base_scenario() -> Scenario {
         expensive_cost: 125.0,
         cheap_fraction: 0.7,
         apps: vec![
-            ScenarioApp { replicas: 2, partitions: 200, initial_partition_bytes: 128 * MIB },
-            ScenarioApp { replicas: 3, partitions: 200, initial_partition_bytes: 128 * MIB },
-            ScenarioApp { replicas: 4, partitions: 200, initial_partition_bytes: 128 * MIB },
+            ScenarioApp {
+                replicas: 2,
+                partitions: 200,
+                initial_partition_bytes: 128 * MIB,
+            },
+            ScenarioApp {
+                replicas: 3,
+                partitions: 200,
+                initial_partition_bytes: 128 * MIB,
+            },
+            ScenarioApp {
+                replicas: 4,
+                partitions: 200,
+                initial_partition_bytes: 128 * MIB,
+            },
         ],
         load_fractions: vec![1.0, 1.0, 1.0],
         trace: TraceKind::Constant(3_000.0),
@@ -119,7 +131,12 @@ pub fn fig5_scenario() -> Scenario {
 /// negative streak it needs to suicide, so the vnode population would
 /// converge above 9·M). The factor only ever shrinks γ: scenarios with
 /// *more* partitions than the paper's get the paper's calibration as-is.
-pub fn scaled_scenario(name: &str, partitions: usize, queries_per_epoch: u64, epochs: u64) -> Scenario {
+pub fn scaled_scenario(
+    name: &str,
+    partitions: usize,
+    queries_per_epoch: u64,
+    epochs: u64,
+) -> Scenario {
     let mut s = base_scenario();
     s.name = name.into();
     let base_partitions = s.apps[0].partitions as f64;
@@ -163,7 +180,10 @@ mod tests {
     #[test]
     fn fig3_schedule_matches_paper() {
         let s = fig3_scenario();
-        assert_eq!(s.schedule.events_at(100), &[CloudEvent::AddServers { count: 20 }]);
+        assert_eq!(
+            s.schedule.events_at(100),
+            &[CloudEvent::AddServers { count: 20 }]
+        );
         assert_eq!(
             s.schedule.events_at(200),
             &[CloudEvent::RemoveServers { count: 20 }]
@@ -187,7 +207,13 @@ mod tests {
 
     #[test]
     fn all_scenarios_validate() {
-        for s in [base_scenario(), fig2_scenario(), fig3_scenario(), fig4_scenario(), fig5_scenario()] {
+        for s in [
+            base_scenario(),
+            fig2_scenario(),
+            fig3_scenario(),
+            fig4_scenario(),
+            fig5_scenario(),
+        ] {
             s.validate();
         }
     }

@@ -99,7 +99,10 @@ impl Scenario {
     /// Panics when the load fractions don't match the app count, no app is
     /// defined, or the config is invalid.
     pub fn validate(&self) {
-        assert!(!self.apps.is_empty(), "a scenario needs at least one application");
+        assert!(
+            !self.apps.is_empty(),
+            "a scenario needs at least one application"
+        );
         assert_eq!(
             self.apps.len(),
             self.load_fractions.len(),

@@ -123,6 +123,17 @@ impl PartitionStore {
             self.apply(key, record);
         }
     }
+
+    /// [`PartitionStore::absorb`] without taking ownership: merges clones
+    /// of `other`'s entries into `self`. Record payloads are ref-counted
+    /// [`Bytes`], so this copies handles, not data — the anti-entropy union
+    /// builder uses it to fold every replica in without cloning whole
+    /// stores first.
+    pub fn merge_from(&mut self, other: &PartitionStore) {
+        for (key, record) in &other.records {
+            self.apply(key.clone(), record.clone());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +208,10 @@ mod tests {
         let high_store = s.split_off(hasher, high);
         assert_eq!(s.len() + high_store.len(), 200);
         assert_eq!(s.logical_bytes() + high_store.logical_bytes(), total_before);
-        assert!(!high_store.is_empty(), "uniform hash should land keys in both halves");
+        assert!(
+            !high_store.is_empty(),
+            "uniform hash should land keys in both halves"
+        );
         assert!(!s.is_empty());
         for (k, _) in s.iter() {
             assert!(low.contains(hasher.token(k)));
@@ -218,6 +232,20 @@ mod tests {
         assert_eq!(a.get_value(b"x").unwrap().as_ref(), b"b-new");
         assert_eq!(a.get_value(b"y").unwrap().as_ref(), b"only-b");
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn merge_from_matches_absorb_and_leaves_source_intact() {
+        let mut a = PartitionStore::new();
+        let mut b = PartitionStore::new();
+        assert!(a.apply(&b"x"[..], rec(b"a-old", 1)));
+        assert!(b.apply(&b"x"[..], rec(b"b-new", 2)));
+        assert!(b.apply(&b"y"[..], rec(b"only-b", 1)));
+        a.merge_from(&b);
+        assert_eq!(a.get_value(b"x").unwrap().as_ref(), b"b-new");
+        assert_eq!(a.get_value(b"y").unwrap().as_ref(), b"only-b");
+        assert_eq!(b.len(), 2, "source is untouched");
+        assert_eq!(b.get_value(b"y").unwrap().as_ref(), b"only-b");
     }
 
     proptest! {

@@ -59,6 +59,9 @@ mod tests {
             "invalid quorum config: n=3, r=0, w=1"
         );
         assert_eq!(StoreError::NoReplicas.to_string(), "no replicas reachable");
-        assert_eq!(StoreError::CapacityExceeded.to_string(), "storage capacity exceeded");
+        assert_eq!(
+            StoreError::CapacityExceeded.to_string(),
+            "storage capacity exceeded"
+        );
     }
 }

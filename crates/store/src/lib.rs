@@ -35,5 +35,5 @@ pub use engine::PartitionStore;
 pub use error::StoreError;
 pub use merkle::{diff_buckets, MerkleSummary};
 pub use quorum::QuorumConfig;
-pub use shared::SharedPartitionStore;
+pub use shared::{CowPartitionStore, SharedPartitionStore};
 pub use value::{Record, Version};

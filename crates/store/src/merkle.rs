@@ -73,7 +73,11 @@ impl MerkleSummary {
             acc[idx] ^= entry_digest(key, (v.epoch, v.seq, v.writer), record.logical_size);
         }
         let root = acc.iter().fold(0xdead_beefu64, |a, &b| mix(a, b));
-        Self { range, buckets: acc, root }
+        Self {
+            range,
+            buckets: acc,
+            root,
+        }
     }
 
     /// The summarized key range.
@@ -141,7 +145,10 @@ mod tests {
     fn store_with(keys: &[(&[u8], u64)]) -> PartitionStore {
         let mut s = PartitionStore::new();
         for (key, version) in keys {
-            let _ = s.apply(key.to_vec(), Record::put(&b"v"[..], Version::new(*version, 0, 0)));
+            let _ = s.apply(
+                key.to_vec(),
+                Record::put(&b"v"[..], Version::new(*version, 0, 0)),
+            );
         }
         s
     }
@@ -192,7 +199,10 @@ mod tests {
         assert_eq!(total, 1u128 << 64);
         // Adjacent buckets share boundaries.
         for i in 0..6 {
-            assert_eq!(summary.bucket_range(i).end, summary.bucket_range(i + 1).start);
+            assert_eq!(
+                summary.bucket_range(i).end,
+                summary.bucket_range(i + 1).start
+            );
         }
     }
 

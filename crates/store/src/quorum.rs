@@ -55,19 +55,22 @@ impl QuorumConfig {
         if acks >= self.w {
             Ok(())
         } else {
-            Err(StoreError::QuorumNotMet { needed: self.w, got: acks })
+            Err(StoreError::QuorumNotMet {
+                needed: self.w,
+                got: acks,
+            })
         }
     }
 
     /// Merges read responses: errors if fewer than `r` replicas responded,
     /// otherwise returns the LWW winner (or `None` if every responding
     /// replica had no record for the key).
-    pub fn read_merge(
-        &self,
-        responses: Vec<Option<Record>>,
-    ) -> Result<Option<Record>, StoreError> {
+    pub fn read_merge(&self, responses: Vec<Option<Record>>) -> Result<Option<Record>, StoreError> {
         if responses.len() < self.r {
-            return Err(StoreError::QuorumNotMet { needed: self.r, got: responses.len() });
+            return Err(StoreError::QuorumNotMet {
+                needed: self.r,
+                got: responses.len(),
+            });
         }
         Ok(Record::merge_all(responses.into_iter().flatten()))
     }

@@ -47,17 +47,29 @@ impl Record {
     pub fn put(value: impl Into<Bytes>, version: Version) -> Self {
         let value = value.into();
         let logical_size = value.len() as u64;
-        Self { value: Some(value), version, logical_size }
+        Self {
+            value: Some(value),
+            version,
+            logical_size,
+        }
     }
 
     /// A live record with an explicit logical size (synthetic payloads).
     pub fn put_sized(value: impl Into<Bytes>, version: Version, logical_size: u64) -> Self {
-        Self { value: Some(value.into()), version, logical_size }
+        Self {
+            value: Some(value.into()),
+            version,
+            logical_size,
+        }
     }
 
     /// A tombstone.
     pub fn tombstone(version: Version) -> Self {
-        Self { value: None, version, logical_size: 0 }
+        Self {
+            value: None,
+            version,
+            logical_size: 0,
+        }
     }
 
     /// True when the record is a tombstone.
@@ -142,7 +154,10 @@ mod tests {
     }
 
     fn arb_record() -> impl Strategy<Value = Record> {
-        (arb_version(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..8)))
+        (
+            arb_version(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..8)),
+        )
             .prop_map(|(v, payload)| match payload {
                 Some(bytes) => Record::put(bytes, v),
                 None => Record::tombstone(v),

@@ -208,7 +208,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 3000.0).abs() < 10.0, "mean {mean}");
-        assert!((var / 3000.0 - 1.0).abs() < 0.2, "variance ratio {}", var / 3000.0);
+        assert!(
+            (var / 3000.0 - 1.0).abs() < 0.2,
+            "variance ratio {}",
+            var / 3000.0
+        );
     }
 
     #[test]

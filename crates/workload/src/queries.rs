@@ -128,7 +128,10 @@ mod tests {
         let g = QueryGenerator::new(
             ConstantTrace(100.0),
             &[1.0],
-            &ClientGeo::SingleCountry { continent: 2, country: 0 },
+            &ClientGeo::SingleCountry {
+                continent: 2,
+                country: 0,
+            },
             &topology,
         );
         let mut rng = StdRng::seed_from_u64(1);

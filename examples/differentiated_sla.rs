@@ -18,12 +18,7 @@ fn main() {
     let mut cloud = SkuteCloud::new(SkuteConfig::paper(), topology, cluster);
 
     // Three tenants with increasing durability demands.
-    let apps = [
-        ("blog", 2usize),
-        ("shop", 3),
-        ("bank", 4),
-    ]
-    .map(|(name, replicas)| {
+    let apps = [("blog", 2usize), ("shop", 3), ("bank", 4)].map(|(name, replicas)| {
         let id = cloud
             .create_application(AppSpec::new(name).level(LevelSpec::new(replicas, 32)))
             .expect("capacity");
@@ -44,7 +39,10 @@ fn main() {
     let report = last.unwrap();
 
     println!("\nafter convergence:");
-    println!("{:>5} {:>10} {:>14} {:>12} {:>8}", "app", "vnodes", "replicas/part", "mean avail", "SLA ok");
+    println!(
+        "{:>5} {:>10} {:>14} {:>12} {:>8}",
+        "app", "vnodes", "replicas/part", "mean avail", "SLA ok"
+    );
     for (i, (name, replicas, _)) in apps.iter().enumerate() {
         let ring = &report.rings[i];
         println!(

@@ -21,7 +21,12 @@ fn main() {
         for i in 0..50u32 {
             let key = format!("app{a}:key{i}");
             sim.cloud_mut()
-                .put(*app, 0, key.as_bytes(), format!("value-{a}-{i}").into_bytes())
+                .put(
+                    *app,
+                    0,
+                    key.as_bytes(),
+                    format!("value-{a}-{i}").into_bytes(),
+                )
                 .expect("write quorum");
         }
     }

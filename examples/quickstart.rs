@@ -62,7 +62,10 @@ fn main() {
         .get(app, 0, b"user:42:profile")
         .expect("read quorum")
         .expect("key exists");
-    println!("read back user:42:profile = {:?}", String::from_utf8_lossy(&value));
+    println!(
+        "read back user:42:profile = {:?}",
+        String::from_utf8_lossy(&value)
+    );
 
     // Inspect one partition's replica placement.
     let pid = cloud.partition_ids(app, 0).unwrap()[0];

@@ -52,5 +52,8 @@ fn main() {
          (popular partitions replicated {}×)",
         peak_vnodes as f64 / base_vnodes.max(1) as f64
     );
-    assert!(peak_vnodes >= base_vnodes, "the system must scale out, not shrink");
+    assert!(
+        peak_vnodes >= base_vnodes,
+        "the system must scale out, not shrink"
+    );
 }

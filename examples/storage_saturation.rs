@@ -36,8 +36,7 @@ fn main() {
         if r.insert_failures > 0 && first_failure_frac.is_none() {
             first_failure_frac = Some(r.storage_frac());
         }
-        if epoch % 8 == 0 || r.insert_failures > 0 && first_failure_frac == Some(r.storage_frac())
-        {
+        if epoch % 8 == 0 || r.insert_failures > 0 && first_failure_frac == Some(r.storage_frac()) {
             println!(
                 "{:>5} {:>9.1}% {:>12} {:>9} {:>8}",
                 r.epoch,

@@ -2,16 +2,24 @@
 //!
 //! ```text
 //! skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N] [--seed N]
-//!           [--csv PATH] [--print-every N]
+//!           [--csv PATH] [--print-every N] [--brute-force]
+//! skute-sim --bench-json PATH
 //! ```
 //!
-//! Runs the chosen scenario, prints a progress table, and optionally writes
-//! the full per-epoch time series as CSV.
+//! Runs the chosen scenario, prints a progress table plus the run's
+//! wall-clock epochs/sec (so ad-hoc runs double as perf checks), and
+//! optionally writes the full per-epoch time series as CSV.
+//!
+//! `--bench-json PATH` instead runs the epoch-loop perf sweep (indexed vs
+//! brute-force decision pipeline at M ∈ {16, 50, 200}) and writes the
+//! `BENCH_epoch.json` document to `PATH`.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use skute::prelude::*;
 use skute::sim::paper;
+use skute_bench::perf;
 
 struct Args {
     scenario: String,
@@ -19,6 +27,8 @@ struct Args {
     seed: Option<u64>,
     csv: Option<String>,
     print_every: u64,
+    brute_force: bool,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,12 +38,12 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         csv: None,
         print_every: 10,
+        brute_force: false,
+        bench_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--scenario" | "-s" => args.scenario = value("--scenario")?,
             "--epochs" | "-e" => {
@@ -44,8 +54,11 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--seed" => {
-                args.seed =
-                    Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
             }
             "--csv" => args.csv = Some(value("--csv")?),
             "--print-every" => {
@@ -53,11 +66,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--print-every: {e}"))?
             }
+            "--brute-force" => args.brute_force = true,
+            "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--help" | "-h" => {
                 println!(
                     "skute-sim: run a Skute paper scenario\n\n\
                      USAGE: skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N]\n\
-                            [--seed N] [--csv PATH] [--print-every N]"
+                            [--seed N] [--csv PATH] [--print-every N] [--brute-force]\n\
+                            [--bench-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -86,6 +102,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = args.bench_json {
+        println!("epoch_loop perf sweep: indexed vs brute-force decision pipeline\n");
+        let results = perf::standard_sweep();
+        perf::print_table(&results);
+        return match perf::write_json(std::path::Path::new(&path), &results) {
+            Ok(()) => {
+                println!("\nwrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some(mut scenario) = scenario_by_name(&args.scenario) else {
         eprintln!(
             "error: unknown scenario {:?} (expected base|fig2|fig3|fig4|fig5)",
@@ -99,6 +130,7 @@ fn main() -> ExitCode {
     if let Some(seed) = args.seed {
         scenario.seed = seed;
     }
+    scenario.config.brute_force_placement = args.brute_force;
     println!(
         "scenario {} — {} servers, {} apps, {} epochs, seed {}",
         scenario.name,
@@ -114,6 +146,7 @@ fn main() -> ExitCode {
     let epochs = scenario.epochs;
     let mut sim = Simulation::new(scenario);
     let mut recorder = Recorder::new();
+    let loop_start = Instant::now();
     for epoch in 0..epochs {
         let obs = sim.step();
         if args.print_every > 0 && (epoch % args.print_every == 0 || epoch + 1 == epochs) {
@@ -131,6 +164,16 @@ fn main() -> ExitCode {
             );
         }
         recorder.push(obs);
+    }
+    let elapsed = loop_start.elapsed().as_secs_f64();
+    if epochs > 0 {
+        // To stderr: stdout stays byte-identical across same-seed runs.
+        eprintln!(
+            "\nwall clock: {:.3} s for {} epochs ({:.1} epochs/sec)",
+            elapsed,
+            epochs,
+            epochs as f64 / elapsed.max(1e-12)
+        );
     }
     // Summary (absent when the run had zero epochs).
     if let Some(last) = recorder.observations().last() {

@@ -94,7 +94,7 @@ pub mod prelude {
     };
     pub use skute_store::QuorumConfig;
     pub use skute_workload::{
-        ConstantTrace, InsertGenerator, LoadTrace, Pareto, Poisson, QueryGenerator,
-        SlashdotTrace, Zipf,
+        ConstantTrace, InsertGenerator, LoadTrace, Pareto, Poisson, QueryGenerator, SlashdotTrace,
+        Zipf,
     };
 }

@@ -24,9 +24,8 @@ fn build_cloud(seed: u64) -> (SkuteCloud, Vec<AppId>) {
         .map(|i| {
             cloud
                 .create_application(
-                    AppSpec::new(format!("app{i}")).level(
-                        LevelSpec::new(2 + i as usize, 8).with_initial_bytes(1 << 20),
-                    ),
+                    AppSpec::new(format!("app{i}"))
+                        .level(LevelSpec::new(2 + i as usize, 8).with_initial_bytes(1 << 20)),
                 )
                 .unwrap()
         })
@@ -48,8 +47,7 @@ fn assert_invariants(cloud: &SkuteCloud, apps: &[AppId]) {
                     "{app} level {level} partition {pid} has no replicas"
                 );
                 // Replica servers must be distinct and alive.
-                let mut servers: Vec<ServerId> =
-                    footprints.iter().map(|(s, _)| *s).collect();
+                let mut servers: Vec<ServerId> = footprints.iter().map(|(s, _)| *s).collect();
                 servers.sort();
                 let len = servers.len();
                 servers.dedup();
@@ -108,10 +106,16 @@ fn storage_accounting_exact_through_overwrites_and_deletes() {
     cloud.begin_epoch();
     for i in 0..40u32 {
         let key = format!("k:{i}");
-        cloud.put(apps[0], 0, key.as_bytes(), vec![1u8; 64]).unwrap();
+        cloud
+            .put(apps[0], 0, key.as_bytes(), vec![1u8; 64])
+            .unwrap();
         // Overwrite bigger, then smaller, then delete some.
-        cloud.put(apps[0], 0, key.as_bytes(), vec![2u8; 256]).unwrap();
-        cloud.put(apps[0], 0, key.as_bytes(), vec![3u8; 16]).unwrap();
+        cloud
+            .put(apps[0], 0, key.as_bytes(), vec![2u8; 256])
+            .unwrap();
+        cloud
+            .put(apps[0], 0, key.as_bytes(), vec![3u8; 16])
+            .unwrap();
         if i % 3 == 0 {
             cloud.delete(apps[0], 0, key.as_bytes()).unwrap();
         }
@@ -128,7 +132,8 @@ fn storage_accounting_exact_through_failures() {
         cloud.end_epoch();
     }
     // Kill a server that actually hosts replicas.
-    let victim = cloud.replica_servers(apps[2], 0, cloud.partition_ids(apps[2], 0).unwrap()[0])
+    let victim = cloud
+        .replica_servers(apps[2], 0, cloud.partition_ids(apps[2], 0).unwrap()[0])
         .unwrap()[0];
     cloud.begin_epoch();
     cloud.retire_server(victim);

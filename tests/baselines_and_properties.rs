@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use skute::baseline::{
-    evaluate, CheapestPlacement, CtxFixture, EvaluationConfig, MaxSpreadPlacement,
-    RandomPlacement, SuccessorPlacement,
+    evaluate, CheapestPlacement, CtxFixture, EvaluationConfig, MaxSpreadPlacement, RandomPlacement,
+    SuccessorPlacement,
 };
 use skute::core::placement::EconomicPlacement;
 use skute::prelude::*;
@@ -36,14 +36,26 @@ fn economic_dominates_the_availability_cost_frontier() {
         assert!(economic.sla_satisfied_frac >= 0.99, "k={k}");
         assert!(economic.mean_rent <= spread.mean_rent + 1e-9, "k={k}");
         // Geography-blind policies are strictly worse on availability.
-        assert!(economic.mean_availability > successor.mean_availability, "k={k}");
-        assert!(economic.mean_availability >= random.mean_availability, "k={k}");
+        assert!(
+            economic.mean_availability > successor.mean_availability,
+            "k={k}"
+        );
+        assert!(
+            economic.mean_availability >= random.mean_availability,
+            "k={k}"
+        );
         // The cost-only corner can't hold the SLA at higher k.
         if k >= 3 {
-            assert!(cheapest.sla_satisfied_frac < economic.sla_satisfied_frac, "k={k}");
+            assert!(
+                cheapest.sla_satisfied_frac < economic.sla_satisfied_frac,
+                "k={k}"
+            );
         }
         // Survival under correlated failures orders the same way.
-        assert!(economic.surviving_sla_frac > successor.surviving_sla_frac, "k={k}");
+        assert!(
+            economic.surviving_sla_frac > successor.surviving_sla_frac,
+            "k={k}"
+        );
     }
 }
 

@@ -53,6 +53,47 @@ fn identical_seeds_produce_identical_observation_series() {
 }
 
 #[test]
+fn identical_seeds_are_bitwise_identical_at_paper_scale() {
+    // The M = 200 acceptance scenario of the epoch-loop optimization: the
+    // full paper-scale partition count must replay bitwise-identically
+    // (every float of every Observation) across two independent runs of
+    // the rent-indexed decision pipeline.
+    let run = || {
+        let mut s = paper::scaled_scenario("det-200", 200, 3_000, 8);
+        s.seed = 0xD200;
+        Simulation::new(s).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (epoch, (oa, ob)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(oa, ob, "observations diverge at epoch {epoch}");
+    }
+}
+
+#[test]
+fn indexed_and_brute_force_placement_produce_identical_trajectories() {
+    // End-to-end equivalence oracle: routing every eq.-(3) decision through
+    // the brute-force full-cluster scan must reproduce the indexed
+    // pipeline's Observation series exactly — same winners, same
+    // tie-breaks, same floats — across a scenario with traffic, repairs
+    // and a failure burst.
+    let run = |brute: bool| {
+        let mut s = paper::scaled_scenario("oracle-eq", 24, 3_000, 15);
+        s.seed = 0x0514CE;
+        s.config.brute_force_placement = brute;
+        s.schedule = Schedule::new().at(8, CloudEvent::RemoveServers { count: 12 });
+        Simulation::new(s).run()
+    };
+    let indexed = run(false);
+    let brute = run(true);
+    assert_eq!(indexed.len(), brute.len());
+    for (epoch, (oi, ob)) in indexed.iter().zip(&brute).enumerate() {
+        assert_eq!(oi, ob, "trajectories diverge at epoch {epoch}");
+    }
+}
+
+#[test]
 fn fig2_shape_scaled() {
     // Convergence: vnodes reach 9·M and stay; cheap servers outnumber
     // expensive in hosted vnodes.
@@ -122,7 +163,11 @@ fn fig4_shape_scaled() {
         .flat_map(|o| o.report.rings.iter().map(|r| r.queries_dropped))
         .sum();
     let offered: f64 = obs.iter().map(|o| o.offered_rate).sum();
-    assert!(dropped / offered < 0.01, "dropped {:.3}%", 100.0 * dropped / offered);
+    assert!(
+        dropped / offered < 0.01,
+        "dropped {:.3}%",
+        100.0 * dropped / offered
+    );
 }
 
 #[test]
@@ -142,7 +187,8 @@ fn fig5_shape_scaled() {
     for o in &obs {
         if o.report.storage_frac() < 0.6 {
             assert_eq!(
-                o.report.insert_failures, 0,
+                o.report.insert_failures,
+                0,
                 "failure at {:.1}% used",
                 100.0 * o.report.storage_frac()
             );

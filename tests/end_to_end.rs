@@ -42,7 +42,12 @@ fn many_keys_survive_convergence() {
     cloud.begin_epoch();
     for i in 0..500u32 {
         cloud
-            .put(app, 0, format!("key:{i}").as_bytes(), i.to_le_bytes().to_vec())
+            .put(
+                app,
+                0,
+                format!("key:{i}").as_bytes(),
+                i.to_le_bytes().to_vec(),
+            )
             .unwrap();
     }
     for _ in 0..10 {
@@ -100,7 +105,10 @@ fn levels_of_one_application_are_distinct_namespaces() {
     cloud.begin_epoch();
     cloud.put(app, 0, b"doc", b"cheap".to_vec()).unwrap();
     cloud.put(app, 1, b"doc", b"precious".to_vec()).unwrap();
-    assert_eq!(cloud.get(app, 0, b"doc").unwrap().unwrap().as_ref(), b"cheap");
+    assert_eq!(
+        cloud.get(app, 0, b"doc").unwrap().unwrap().as_ref(),
+        b"cheap"
+    );
     assert_eq!(
         cloud.get(app, 1, b"doc").unwrap().unwrap().as_ref(),
         b"precious"
@@ -134,7 +142,10 @@ fn data_survives_partition_splits() {
         cloud.end_epoch();
     }
     let after = cloud.partition_ids(app, 0).unwrap().len();
-    assert!(after > before, "splits must have happened ({before} → {after})");
+    assert!(
+        after > before,
+        "splits must have happened ({before} → {after})"
+    );
     for i in 0..300u32 {
         let got = cloud.get(app, 0, format!("s:{i}").as_bytes()).unwrap();
         assert_eq!(got.unwrap().as_ref(), &vec![7u8; 32][..]);
@@ -155,9 +166,7 @@ fn errors_for_unknown_targets() {
         cloud.put(app, 7, b"k", b"v".to_vec()),
         Err(CoreError::UnknownLevel)
     ));
-    assert!(cloud
-        .create_application(AppSpec::new("empty"))
-        .is_err());
+    assert!(cloud.create_application(AppSpec::new("empty")).is_err());
 }
 
 #[test]

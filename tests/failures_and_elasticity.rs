@@ -36,7 +36,11 @@ fn repeated_waves_of_failures() {
     assert_eq!(obs.last().unwrap().report.alive_servers, 155);
     let final_report = &obs.last().unwrap().report;
     for ring in &final_report.rings {
-        assert!(ring.sla_satisfied_frac > 0.95, "{}", ring.sla_satisfied_frac);
+        assert!(
+            ring.sla_satisfied_frac > 0.95,
+            "{}",
+            ring.sla_satisfied_frac
+        );
     }
     // No partition may have been fully lost: with ≥2 scattered replicas a
     // 15-server burst cannot take out a whole replica set reliably — and
@@ -119,7 +123,11 @@ fn reads_survive_minority_replica_failures() {
         let victim = sim.cloud().replica_servers(app, 0, pid).unwrap()[0];
         sim.cloud_mut().retire_server(victim);
         assert_eq!(
-            sim.cloud_mut().get(app, 0, b"durable").unwrap().unwrap().as_ref(),
+            sim.cloud_mut()
+                .get(app, 0, b"durable")
+                .unwrap()
+                .unwrap()
+                .as_ref(),
             b"payload"
         );
     }
