@@ -1,15 +1,41 @@
 //! Rent-greedy placement: minimize cost, ignore geography.
 
 use skute_cluster::ServerId;
-use skute_core::{PlacementContext, PlacementStrategy};
+use skute_core::{PlacementContext, PlacementIndex, PlacementStrategy};
 use skute_economy::RegionQueries;
 
 /// Always picks the cheapest feasible server by posted rent — the
 /// economics-without-geography corner of the design space (the resource
 /// managers of refs. [3, 4] optimize cost but "do not consider …
 /// geographical distribution of replicas").
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CheapestPlacement;
+///
+/// Runs over [`PlacementIndex`] bucket entries (posted price cached per
+/// snapshot entry, dead/unposted servers never visited), so comparison
+/// tables measure the *policy*, not the cost of re-scanning
+/// `cluster.alive()` against the board per placement.
+/// [`CheapestPlacement::scan`] keeps the full-scan implementation as the
+/// equivalence oracle for the strategy's tests.
+#[derive(Debug, Clone, Default)]
+pub struct CheapestPlacement {
+    index: PlacementIndex,
+}
+
+impl CheapestPlacement {
+    /// The full `cluster.alive()` × board scan the index path replaced;
+    /// kept as the equivalence oracle.
+    pub fn scan(
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+    ) -> Option<ServerId> {
+        ctx.cluster
+            .alive()
+            .filter(|s| !existing.contains(&s.id) && s.storage_free() >= partition_size)
+            .filter_map(|s| ctx.board.price_of(s.id).map(|p| (s.id, p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+            .map(|(id, _)| id)
+    }
+}
 
 impl PlacementStrategy for CheapestPlacement {
     fn name(&self) -> &'static str {
@@ -23,12 +49,7 @@ impl PlacementStrategy for CheapestPlacement {
         partition_size: u64,
         _region_queries: &[RegionQueries],
     ) -> Option<ServerId> {
-        ctx.cluster
-            .alive()
-            .filter(|s| !existing.contains(&s.id) && s.storage_free() >= partition_size)
-            .filter_map(|s| ctx.board.price_of(s.id).map(|p| (s.id, p)))
-            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
-            .map(|(id, _)| id)
+        self.index.cheapest_posted(ctx, existing, partition_size)
     }
 }
 
@@ -41,7 +62,7 @@ mod tests {
     fn cheapest_picks_lowest_rent() {
         let fixture = small_ctx_fixture();
         let ctx = fixture.ctx();
-        let mut strategy = CheapestPlacement;
+        let mut strategy = CheapestPlacement::default();
         let pick = strategy.place_replica(&ctx, &[], 0, &[]).unwrap();
         let rent = ctx.board.price_of(pick).unwrap();
         let min = ctx.board.min_price().unwrap();
@@ -53,7 +74,7 @@ mod tests {
     fn cheapest_skips_existing_and_full() {
         let fixture = small_ctx_fixture();
         let ctx = fixture.ctx();
-        let mut strategy = CheapestPlacement;
+        let mut strategy = CheapestPlacement::default();
         let first = strategy.place_replica(&ctx, &[], 0, &[]).unwrap();
         let second = strategy.place_replica(&ctx, &[first], 0, &[]).unwrap();
         assert_ne!(first, second);
@@ -64,11 +85,35 @@ mod tests {
     fn cheapest_is_deterministic() {
         let fixture = small_ctx_fixture();
         let ctx = fixture.ctx();
-        let mut a = CheapestPlacement;
-        let mut b = CheapestPlacement;
+        let mut a = CheapestPlacement::default();
+        let mut b = CheapestPlacement::default();
         assert_eq!(
             a.place_replica(&ctx, &[], 0, &[]),
             b.place_replica(&ctx, &[], 0, &[])
         );
+    }
+
+    #[test]
+    fn index_path_matches_scan_oracle() {
+        let mut fixture = small_ctx_fixture();
+        // Differentiate free space and withdraw a posting so feasibility
+        // filtering and the posted-only candidate set are both exercised.
+        for i in [3u32, 8, 77] {
+            let s = fixture.cluster.get_mut(ServerId(i)).unwrap();
+            let caps = s.capacities;
+            assert!(s.usage.reserve_storage(&caps, 3 << 30));
+        }
+        fixture.board.withdraw(ServerId(0));
+        let ctx = fixture.ctx();
+        let mut strategy = CheapestPlacement::default();
+        for existing in [vec![], vec![ServerId(1)], vec![ServerId(1), ServerId(140)]] {
+            for size in [0u64, 2 << 30, u64::MAX] {
+                assert_eq!(
+                    strategy.place_replica(&ctx, &existing, size, &[]),
+                    CheapestPlacement::scan(&ctx, &existing, size),
+                    "existing {existing:?} size {size}"
+                );
+            }
+        }
     }
 }

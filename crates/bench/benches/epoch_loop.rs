@@ -1,9 +1,12 @@
 //! The epoch-loop throughput benchmark: the rent-indexed decision pipeline
 //! against the brute-force full-scan oracle at M ∈ {16, 50, 200} partitions
 //! per application, from a cold start (covering the decision-heavy
-//! convergence phase). Prints the comparison table and writes the
-//! machine-readable perf trajectory to `BENCH_epoch.json` at the workspace
-//! root.
+//! convergence phase), plus the M = 200 thread-scaling rows at pipeline
+//! threads ∈ {1, 2, 4, 8} (same bitwise trajectory, wall clock only).
+//! Prints the comparison table and writes the machine-readable perf
+//! trajectory to `BENCH_epoch.json` at the workspace root; CI's
+//! bench-smoke job diffs that file against the committed one with the
+//! `bench_gate` binary.
 //!
 //! Run with `cargo bench -p skute-bench --bench epoch_loop`.
 
@@ -18,7 +21,10 @@ fn main() {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => println!("\n(could not write {}: {e})", path.display()),
     }
-    if let Some(r) = results.iter().find(|r| r.partitions == 200) {
+    if let Some(r) = results
+        .iter()
+        .find(|r| r.partitions == 200 && r.threads == 1)
+    {
         println!(
             "M = 200 speedup: {:.2}x ({:.2} → {:.2} epochs/sec)",
             r.speedup(),

@@ -47,8 +47,8 @@ fn main() {
         );
         let mut strategies: Vec<Box<dyn PlacementStrategy>> = vec![
             Box::new(EconomicPlacement),
-            Box::new(MaxSpreadPlacement),
-            Box::new(CheapestPlacement),
+            Box::new(MaxSpreadPlacement::default()),
+            Box::new(CheapestPlacement::default()),
             Box::new(SuccessorPlacement),
             Box::new(RandomPlacement::new(7)),
         ];

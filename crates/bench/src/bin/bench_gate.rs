@@ -1,0 +1,149 @@
+//! `bench_gate` — fails CI when the epoch-loop perf trajectory regresses.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_epoch.committed.json --current BENCH_epoch.json \
+//!            [--ratio-tolerance 0.3] [--abs-tolerance 0.6]
+//! ```
+//!
+//! Parses both `BENCH_epoch.json` documents, matches rows by
+//! `(partitions, threads)`, and exits non-zero when a row vanished or
+//! fell below either floor:
+//!
+//! * the **speedup ratio** (indexed over brute-force epochs/sec, both
+//!   measured in the same run) — hardware-neutral, so a faster or slower
+//!   CI runner than the machine that produced the committed baseline
+//!   neither masks a code regression nor fails spuriously; this is the
+//!   primary gate;
+//! * the **absolute indexed epochs/sec** — a backstop for changes that
+//!   slow both pipelines equally; hardware-sensitive, so its default
+//!   tolerance is generous.
+
+use std::process::ExitCode;
+
+use skute_bench::perf::{gate_trajectory, parse_trajectory};
+
+struct Args {
+    baseline: String,
+    current: String,
+    ratio_tolerance: f64,
+    abs_tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut ratio_tolerance = 0.3f64;
+    let mut abs_tolerance = 0.6f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--ratio-tolerance" => {
+                ratio_tolerance = value("--ratio-tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--ratio-tolerance: {e}"))?
+            }
+            "--abs-tolerance" => {
+                abs_tolerance = value("--abs-tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--abs-tolerance: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_gate: diff BENCH_epoch.json against the committed trajectory\n\n\
+                     USAGE: bench_gate --baseline PATH --current PATH\n\
+                            [--ratio-tolerance FRAC] [--abs-tolerance FRAC]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if !(0.0..1.0).contains(&ratio_tolerance) || !(0.0..1.0).contains(&abs_tolerance) {
+        return Err("tolerances must lie in [0, 1)".into());
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        current: current.ok_or("--current is required")?,
+        ratio_tolerance,
+        abs_tolerance,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(body) => Some(body),
+        Err(e) => {
+            eprintln!("error: could not read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(&args.baseline), read(&args.current)) else {
+        return ExitCode::FAILURE;
+    };
+    let baseline = parse_trajectory(&baseline);
+    let current = parse_trajectory(&current);
+    if baseline.is_empty() {
+        eprintln!("error: no result rows in {}", args.baseline);
+        return ExitCode::FAILURE;
+    }
+    if current.is_empty() {
+        eprintln!("error: no result rows in {}", args.current);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: {} baseline rows vs {} fresh rows, ratio tolerance {:.0}%, \
+         absolute tolerance {:.0}%",
+        baseline.len(),
+        current.len(),
+        args.ratio_tolerance * 100.0,
+        args.abs_tolerance * 100.0
+    );
+    let ratio = |eps: f64, brute: f64| if brute > 0.0 { eps / brute } else { 0.0 };
+    for b in &baseline {
+        let fresh = current
+            .iter()
+            .find(|c| c.partitions == b.partitions && c.threads == b.threads);
+        match fresh {
+            Some(c) => println!(
+                "  M = {:>4}, threads = {}: indexed {:>10.2} → {:>10.2} epochs/sec ({:+.1}%), \
+                 speedup {:.2}x → {:.2}x",
+                b.partitions,
+                b.threads,
+                b.indexed_eps,
+                c.indexed_eps,
+                100.0 * (c.indexed_eps - b.indexed_eps) / b.indexed_eps,
+                ratio(b.indexed_eps, b.brute_eps),
+                ratio(c.indexed_eps, c.brute_eps),
+            ),
+            None => println!(
+                "  M = {:>4}, threads = {}: row missing",
+                b.partitions, b.threads
+            ),
+        }
+    }
+    let violations = gate_trajectory(
+        &baseline,
+        &current,
+        args.ratio_tolerance,
+        args.abs_tolerance,
+    );
+    if violations.is_empty() {
+        println!("bench_gate: trajectory holds");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: REGRESSION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,6 +1,6 @@
 //! [`SkuteCloud`]: the self-managed, multi-ring key-value cloud.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -8,7 +8,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use skute_cluster::{Board, Cluster, ServerId, ServerSpec};
-use skute_economy::{floored_utility, ProximityCache, RegionQueries, RentModel};
+use skute_economy::{ProximityCache, RegionQueries, RentModel};
 use skute_geo::{Location, RegionWeight, Topology};
 use skute_ring::{PartitionId, RingId, VirtualRing};
 use skute_store::{CowPartitionStore, QuorumConfig, Record, StoreError, Version};
@@ -18,7 +18,8 @@ use crate::availability::{availability_of, threshold_for_replicas};
 use crate::config::SkuteConfig;
 use crate::decision::{classify, clears_profit_hurdle, ActionCounts, Intent, VnodeSituation};
 use crate::error::CoreError;
-use crate::metrics::{mean_cv, AntiEntropyReport, EpochReport, RingReport};
+use crate::metrics::{AntiEntropyReport, EpochReport, RingReport};
+use crate::pipeline::{cached_availability, DecisionTask, EpochPipeline, PreDecision};
 use crate::placement::{economic_target, PlacementContext, PlacementIndex};
 use crate::vnode::{PartitionState, Replica, VnodeId};
 
@@ -79,14 +80,15 @@ pub struct SkuteCloud {
     /// Rent-sorted candidate index behind every eq.-(3) target selection
     /// (unless `config.brute_force_placement` routes around it).
     index: PlacementIndex,
+    /// Phase orchestration: the worker pool of the parallel plan passes
+    /// plus their reusable per-shard scratch (see [`crate::pipeline`]).
+    pipeline: EpochPipeline,
     /// Scratch buffers reused across epochs so the hot decision loop does
-    /// not allocate on its common paths.
-    work_scratch: Vec<(usize, PartitionId, VnodeId)>,
+    /// not allocate on its common paths. The last tuple element is the
+    /// vnode's slot in the pipeline's precomputation buffer.
+    work_scratch: Vec<(usize, PartitionId, VnodeId, usize)>,
     servers_scratch: Vec<ServerId>,
     placed_scratch: Vec<(Location, f64)>,
-    gs_scratch: Vec<f64>,
-    dists_scratch: Vec<f64>,
-    order_scratch: Vec<usize>,
 }
 
 impl SkuteCloud {
@@ -97,6 +99,7 @@ impl SkuteCloud {
     pub fn new(config: SkuteConfig, topology: Topology, cluster: Cluster) -> Self {
         config.validate();
         let rent_model = RentModel::new(config.economy.alpha, config.economy.beta);
+        let threads = config.threads;
         let mut cloud = Self {
             rng: StdRng::seed_from_u64(config.seed),
             config,
@@ -113,12 +116,10 @@ impl SkuteCloud {
             partitions_lost_epoch: 0,
             epoch_actions: ActionCounts::default(),
             index: PlacementIndex::new(),
+            pipeline: EpochPipeline::new(threads),
             work_scratch: Vec::new(),
             servers_scratch: Vec::new(),
             placed_scratch: Vec::new(),
-            gs_scratch: Vec::new(),
-            dists_scratch: Vec::new(),
-            order_scratch: Vec::new(),
         };
         cloud.post_prices();
         cloud
@@ -148,6 +149,11 @@ impl SkuteCloud {
     /// The rent board of the current epoch.
     pub fn board(&self) -> &Board {
         &self.board
+    }
+
+    /// The epoch pipeline (worker budget of the parallel phases).
+    pub fn pipeline(&self) -> &EpochPipeline {
+        &self.pipeline
     }
 
     /// Registered applications.
@@ -382,6 +388,9 @@ impl SkuteCloud {
             for (pid, p) in ring.partitions.iter_mut() {
                 let before = p.replicas.len();
                 p.replicas.retain(|r| r.server != id);
+                if p.replicas.len() != before {
+                    p.note_membership_changed();
+                }
                 if before > 0 && p.replicas.is_empty() {
                     reseeds.push((ri, *pid));
                 }
@@ -396,6 +405,7 @@ impl SkuteCloud {
                 if let Some(p) = self.rings[ri].partitions.get_mut(&pid) {
                     p.synthetic_bytes = 0;
                     p.replicas.push(Replica::new(vid, server, window, epoch));
+                    p.note_membership_changed();
                 }
             }
         }
@@ -761,6 +771,14 @@ impl SkuteCloud {
     /// proportionally to their client proximity `g`, spilling over when a
     /// server's query capacity saturates. Replica utility accrues per
     /// eq. (5).
+    ///
+    /// Runs as a two-pass pipeline phase: a parallel **plan** pass computes
+    /// every partition's region mix, proximity weights, client distances
+    /// and serving order (pure per-partition work against immutable server
+    /// locations), then a sequential **commit** pass serves the planned
+    /// shares against the live capacity meters in ring order — so the
+    /// capacity spill-over between partitions resolves in exactly the
+    /// order the sequential loop always used, at any thread count.
     pub fn deliver_queries(
         &mut self,
         app: AppId,
@@ -782,87 +800,52 @@ impl SkuteCloud {
         if total_pop <= 0.0 {
             return Ok(());
         }
+        // Plan pass (parallel): partition-local state only.
+        {
+            let Self {
+                rings,
+                cluster,
+                topology,
+                pipeline,
+                ..
+            } = self;
+            let mut parts: Vec<&mut PartitionState> =
+                rings[ring_idx].partitions.values_mut().collect();
+            pipeline.plan_delivery(
+                &mut parts,
+                cluster,
+                topology,
+                regions,
+                total_queries,
+                total_pop,
+            );
+        }
+        // Commit pass (sequential, ring order): live capacity meters.
         for pid in pids {
             let Some(partition) = self.rings[ring_idx].partitions.get_mut(&pid) else {
                 continue;
             };
-            let q = total_queries * partition.popularity / total_pop;
-            if q <= 0.0 {
-                continue;
+            if !partition.delivery.ready {
+                continue; // no queries addressed to this partition
             }
-            partition.queries_epoch += q;
-            let PartitionState {
-                region_queries,
-                prox_cache,
-                replicas,
-                ..
-            } = &mut *partition;
-            for region in regions {
-                let add = q * region.weight;
-                if add <= 0.0 {
-                    continue;
-                }
-                match region_queries
-                    .iter_mut()
-                    .find(|r| r.location == region.location)
-                {
-                    Some(r) => r.queries += add,
-                    None => region_queries.push(RegionQueries {
-                        location: region.location,
-                        queries: add,
-                    }),
-                }
-            }
-            // The region mix just changed: drop stale memoized proximity,
-            // then refill it while computing the per-replica weights. The
-            // decision phase reuses the refilled cache.
-            prox_cache.clear();
-            let gs = &mut self.gs_scratch;
-            let dists = &mut self.dists_scratch;
-            gs.clear();
-            dists.clear();
-            for r in replicas.iter() {
-                match self.cluster.get(r.server) {
-                    Some(s) => {
-                        // Per-replica proximity, memoized per country.
-                        gs.push(prox_cache.g(region_queries, &s.location, &self.topology));
-                        // Region-weighted client distance of the replica
-                        // (latency proxy, in diversity units 0..=63).
-                        dists.push(
-                            regions
-                                .iter()
-                                .map(|reg| {
-                                    reg.weight
-                                        * f64::from(skute_geo::diversity(
-                                            &reg.location,
-                                            &s.location,
-                                        ))
-                                })
-                                .sum(),
-                        );
-                    }
-                    None => {
-                        gs.push(1.0);
-                        dists.push(0.0);
-                    }
-                }
-            }
-            let gs = &self.gs_scratch;
-            let dists = &self.dists_scratch;
-            let mut distance_sum = 0.0;
-            let sum_g: f64 = gs.iter().sum();
+            let q = partition.delivery.q;
+            let sum_g = partition.delivery.sum_g;
             if sum_g <= 0.0 {
-                self.rings[ring_idx].queries_offered_epoch += q;
-                self.rings[ring_idx].queries_dropped_epoch += q;
+                let ring = &mut self.rings[ring_idx];
+                ring.queries_offered_epoch += q;
+                ring.queries_dropped_epoch += q;
                 continue;
             }
+            let PartitionState {
+                replicas, delivery, ..
+            } = &mut *partition;
+            let gs = &delivery.gs;
+            let dists = &delivery.dists;
+            let order = &delivery.order;
+            let mut distance_sum = 0.0;
             // Pass 1: proximity-proportional shares, capped by capacity.
             let mut remaining = q;
             let mut served_total = 0.0;
-            let order = &mut self.order_scratch;
-            order.clear();
-            order.extend(0..replicas.len());
-            order.sort_by(|&a, &b| gs[b].total_cmp(&gs[a]));
             for &i in order.iter() {
                 let want = q * gs[i] / sum_g;
                 let served =
@@ -942,10 +925,31 @@ impl SkuteCloud {
     /// Availability pass: every partition below its SLA threshold replicates
     /// towards the eq.-(3) optimal server, limited by bandwidth, storage and
     /// the per-epoch repair cap.
+    ///
+    /// A parallel pre-pass warms every partition's memoized eq.-(2)
+    /// availability, so the sequential shuffled scan below reads cached
+    /// floats and only partitions genuinely below threshold do placement
+    /// work. Repairs invalidate their partition's cache (membership
+    /// changed), so follow-up iterations re-evaluate, exactly like the
+    /// sequential loop always did.
     fn repair_availability(&mut self, actions: &mut ActionCounts) {
         let window = self.config.economy.decision_window;
         let max_repairs = self.config.max_repairs_per_partition_per_epoch;
         let max_replicas = self.config.economy.max_replicas;
+        {
+            let Self {
+                rings,
+                cluster,
+                pipeline,
+                ..
+            } = self;
+            let mut parts: Vec<&mut PartitionState> = rings
+                .iter_mut()
+                .flat_map(|r| r.partitions.values_mut())
+                .filter(|p| p.cached_availability.is_none())
+                .collect();
+            pipeline.warm_availability(&mut parts, cluster);
+        }
         for ri in 0..self.rings.len() {
             let threshold = self.rings[ri].level.threshold;
             let mut pids = self.rings[ri].ring.partition_ids();
@@ -958,17 +962,12 @@ impl SkuteCloud {
                     if partition.replica_count() >= max_replicas {
                         break;
                     }
-                    self.placed_scratch.clear();
-                    self.servers_scratch.clear();
-                    for r in &partition.replicas {
-                        self.servers_scratch.push(r.server);
-                        if let Some(s) = self.cluster.get(r.server) {
-                            self.placed_scratch.push((s.location, s.confidence));
-                        }
-                    }
-                    if availability_of(&self.placed_scratch) >= threshold {
+                    if cached_availability(&self.cluster, partition) >= threshold {
                         break;
                     }
+                    self.servers_scratch.clear();
+                    self.servers_scratch
+                        .extend(partition.replicas.iter().map(|r| r.server));
                     let size = partition.size_bytes();
                     let target = {
                         let ctx = PlacementContext {
@@ -1018,6 +1017,20 @@ impl SkuteCloud {
 
     /// Economic pass: every vnode records its balance and acts on f-epoch
     /// streaks (suicide / migrate / profit-replicate).
+    ///
+    /// Structured as a pipeline phase. The parallel **plan** pass touches
+    /// only partition-local state — it records balances, evaluates each
+    /// vnode's [`VnodeSituation`] against the phase-start membership, and
+    /// runs speculative eq.-(3) target queries through the index's
+    /// read-only snapshot view. The sequential **commit** pass then walks
+    /// the seeded shuffle order: rent/utility totals accumulate from the
+    /// precomputed per-vnode values (same floats, same order as the old
+    /// in-loop accumulation), situations are re-evaluated live only for
+    /// partitions whose membership an earlier committed action changed,
+    /// and speculative targets are honored only while the cluster/board
+    /// version pair still equals the frozen pre-pass snapshot — the first
+    /// committed action invalidates all later speculation, which then
+    /// recomputes exactly as the sequential loop would.
     fn economic_decisions(
         &mut self,
         actions: &mut ActionCounts,
@@ -1028,20 +1041,75 @@ impl SkuteCloud {
         let window = economy.decision_window;
         let brute_force = self.config.brute_force_placement;
         let min_rent = self.board.min_price();
-        let mib = 1024.0 * 1024.0;
         // Snapshot vnode identities into the reusable work list; replicas
-        // mutate as we act.
+        // mutate as we act. The slot indexes the pipeline's precomputation
+        // buffer (flat enumeration order, which the plan pass replays).
         let mut work = std::mem::take(&mut self.work_scratch);
         work.clear();
+        let mut slots = 0usize;
         for (ri, ring) in self.rings.iter().enumerate() {
             for (pid, p) in &ring.partitions {
                 for r in &p.replicas {
-                    work.push((ri, *pid, r.id));
+                    work.push((ri, *pid, r.id, slots));
+                    slots += 1;
                 }
             }
         }
         work.shuffle(&mut self.rng);
-        for &(ri, pid, vid) in &work {
+        // Plan pass (parallel): refresh the index snapshot at the barrier,
+        // freeze the version pair, fan the per-vnode precomputation out.
+        if !brute_force {
+            let ctx = PlacementContext {
+                cluster: &self.cluster,
+                board: &self.board,
+                topology: &self.topology,
+                economy: &self.config.economy,
+            };
+            self.index.refresh(&ctx);
+        }
+        let frozen = (self.cluster.version(), self.board.version());
+        let mut pre = std::mem::take(&mut self.pipeline.pre);
+        pre.clear();
+        pre.resize(slots, PreDecision::default());
+        {
+            let Self {
+                rings,
+                cluster,
+                board,
+                topology,
+                config,
+                index,
+                pipeline,
+                ..
+            } = self;
+            let mut tasks: Vec<DecisionTask<'_>> = Vec::new();
+            let mut rest: &mut [PreDecision] = &mut pre;
+            for ring in rings.iter_mut() {
+                let threshold = ring.level.threshold;
+                for p in ring.partitions.values_mut() {
+                    let (head, tail) = rest.split_at_mut(p.replicas.len());
+                    rest = tail;
+                    tasks.push(DecisionTask {
+                        threshold,
+                        part: p,
+                        slots: head,
+                    });
+                }
+            }
+            pipeline.decisions_prepass(
+                &mut tasks,
+                cluster,
+                board,
+                topology,
+                &config.economy,
+                index,
+                brute_force,
+                min_rent,
+            );
+        }
+        self.pipeline.pre = pre;
+        // Commit pass (sequential, seeded shuffle order).
+        for &(ri, pid, vid, slot) in &work {
             let threshold = self.rings[ri].level.threshold;
             // The vnode may have been split away or suicided already.
             let Some(partition) = self.rings[ri].partitions.get_mut(&pid) else {
@@ -1051,38 +1119,47 @@ impl SkuteCloud {
                 continue;
             };
             let server = partition.replicas[idx].server;
-            let Some(rent) = self.board.price_of(server) else {
+            let pre = self.pipeline.pre[slot];
+            if pre.skip {
                 continue; // server vanished mid-epoch; replica was removed
-            };
-            let raw_utility = partition.replicas[idx].utility_epoch;
-            let u_eff = floored_utility(raw_utility, min_rent);
-            let balance = u_eff - rent;
-            *rent_paid += rent;
-            *utility_earned += u_eff;
-            let consistency_cost =
-                economy.consistency_cost_per_mib * (partition.write_bytes_epoch as f64 / mib);
-            self.placed_scratch.clear();
-            for (i, r) in partition.replicas.iter().enumerate() {
-                if i == idx {
-                    continue;
-                }
-                if let Some(s) = self.cluster.get(r.server) {
-                    self.placed_scratch.push((s.location, s.confidence));
-                }
             }
-            partition.replicas[idx].balance.record(balance);
+            *rent_paid += pre.rent;
+            *utility_earned += pre.u_eff;
+            let (availability_without_self, replica_count) =
+                if partition.membership_version == pre.membership_version {
+                    (pre.availability_without_self, pre.replica_count)
+                } else {
+                    // An earlier committed action changed this partition:
+                    // re-evaluate against the live membership, exactly as
+                    // the sequential loop always did.
+                    self.placed_scratch.clear();
+                    for (i, r) in partition.replicas.iter().enumerate() {
+                        if i == idx {
+                            continue;
+                        }
+                        if let Some(s) = self.cluster.get(r.server) {
+                            self.placed_scratch.push((s.location, s.confidence));
+                        }
+                    }
+                    (
+                        availability_of(&self.placed_scratch),
+                        partition.replicas.len(),
+                    )
+                };
             let situation = VnodeSituation {
-                negative_streak: partition.replicas[idx].balance.negative_streak(),
-                positive_streak: partition.replicas[idx].balance.positive_streak(),
-                window_mean: partition.replicas[idx].balance.window_mean(),
-                availability_without_self: availability_of(&self.placed_scratch),
+                negative_streak: pre.negative_streak,
+                positive_streak: pre.positive_streak,
+                window_mean: pre.window_mean,
+                availability_without_self,
                 threshold,
-                replica_count: partition.replicas.len(),
+                replica_count,
                 max_replicas: economy.max_replicas,
-                current_rent: rent,
-                projected_replica_cost: min_rent.unwrap_or(0.0) + consistency_cost,
+                current_rent: pre.rent,
+                projected_replica_cost: min_rent.unwrap_or(0.0) + pre.consistency_cost,
                 hurdle: economy.replication_hurdle,
             };
+            let spec_valid =
+                pre.spec_computed && (self.cluster.version(), self.board.version()) == frozen;
             match classify(&situation) {
                 Intent::Stay => {}
                 Intent::Suicide => {
@@ -1091,18 +1168,20 @@ impl SkuteCloud {
                     self.note_index(&[server]);
                 }
                 Intent::Migrate => {
-                    self.servers_scratch.clear();
-                    for (i, r) in partition.replicas.iter().enumerate() {
-                        if i != idx {
-                            self.servers_scratch.push(r.server);
+                    let target = if spec_valid {
+                        pre.spec
+                    } else {
+                        self.servers_scratch.clear();
+                        for (i, r) in partition.replicas.iter().enumerate() {
+                            if i != idx {
+                                self.servers_scratch.push(r.server);
+                            }
                         }
-                    }
-                    let size =
-                        partition.synthetic_bytes + partition.replicas[idx].store.logical_bytes();
-                    // Hysteresis: only servers meaningfully cheaper than the
-                    // current one are worth the transfer.
-                    let rent_cap = rent * (1.0 - economy.migration_margin);
-                    let target = {
+                        let size = partition.synthetic_bytes
+                            + partition.replicas[idx].store.logical_bytes();
+                        // Hysteresis: only servers meaningfully cheaper than
+                        // the current one are worth the transfer.
+                        let rent_cap = pre.rent * (1.0 - economy.migration_margin);
                         let ctx = PlacementContext {
                             cluster: &self.cluster,
                             board: &self.board,
@@ -1138,11 +1217,13 @@ impl SkuteCloud {
                     }
                 }
                 Intent::ReplicateForProfit => {
-                    self.servers_scratch.clear();
-                    self.servers_scratch
-                        .extend(partition.replicas.iter().map(|r| r.server));
-                    let size = partition.size_bytes();
-                    let target = {
+                    let target = if spec_valid {
+                        pre.spec
+                    } else {
+                        self.servers_scratch.clear();
+                        self.servers_scratch
+                            .extend(partition.replicas.iter().map(|r| r.server));
+                        let size = partition.size_bytes();
                         let ctx = PlacementContext {
                             cluster: &self.cluster,
                             board: &self.board,
@@ -1169,7 +1250,7 @@ impl SkuteCloud {
                         // Re-verify the hurdle with the actual candidate rent.
                         let actual_rent = self.board.price_of(target).unwrap_or(f64::MAX);
                         let actual = VnodeSituation {
-                            projected_replica_cost: actual_rent + consistency_cost,
+                            projected_replica_cost: actual_rent + pre.consistency_cost,
                             ..situation
                         };
                         if clears_profit_hurdle(&actual) {
@@ -1244,76 +1325,62 @@ impl SkuteCloud {
         }
     }
 
-    fn report(&self, actions: ActionCounts, rent_paid: f64, utility_earned: f64) -> EpochReport {
-        let mut vnodes_per_server: HashMap<ServerId, usize> =
-            self.cluster.alive().map(|s| (s.id, 0usize)).collect();
-        let alive_servers = vnodes_per_server.len();
+    /// Assembles the epoch report. Per-ring statistics run as a parallel
+    /// plan pass per ring — availability via the membership-keyed cache,
+    /// per-server loads and vnode counts through sharded accumulators
+    /// merged in deterministic (partition, server) order — feeding reused
+    /// sorted accumulators instead of per-epoch hash maps.
+    fn report(
+        &mut self,
+        actions: ActionCounts,
+        rent_paid: f64,
+        utility_earned: f64,
+    ) -> EpochReport {
+        let alive_servers = self.cluster.alive_count();
         let mut rings = Vec::with_capacity(self.rings.len());
-        for (ri, ring) in self.rings.iter().enumerate() {
-            let mut availabilities = Vec::with_capacity(ring.partitions.len());
-            // BTreeMap, not HashMap: the load c.v. sums these floats, and
-            // summation order must not vary between same-seed runs.
-            let mut per_server_load: BTreeMap<ServerId, f64> = BTreeMap::new();
-            let mut vnodes = 0usize;
-            for (pid, p) in &ring.partitions {
-                availabilities.push(availability_of(&self.replica_placement(ri, pid)));
-                for r in &p.replicas {
-                    vnodes += 1;
-                    *vnodes_per_server.entry(r.server).or_insert(0) += 1;
-                    *per_server_load.entry(r.server).or_insert(0.0) += r.queries_epoch;
-                }
+        self.pipeline.begin_report();
+        {
+            let Self {
+                rings: ring_states,
+                cluster,
+                pipeline,
+                ..
+            } = self;
+            for ring in ring_states.iter_mut() {
+                let threshold = ring.level.threshold;
+                let stats = {
+                    let mut parts: Vec<&mut PartitionState> =
+                        ring.partitions.values_mut().collect();
+                    pipeline.ring_stats(&mut parts, cluster, threshold)
+                };
+                rings.push(RingReport {
+                    ring: ring.id,
+                    target_replicas: ring.level.target_replicas,
+                    partitions: ring.partitions.len(),
+                    vnodes: stats.vnodes,
+                    mean_availability: stats.mean_availability,
+                    min_availability: stats.min_availability,
+                    sla_satisfied_frac: stats.sla_satisfied_frac,
+                    queries_offered: ring.queries_offered_epoch,
+                    queries_served: ring.queries_served_epoch,
+                    queries_dropped: ring.queries_dropped_epoch,
+                    load_per_server: if alive_servers == 0 {
+                        0.0
+                    } else {
+                        ring.queries_served_epoch / alive_servers as f64
+                    },
+                    load_cv: stats.load_cv,
+                    mean_client_distance: if ring.queries_served_epoch > 0.0 {
+                        ring.distance_sum_epoch / ring.queries_served_epoch
+                    } else {
+                        0.0
+                    },
+                });
             }
-            let mean_availability = if availabilities.is_empty() {
-                0.0
-            } else {
-                availabilities.iter().sum::<f64>() / availabilities.len() as f64
-            };
-            let min_availability = availabilities
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min)
-                .min(f64::INFINITY);
-            let sla_ok = availabilities
-                .iter()
-                .filter(|&&a| a >= ring.level.threshold)
-                .count();
-            let loads: Vec<f64> = per_server_load.values().copied().collect();
-            let (_, load_cv) = mean_cv(&loads);
-            rings.push(RingReport {
-                ring: ring.id,
-                target_replicas: ring.level.target_replicas,
-                partitions: ring.partitions.len(),
-                vnodes,
-                mean_availability,
-                min_availability: if availabilities.is_empty() {
-                    0.0
-                } else {
-                    min_availability
-                },
-                sla_satisfied_frac: if availabilities.is_empty() {
-                    1.0
-                } else {
-                    sla_ok as f64 / availabilities.len() as f64
-                },
-                queries_offered: ring.queries_offered_epoch,
-                queries_served: ring.queries_served_epoch,
-                queries_dropped: ring.queries_dropped_epoch,
-                load_per_server: if alive_servers == 0 {
-                    0.0
-                } else {
-                    ring.queries_served_epoch / alive_servers as f64
-                },
-                load_cv,
-                mean_client_distance: if ring.queries_served_epoch > 0.0 {
-                    ring.distance_sum_epoch / ring.queries_served_epoch
-                } else {
-                    0.0
-                },
-            });
         }
         EpochReport {
             epoch: self.epoch,
-            vnodes_per_server,
+            vnodes_per_server: self.pipeline.vnodes_map(&self.cluster),
             rings,
             actions,
             insert_failures: self.insert_failures_epoch,
@@ -1343,38 +1410,12 @@ impl SkuteCloud {
     }
 
     /// Tells the placement index exactly which servers the action just
-    /// executed has touched, so it repositions those entries instead of
-    /// rebuilding the whole snapshot on the next decision.
+    /// executed has touched. The invalidation is queued and applied at the
+    /// next index read (the next query of the commit pass, or the refresh
+    /// at the next phase barrier), where it repositions those entries
+    /// instead of rebuilding the whole snapshot.
     fn note_index(&mut self, ids: &[ServerId]) {
-        let ctx = PlacementContext {
-            cluster: &self.cluster,
-            board: &self.board,
-            topology: &self.topology,
-            economy: &self.config.economy,
-        };
-        self.index.note_servers_changed(&ctx, ids);
-    }
-
-    /// `(location, confidence)` pairs of a partition's replicas.
-    fn replica_placement(
-        &self,
-        ring_idx: usize,
-        pid: &PartitionId,
-    ) -> Vec<(skute_geo::Location, f64)> {
-        self.rings[ring_idx]
-            .partitions
-            .get(pid)
-            .map(|p| {
-                p.replicas
-                    .iter()
-                    .filter_map(|r| {
-                        self.cluster
-                            .get(r.server)
-                            .map(|s| (s.location, s.confidence))
-                    })
-                    .collect()
-            })
-            .unwrap_or_default()
+        self.index.queue_servers_changed(ids);
     }
 
     fn alloc_vnode(&mut self) -> VnodeId {
@@ -1510,6 +1551,7 @@ fn exec_replication(
     let mut replica = Replica::new(vnode, target, window, epoch);
     replica.store = store;
     partition.replicas.push(replica);
+    partition.note_membership_changed();
     Some(size)
 }
 
@@ -1552,12 +1594,14 @@ fn exec_migration(
     }
     partition.replicas[idx].server = target;
     partition.replicas[idx].balance.reset_window();
+    partition.note_membership_changed();
     Some(size)
 }
 
 /// Deletes replica `idx` of `partition`, releasing its storage.
 fn exec_suicide(cluster: &mut Cluster, partition: &mut PartitionState, idx: usize) {
     let replica = partition.replicas.remove(idx);
+    partition.note_membership_changed();
     let size = partition.synthetic_bytes + replica.store.logical_bytes();
     if let Some(s) = cluster.get_mut(replica.server) {
         s.usage.release_storage(size);

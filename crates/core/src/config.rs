@@ -31,6 +31,15 @@ pub struct SkuteConfig {
     /// equivalent; this switch exists as the equivalence oracle for tests
     /// and as the "before" side of the `epoch_loop` benchmark.
     pub brute_force_placement: bool,
+    /// Worker threads of the epoch pipeline's parallel phases (`0` = the
+    /// machine's available parallelism; explicit budgets are honored
+    /// exactly — beyond the host's core count that costs wall clock,
+    /// never correctness). Same-seed trajectories are **bitwise identical
+    /// at every thread count**: parallel phases only precompute
+    /// order-independent per-partition work, and every effect on shared
+    /// state is committed in a deterministic order at the phase barrier
+    /// (see `crate::pipeline`).
+    pub threads: usize,
 }
 
 impl SkuteConfig {
@@ -43,7 +52,17 @@ impl SkuteConfig {
             seed: DEFAULT_SEED,
             max_repairs_per_partition_per_epoch: 4,
             brute_force_placement: false,
+            threads: 1,
         }
+    }
+
+    /// Returns a copy running the epoch pipeline's parallel phases on
+    /// `threads` workers (`0` = available parallelism). The trajectory
+    /// stays bitwise identical; only wall-clock changes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Returns a copy routed through the brute-force placement scan (the
@@ -104,6 +123,17 @@ mod tests {
         let b = a.with_seed(42);
         assert_eq!(b.seed, 42);
         assert_eq!(a.split_threshold_bytes, b.split_threshold_bytes);
+    }
+
+    #[test]
+    fn with_threads_changes_only_the_worker_budget() {
+        let a = SkuteConfig::paper();
+        let b = a.with_threads(8);
+        assert_eq!(a.threads, 1);
+        assert_eq!(b.threads, 8);
+        assert_eq!(a.seed, b.seed);
+        b.validate();
+        a.with_threads(0).validate();
     }
 
     #[test]

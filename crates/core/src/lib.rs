@@ -55,6 +55,7 @@ pub mod config;
 pub mod decision;
 pub mod error;
 pub mod metrics;
+pub mod pipeline;
 pub mod placement;
 pub mod vnode;
 
@@ -65,5 +66,6 @@ pub use config::SkuteConfig;
 pub use decision::{Action, ActionCounts};
 pub use error::CoreError;
 pub use metrics::{AntiEntropyReport, EpochReport, RingReport};
-pub use placement::{PlacementContext, PlacementIndex, PlacementStrategy};
-pub use vnode::{PartitionState, Replica, VnodeId};
+pub use pipeline::EpochPipeline;
+pub use placement::{PlacementContext, PlacementIndex, PlacementStrategy, WalkScratch};
+pub use vnode::{DeliveryPlan, PartitionState, Replica, VnodeId};

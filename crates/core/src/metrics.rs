@@ -1,6 +1,6 @@
 //! Per-epoch observability: the numbers behind every figure of the paper.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use skute_cluster::ServerId;
 use skute_ring::RingId;
@@ -48,7 +48,11 @@ pub struct EpochReport {
     /// The epoch this report covers.
     pub epoch: u64,
     /// Virtual-node count per alive server — the Fig. 2 distribution.
-    pub vnodes_per_server: HashMap<ServerId, usize>,
+    /// Keyed by a `BTreeMap` so iteration (and any float aggregation a
+    /// consumer layers on top) has a stable, id-sorted order; the epoch
+    /// pipeline assembles it from reused sorted accumulators instead of
+    /// rehashing a fresh table every epoch.
+    pub vnodes_per_server: BTreeMap<ServerId, usize>,
     /// One entry per virtual ring.
     pub rings: Vec<RingReport>,
     /// Actions executed during the epoch's decision phase.
@@ -133,7 +137,7 @@ mod tests {
     fn report() -> EpochReport {
         EpochReport {
             epoch: 7,
-            vnodes_per_server: HashMap::new(),
+            vnodes_per_server: BTreeMap::new(),
             rings: vec![
                 RingReport {
                     ring: RingId::new(0, 0),

@@ -1,0 +1,612 @@
+//! The deterministic parallel epoch pipeline.
+//!
+//! [`crate::SkuteCloud`] runs every epoch through three phases — **traffic
+//! delivery**, **availability repair**, **economic decisions** — each
+//! structured as
+//!
+//! 1. a **parallel plan pass** that fans out across partitions on the
+//!    [`WorkerPool`]: pure per-partition computation against state that is
+//!    immutable for the duration of the phase (server locations,
+//!    confidences, posted rents, the refreshed [`PlacementIndex`]
+//!    snapshot), writing only partition-local state and per-shard scratch;
+//! 2. a **sequential commit pass** that applies every effect on shared
+//!    state — capacity meters, rent-board-indexed structures, executed
+//!    actions — in a fixed order (ring/partition order for traffic, the
+//!    seeded shuffle order for decisions).
+//!
+//! Determinism is structural, not incidental:
+//!
+//! * plan passes are order-independent per item, so chunk boundaries and
+//!   worker scheduling cannot change any result;
+//! * per-shard accumulators ([`ShardAccounts`]) merge in (shard,
+//!   insertion) order — with contiguous chunks that is the original item
+//!   order, so floating-point folds keep the exact bits of the sequential
+//!   loop they replaced;
+//! * per-worker scratch ([`WalkScratch`], placement buffers) carries no
+//!   state between items; the only randomness in the epoch loop (the
+//!   repair and decision shuffles, server seeding) stays on the cloud's
+//!   sequential RNG stream — a future phase that needs randomness inside
+//!   a plan pass must derive per-shard streams via
+//!   [`skute_exec::stream_seed`] from the cloud seed plus the
+//!   (deterministic) shard id, never from worker identity;
+//! * speculative placement targets computed by the plan pass are only used
+//!   at commit time while the cluster/board version pair still equals the
+//!   frozen pre-pass snapshot; the first committed action invalidates all
+//!   later speculation, which then re-runs on the live state exactly as
+//!   the sequential loop would.
+//!
+//! The result: same-seed trajectories are **bitwise identical at every
+//! thread count**, including `threads = 1`, which runs the identical code
+//! inline with zero spawns.
+
+use std::collections::BTreeMap;
+
+use skute_cluster::{Board, Cluster, ServerId};
+use skute_economy::{floored_utility, EconomyConfig, ProximityCache, RegionQueries};
+use skute_exec::{chunk_count, ShardAccounts, WorkerPool};
+use skute_geo::{Location, RegionWeight, Topology};
+use skute_ring::PartitionId;
+
+use crate::availability::availability_of;
+use crate::decision::{classify, Intent, VnodeSituation};
+use crate::metrics::mean_cv;
+use crate::placement::{economic_target, PlacementContext, PlacementIndex, WalkScratch};
+use crate::vnode::PartitionState;
+
+/// Chunk size of a compute-heavy parallel phase over `n` partitions. Small
+/// inputs stay in one chunk (which runs inline, with zero spawns); large
+/// inputs split into at most ~16 chunks so work-stealing stays coarse.
+/// Never depends on the thread count — only results-irrelevant scheduling
+/// does.
+fn phase_chunk(n: usize) -> usize {
+    if n < 64 {
+        n.max(1)
+    } else {
+        n.div_ceil(16).max(16)
+    }
+}
+
+/// Chunk size of a light bookkeeping phase (per-item work is a few loads
+/// and pushes, often cache hits): a much higher inline threshold, so the
+/// fan-out only pays for itself on genuinely large rings.
+fn light_chunk(n: usize) -> usize {
+    if n < 512 {
+        n.max(1)
+    } else {
+        n.div_ceil(8).max(64)
+    }
+}
+
+/// Everything one virtual node's economic decision needs that is fixed for
+/// the duration of the decision phase, precomputed by the parallel plan
+/// pass and consumed by the sequential commit pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PreDecision {
+    /// The vnode's server had no posted rent: the commit pass skips the
+    /// item entirely (matching the sequential loop's `continue`).
+    pub skip: bool,
+    /// Posted rent of the hosting server this epoch.
+    pub rent: f64,
+    /// Floored eq.-(5) utility earned this epoch.
+    pub u_eff: f64,
+    /// Consistency network cost of one extra replica.
+    pub consistency_cost: f64,
+    /// Partition membership version the situation below was computed at;
+    /// a mismatch at commit time means an earlier committed action changed
+    /// the partition and the situation must be recomputed live.
+    pub membership_version: u64,
+    /// Replica count at plan time.
+    pub replica_count: usize,
+    /// Eq.-(2) availability of the partition without this replica.
+    pub availability_without_self: f64,
+    /// Balance-window streaks and mean, read *after* recording this
+    /// epoch's balance (the plan pass owns the recording).
+    pub negative_streak: bool,
+    /// See `negative_streak`.
+    pub positive_streak: bool,
+    /// Mean balance over the window, if any history exists.
+    pub window_mean: Option<f64>,
+    /// True when the plan pass ran a speculative eq.-(3) target query for
+    /// this vnode (its planned intent needed one).
+    pub spec_computed: bool,
+    /// The speculative target (`None` = no feasible candidate), valid at
+    /// commit time iff the cluster/board versions still match the frozen
+    /// pre-pass snapshot.
+    pub spec: Option<(ServerId, f64)>,
+}
+
+/// One partition's slice of the decision plan pass: the ring's SLA
+/// threshold, the partition, and its replicas' [`PreDecision`] slots.
+pub(crate) struct DecisionTask<'a> {
+    pub threshold: f64,
+    pub part: &'a mut PartitionState,
+    pub slots: &'a mut [PreDecision],
+}
+
+/// Per-shard scratch of the decision plan pass.
+#[derive(Debug, Clone, Default)]
+struct DecisionScratch {
+    walk: WalkScratch,
+    servers: Vec<ServerId>,
+    placed: Vec<(Location, f64)>,
+}
+
+/// Per-ring aggregates of the epoch report, computed by the report plan
+/// pass from sharded accumulators merged in deterministic order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RingPhaseStats {
+    pub vnodes: usize,
+    pub mean_availability: f64,
+    pub min_availability: f64,
+    pub sla_satisfied_frac: f64,
+    pub load_cv: f64,
+}
+
+/// Shard view handed to one chunk of the report plan pass.
+struct ReportShard<'a> {
+    avail: &'a mut Vec<(PartitionId, f64)>,
+    loads: &'a mut Vec<(ServerId, f64)>,
+    vnodes: &'a mut Vec<(ServerId, usize)>,
+}
+
+/// Phase orchestration and reusable scratch of the epoch loop: the worker
+/// pool, per-vnode decision slots, and the sharded report accumulators.
+/// Owned by [`crate::SkuteCloud`]; one instance per cloud.
+#[derive(Debug, Default)]
+pub struct EpochPipeline {
+    pool: WorkerPool,
+    /// Per-vnode decision precomputation (indexed by work-list slot).
+    pub(crate) pre: Vec<PreDecision>,
+    /// Per-shard scratch of the decision plan pass.
+    states: Vec<DecisionScratch>,
+    // Report accumulators, reused across epochs.
+    avail_acc: ShardAccounts<PartitionId, f64>,
+    load_acc: ShardAccounts<ServerId, f64>,
+    vnode_acc: ShardAccounts<ServerId, usize>,
+    avail_merged: Vec<(PartitionId, f64)>,
+    load_merged: Vec<(ServerId, f64)>,
+    loads_flat: Vec<f64>,
+    /// Cross-ring per-server vnode counts of the current report.
+    vnodes_global: Vec<(ServerId, usize)>,
+}
+
+impl EpochPipeline {
+    /// A pipeline running parallel phases on `threads` workers (`0` = the
+    /// machine's available parallelism, `1` = fully inline). An explicit
+    /// budget is honored exactly, even beyond the host's core count —
+    /// oversubscription only costs wall clock (phase chunks are
+    /// compute-bound), never determinism, and determinism tests rely on
+    /// explicit budgets actually spawning workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: WorkerPool::new(threads),
+            ..Self::default()
+        }
+    }
+
+    /// The resolved worker budget of the parallel phases.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: traffic delivery — parallel plan pass
+    // ------------------------------------------------------------------
+
+    /// Plans one ring's query delivery: for every partition, folds the
+    /// epoch's region mix into `region_queries`, refreshes the proximity
+    /// cache, and fills the partition's [`crate::vnode::DeliveryPlan`]
+    /// (per-replica proximity weights, client distances, serving order).
+    /// Reads only immutable-for-the-phase state; writes only
+    /// partition-local state, so chunks are independent.
+    pub(crate) fn plan_delivery(
+        &self,
+        parts: &mut [&mut PartitionState],
+        cluster: &Cluster,
+        topology: &Topology,
+        regions: &[RegionWeight],
+        total_queries: f64,
+        total_pop: f64,
+    ) {
+        let chunk = phase_chunk(parts.len());
+        self.pool.run_chunks(parts, chunk, |_, chunk| {
+            for part in chunk {
+                let part = &mut **part;
+                part.delivery.ready = false;
+                let q = total_queries * part.popularity / total_pop;
+                if q <= 0.0 {
+                    continue;
+                }
+                part.queries_epoch += q;
+                for region in regions {
+                    let add = q * region.weight;
+                    if add <= 0.0 {
+                        continue;
+                    }
+                    match part
+                        .region_queries
+                        .iter_mut()
+                        .find(|r| r.location == region.location)
+                    {
+                        Some(r) => r.queries += add,
+                        None => part.region_queries.push(RegionQueries {
+                            location: region.location,
+                            queries: add,
+                        }),
+                    }
+                }
+                // The region mix just changed: drop stale memoized
+                // proximity, then refill it while computing the
+                // per-replica weights. Placement decisions later in the
+                // epoch reuse the refilled cache.
+                part.prox_cache.clear();
+                let PartitionState {
+                    region_queries,
+                    prox_cache,
+                    replicas,
+                    delivery,
+                    ..
+                } = &mut *part;
+                delivery.gs.clear();
+                delivery.dists.clear();
+                for r in replicas.iter() {
+                    match cluster.get(r.server) {
+                        Some(s) => {
+                            // Per-replica proximity, memoized per country.
+                            delivery
+                                .gs
+                                .push(prox_cache.g(region_queries, &s.location, topology));
+                            // Region-weighted client distance of the
+                            // replica (latency proxy, diversity units).
+                            delivery.dists.push(
+                                regions
+                                    .iter()
+                                    .map(|reg| {
+                                        reg.weight
+                                            * f64::from(skute_geo::diversity(
+                                                &reg.location,
+                                                &s.location,
+                                            ))
+                                    })
+                                    .sum(),
+                            );
+                        }
+                        None => {
+                            delivery.gs.push(1.0);
+                            delivery.dists.push(0.0);
+                        }
+                    }
+                }
+                delivery.order.clear();
+                delivery.order.extend(0..replicas.len());
+                let gs = &delivery.gs;
+                delivery.order.sort_by(|&a, &b| gs[b].total_cmp(&gs[a]));
+                delivery.q = q;
+                delivery.sum_g = delivery.gs.iter().sum();
+                delivery.ready = true;
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: availability repair — parallel pre-pass
+    // ------------------------------------------------------------------
+
+    /// Warms the memoized eq.-(2) availability of `parts` (the caller
+    /// passes only cache misses) so the sequential repair scan reads
+    /// cached floats. In the converged steady state the miss set is empty
+    /// and this is free.
+    pub(crate) fn warm_availability(&self, parts: &mut [&mut PartitionState], cluster: &Cluster) {
+        let chunk = phase_chunk(parts.len());
+        self.pool.run_chunks(parts, chunk, |_, chunk| {
+            for part in chunk {
+                let _ = cached_availability(cluster, part);
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: economic decisions — parallel plan pass
+    // ------------------------------------------------------------------
+
+    /// Precomputes every vnode's decision inputs — balance recording,
+    /// streaks, availability-without-self, and (for vnodes whose planned
+    /// intent needs one) a speculative eq.-(3) target against the frozen
+    /// index snapshot. The commit pass consumes the slots in the seeded
+    /// shuffle order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn decisions_prepass(
+        &mut self,
+        tasks: &mut [DecisionTask<'_>],
+        cluster: &Cluster,
+        board: &Board,
+        topology: &Topology,
+        economy: &EconomyConfig,
+        index: &PlacementIndex,
+        brute_force: bool,
+        min_rent: Option<f64>,
+    ) {
+        let chunk = phase_chunk(tasks.len());
+        let chunks = chunk_count(tasks.len(), chunk);
+        self.states.truncate(chunks);
+        while self.states.len() < chunks {
+            self.states.push(DecisionScratch::default());
+        }
+        let ctx = PlacementContext {
+            cluster,
+            board,
+            topology,
+            economy,
+        };
+        let mib = 1024.0 * 1024.0;
+        self.pool
+            .run_sharded(tasks, chunk, &mut self.states, |_, chunk, scratch| {
+                for task in chunk {
+                    let threshold = task.threshold;
+                    let part = &mut *task.part;
+                    let consistency_cost =
+                        economy.consistency_cost_per_mib * (part.write_bytes_epoch as f64 / mib);
+                    let n = part.replicas.len();
+                    debug_assert_eq!(task.slots.len(), n);
+                    for idx in 0..n {
+                        let pre = &mut task.slots[idx];
+                        *pre = PreDecision::default();
+                        let server = part.replicas[idx].server;
+                        let Some(rent) = board.price_of(server) else {
+                            // Server vanished mid-epoch; the replica was
+                            // removed and the commit pass skips the item.
+                            pre.skip = true;
+                            continue;
+                        };
+                        let u_eff = floored_utility(part.replicas[idx].utility_epoch, min_rent);
+                        let balance = u_eff - rent;
+                        scratch.placed.clear();
+                        for (i, r) in part.replicas.iter().enumerate() {
+                            if i == idx {
+                                continue;
+                            }
+                            if let Some(s) = cluster.get(r.server) {
+                                scratch.placed.push((s.location, s.confidence));
+                            }
+                        }
+                        part.replicas[idx].balance.record(balance);
+                        pre.rent = rent;
+                        pre.u_eff = u_eff;
+                        pre.consistency_cost = consistency_cost;
+                        pre.membership_version = part.membership_version;
+                        pre.replica_count = n;
+                        pre.availability_without_self = availability_of(&scratch.placed);
+                        pre.negative_streak = part.replicas[idx].balance.negative_streak();
+                        pre.positive_streak = part.replicas[idx].balance.positive_streak();
+                        pre.window_mean = part.replicas[idx].balance.window_mean();
+                        let situation = VnodeSituation {
+                            negative_streak: pre.negative_streak,
+                            positive_streak: pre.positive_streak,
+                            window_mean: pre.window_mean,
+                            availability_without_self: pre.availability_without_self,
+                            threshold,
+                            replica_count: n,
+                            max_replicas: economy.max_replicas,
+                            current_rent: rent,
+                            projected_replica_cost: min_rent.unwrap_or(0.0) + consistency_cost,
+                            hurdle: economy.replication_hurdle,
+                        };
+                        match classify(&situation) {
+                            Intent::Stay | Intent::Suicide => {}
+                            Intent::Migrate => {
+                                scratch.servers.clear();
+                                for (i, r) in part.replicas.iter().enumerate() {
+                                    if i != idx {
+                                        scratch.servers.push(r.server);
+                                    }
+                                }
+                                let size =
+                                    part.synthetic_bytes + part.replicas[idx].store.logical_bytes();
+                                let rent_cap = rent * (1.0 - economy.migration_margin);
+                                let PartitionState {
+                                    region_queries,
+                                    prox_cache,
+                                    ..
+                                } = &mut *part;
+                                pre.spec = speculate(
+                                    index,
+                                    brute_force,
+                                    &ctx,
+                                    &scratch.servers,
+                                    size,
+                                    region_queries,
+                                    prox_cache,
+                                    Some(rent_cap),
+                                    &mut scratch.walk,
+                                );
+                                pre.spec_computed = true;
+                            }
+                            Intent::ReplicateForProfit => {
+                                scratch.servers.clear();
+                                scratch
+                                    .servers
+                                    .extend(part.replicas.iter().map(|r| r.server));
+                                let size = part.size_bytes();
+                                let PartitionState {
+                                    region_queries,
+                                    prox_cache,
+                                    ..
+                                } = &mut *part;
+                                pre.spec = speculate(
+                                    index,
+                                    brute_force,
+                                    &ctx,
+                                    &scratch.servers,
+                                    size,
+                                    region_queries,
+                                    prox_cache,
+                                    None,
+                                    &mut scratch.walk,
+                                );
+                                pre.spec_computed = true;
+                            }
+                        }
+                    }
+                }
+            });
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch report — parallel plan pass with sharded accounting
+    // ------------------------------------------------------------------
+
+    /// Starts a new epoch report (clears the cross-ring accumulators).
+    pub(crate) fn begin_report(&mut self) {
+        self.vnodes_global.clear();
+    }
+
+    /// Computes one ring's report aggregates: availabilities (via the
+    /// memoized cache), per-server served-query loads, and vnode counts,
+    /// collected into [`ShardAccounts`] and merged in (partition, server)
+    /// order — the exact fold order of the sequential loop this replaces.
+    pub(crate) fn ring_stats(
+        &mut self,
+        parts: &mut [&mut PartitionState],
+        cluster: &Cluster,
+        threshold: f64,
+    ) -> RingPhaseStats {
+        let n = parts.len();
+        let chunk = light_chunk(n);
+        let chunks = chunk_count(n, chunk);
+        self.avail_acc.reset(chunks);
+        self.load_acc.reset(chunks);
+        self.vnode_acc.reset(chunks);
+        {
+            let mut shards: Vec<ReportShard<'_>> = self
+                .avail_acc
+                .shards_mut()
+                .iter_mut()
+                .zip(self.load_acc.shards_mut())
+                .zip(self.vnode_acc.shards_mut())
+                .map(|((avail, loads), vnodes)| ReportShard {
+                    avail,
+                    loads,
+                    vnodes,
+                })
+                .collect();
+            self.pool
+                .run_sharded(parts, chunk, &mut shards, |_, chunk, sh| {
+                    for part in chunk {
+                        let part = &mut **part;
+                        let a = cached_availability(cluster, part);
+                        sh.avail.push((part.id, a));
+                        for r in &part.replicas {
+                            sh.vnodes.push((r.server, 1usize));
+                            sh.loads.push((r.server, r.queries_epoch));
+                        }
+                    }
+                });
+        }
+        // Merges: partition ids ascend (= the rings' BTreeMap iteration
+        // order), per-server loads combine in partition order.
+        self.avail_merged.clear();
+        self.avail_acc
+            .merge_into_sorted(&mut self.avail_merged, || 0.0, |slot, v| *slot = v);
+        self.load_merged.clear();
+        self.load_acc
+            .merge_into_sorted(&mut self.load_merged, || 0.0, |slot, v| *slot += v);
+        let vnodes = self.vnode_acc.len();
+        self.vnode_acc
+            .merge_into_sorted(&mut self.vnodes_global, || 0usize, |slot, v| *slot += v);
+        let mean_availability = if n == 0 {
+            0.0
+        } else {
+            self.avail_merged.iter().map(|&(_, a)| a).sum::<f64>() / n as f64
+        };
+        let min_availability = if n == 0 {
+            0.0
+        } else {
+            self.avail_merged
+                .iter()
+                .map(|&(_, a)| a)
+                .fold(f64::INFINITY, f64::min)
+                .min(f64::INFINITY)
+        };
+        let sla_ok = self
+            .avail_merged
+            .iter()
+            .filter(|&&(_, a)| a >= threshold)
+            .count();
+        self.loads_flat.clear();
+        self.loads_flat
+            .extend(self.load_merged.iter().map(|&(_, l)| l));
+        let (_, load_cv) = mean_cv(&self.loads_flat);
+        RingPhaseStats {
+            vnodes,
+            mean_availability,
+            min_availability,
+            sla_satisfied_frac: if n == 0 {
+                1.0
+            } else {
+                sla_ok as f64 / n as f64
+            },
+            load_cv,
+        }
+    }
+
+    /// The epoch's per-server vnode distribution: every alive server
+    /// (zero-seeded) plus the counts accumulated by
+    /// [`EpochPipeline::ring_stats`] since [`EpochPipeline::begin_report`].
+    pub(crate) fn vnodes_map(&self, cluster: &Cluster) -> BTreeMap<ServerId, usize> {
+        let mut map: BTreeMap<ServerId, usize> = cluster.alive().map(|s| (s.id, 0usize)).collect();
+        for &(id, count) in &self.vnodes_global {
+            *map.entry(id).or_insert(0) += count;
+        }
+        map
+    }
+}
+
+/// Memoized eq.-(2) availability of a partition's current replica set,
+/// computing and caching on miss. Bit-identical to the direct evaluation:
+/// the placed list is built in replica order, exactly as the sequential
+/// loops always did, and locations/confidences are immutable.
+pub(crate) fn cached_availability(cluster: &Cluster, part: &mut PartitionState) -> f64 {
+    if let Some(a) = part.cached_availability {
+        return a;
+    }
+    let mut placed: Vec<(Location, f64)> = Vec::with_capacity(part.replicas.len());
+    for r in &part.replicas {
+        if let Some(s) = cluster.get(r.server) {
+            placed.push((s.location, s.confidence));
+        }
+    }
+    let a = availability_of(&placed);
+    part.cached_availability = Some(a);
+    a
+}
+
+/// One speculative eq.-(3) target query of the decision plan pass: the
+/// read-only index walk (or the pure oracle scan when the cloud is routed
+/// brute-force), bit-identical to the owned-access query the commit pass
+/// would run against the same snapshot.
+#[allow(clippy::too_many_arguments)]
+fn speculate(
+    index: &PlacementIndex,
+    brute_force: bool,
+    ctx: &PlacementContext<'_>,
+    existing: &[ServerId],
+    partition_size: u64,
+    region_queries: &[RegionQueries],
+    prox: &mut ProximityCache,
+    rent_below: Option<f64>,
+    walk: &mut WalkScratch,
+) -> Option<(ServerId, f64)> {
+    if brute_force {
+        economic_target(ctx, existing, partition_size, region_queries, rent_below)
+    } else {
+        index.economic_target_in(
+            ctx,
+            existing,
+            partition_size,
+            region_queries,
+            rent_below,
+            prox,
+            walk,
+        )
+    }
+}

@@ -144,6 +144,8 @@ struct CandidateEntry {
     /// Eq.-(1) rent with no replica added (`size = 0`): a lower bound on
     /// the projected rent of any placement, and the sort key of the walk.
     base_rent: f64,
+    /// The rent posted on the board (what rent-greedy baselines compare).
+    posted: f64,
 }
 
 /// All snapshotted candidates of one continent, rent-sorted.
@@ -200,9 +202,22 @@ pub struct PlacementIndex {
     stamp: Option<(u64, u64)>,
     /// Source of bucket tokens; never reused within one index.
     next_token: u64,
-    /// Scratch for existing-replica locations (avoids a per-call alloc).
+    /// Walk scratch of the owned-access query path; read-only snapshot
+    /// queries ([`PlacementIndex::economic_target_in`]) bring their own.
+    walk: WalkScratch,
+    /// Servers whose executed actions invalidated their entries, queued by
+    /// [`PlacementIndex::queue_servers_changed`] during a commit pass and
+    /// applied at the next read (phase barrier or query).
+    queued: Vec<ServerId>,
+}
+
+/// Reusable scratch buffers of one best-first index walk. The read-only
+/// snapshot path takes them from the caller so concurrent workers can walk
+/// one shared index with per-worker scratch.
+#[derive(Debug, Clone, Default)]
+pub struct WalkScratch {
     existing_locs: Vec<Location>,
-    /// Walk scratch: per-bucket head cursor and gain bound.
+    /// Per-bucket head cursor and gain bound.
     heads: Vec<usize>,
     gains: Vec<f64>,
 }
@@ -213,7 +228,11 @@ impl PlacementIndex {
         Self::default()
     }
 
-    fn entry_fields(server: &skute_cluster::Server, economy: &EconomyConfig) -> CandidateEntry {
+    fn entry_fields(
+        server: &skute_cluster::Server,
+        economy: &EconomyConfig,
+        posted: f64,
+    ) -> CandidateEntry {
         let up = server.marginal_price.price(server.monthly_cost);
         let storage_frac = server.storage_frac();
         let query_frac = server.query_load_frac();
@@ -228,12 +247,34 @@ impl PlacementIndex {
             storage_capacity: server.capacities.storage_bytes,
             storage_free: server.storage_free(),
             base_rent,
+            posted,
         }
     }
 
+    /// Queues servers whose entries went stale (an action just executed on
+    /// them). Applied lazily by the next read — the next query of a commit
+    /// pass, or the refresh at the next phase barrier — so commit loops
+    /// never pay for repositions nothing will read.
+    pub fn queue_servers_changed(&mut self, ids: &[ServerId]) {
+        self.queued.extend_from_slice(ids);
+    }
+
+    fn flush_queued(&mut self, ctx: &PlacementContext<'_>) {
+        if self.queued.is_empty() {
+            return;
+        }
+        let ids = std::mem::take(&mut self.queued);
+        self.note_servers_changed(ctx, &ids);
+        self.queued = ids;
+        self.queued.clear();
+    }
+
     /// Rebuilds the snapshot iff the cluster or board changed since the
-    /// last build. Returns `true` when a rebuild happened (test hook).
+    /// last build (queued invalidations are applied first, which usually
+    /// re-synchronizes the stamp without a rebuild). Returns `true` when a
+    /// rebuild happened (test hook).
     pub fn refresh(&mut self, ctx: &PlacementContext<'_>) -> bool {
+        self.flush_queued(ctx);
         let stamp = (ctx.cluster.version(), ctx.board.version());
         if self.stamp == Some(stamp) {
             return false;
@@ -241,10 +282,10 @@ impl PlacementIndex {
         self.buckets.clear();
         self.has_client_zone = false;
         for server in ctx.cluster.alive() {
-            if ctx.board.price_of(server.id).is_none() {
+            let Some(posted) = ctx.board.price_of(server.id) else {
                 continue;
-            }
-            let entry = Self::entry_fields(server, ctx.economy);
+            };
+            let entry = Self::entry_fields(server, ctx.economy, posted);
             let continent = server.location.continent;
             let bi = match self
                 .buckets
@@ -318,12 +359,12 @@ impl PlacementIndex {
             let server = ctx
                 .cluster
                 .get_alive(id)
-                .filter(|s| ctx.board.price_of(s.id).is_some());
+                .and_then(|s| ctx.board.price_of(s.id).map(|p| (s, p)));
             match (pos, server) {
-                (Some((bi, ei)), Some(server)) => {
+                (Some((bi, ei)), Some((server, posted))) => {
                     // Locations never change, so the entry stays in its
                     // bucket; only its rent fields (and thus position) move.
-                    let entry = Self::entry_fields(server, ctx.economy);
+                    let entry = Self::entry_fields(server, ctx.economy, posted);
                     let bucket = &mut self.buckets[bi];
                     bucket.entries.remove(ei);
                     let at = bucket.entries.partition_point(|e| {
@@ -382,129 +423,298 @@ impl PlacementIndex {
         prox: &mut ProximityCache,
     ) -> Option<(ServerId, f64)> {
         self.refresh(ctx);
-        // The per-continent g_max bound relies on proximity being constant
-        // within a server country, which holds only when every client sits
-        // in a country zone and no candidate does. Anything else takes the
-        // oracle scan so the equivalence contract holds unconditionally.
-        if self.has_client_zone || !region_queries.iter().all(|r| r.location.is_client_zone()) {
+        let Self {
+            buckets,
+            has_client_zone,
+            walk,
+            ..
+        } = self;
+        walk_economic_target(
+            buckets,
+            *has_client_zone,
+            walk,
+            ctx,
+            existing,
+            partition_size,
+            region_queries,
+            rent_below,
+            prox,
+        )
+    }
+
+    /// The read-only variant of [`PlacementIndex::economic_target`] for
+    /// concurrent snapshot queries: the caller owns the walk scratch (one
+    /// per worker), the index is only read, and the snapshot must already
+    /// be current — [`PlacementIndex::refresh`] at the phase barrier, no
+    /// cluster/board mutation since. Bit-identical to the owned path.
+    ///
+    /// A stale snapshot is a caller bug (asserted in debug builds), but
+    /// release builds stay correct rather than silently wrong: the query
+    /// detects the version mismatch and answers through the brute-force
+    /// oracle scan of the live state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn economic_target_in(
+        &self,
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+        region_queries: &[RegionQueries],
+        rent_below: Option<f64>,
+        prox: &mut ProximityCache,
+        walk: &mut WalkScratch,
+    ) -> Option<(ServerId, f64)> {
+        let current = Some((ctx.cluster.version(), ctx.board.version()));
+        debug_assert_eq!(
+            self.stamp, current,
+            "snapshot queries need a refresh at the phase barrier"
+        );
+        if self.stamp != current {
             return economic_target(ctx, existing, partition_size, region_queries, rent_below);
         }
-        // Migration queries usually find nothing under their rent cap:
-        // when even the cheapest base rent is at or past the cap, no
-        // candidate is feasible — answer without computing any bound.
-        if let Some(cap) = rent_below {
-            if !self
-                .buckets
-                .iter()
-                .any(|b| b.entries.first().is_some_and(|e| e.base_rent < cap))
-            {
-                return None;
+        walk_economic_target(
+            &self.buckets,
+            self.has_client_zone,
+            walk,
+            ctx,
+            existing,
+            partition_size,
+            region_queries,
+            rent_below,
+            prox,
+        )
+    }
+
+    /// The cheapest-first baseline over the index: the feasible candidate
+    /// with the lowest **posted** rent (ties to the lower id) — the same
+    /// winner as a full `cluster.alive()` scan against the board, read off
+    /// the compact snapshot entries instead.
+    pub fn cheapest_posted(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+    ) -> Option<ServerId> {
+        self.refresh(ctx);
+        let mut best: Option<(f64, ServerId)> = None;
+        for bucket in &self.buckets {
+            for e in &bucket.entries {
+                if e.storage_free < partition_size || existing.contains(&e.id) {
+                    continue;
+                }
+                let candidate = (e.posted, e.id);
+                let better = match &best {
+                    None => true,
+                    Some((bp, bid)) => matches!(
+                        e.posted.total_cmp(bp).then_with(|| e.id.cmp(bid)),
+                        std::cmp::Ordering::Less
+                    ),
+                };
+                if better {
+                    best = Some(candidate);
+                }
             }
         }
-        self.existing_locs.clear();
+        best.map(|(_, id)| id)
+    }
+
+    /// The max-spread baseline over the index: the feasible candidate
+    /// maximizing the summed diversity to `existing` (ties to the lower
+    /// id), pruning whole continent buckets whose diversity upper bound
+    /// cannot beat the best gain found. Integer arithmetic throughout, so
+    /// the bucket walk returns exactly the full-scan winner; note the
+    /// candidate set is the index's (board-posted servers).
+    pub fn max_spread(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        existing: &[ServerId],
+        partition_size: u64,
+    ) -> Option<ServerId> {
+        self.refresh(ctx);
+        let Self { buckets, walk, .. } = self;
+        walk.existing_locs.clear();
         for id in existing {
             if let Some(s) = ctx.cluster.get(*id) {
-                self.existing_locs.push(s.location);
+                walk.existing_locs.push(s.location);
             }
         }
-        let v = ctx.economy.diversity_unit_value;
-        let alpha = ctx.economy.alpha;
-        let beta = ctx.economy.beta;
-        // Per-bucket upper bound of the score's positive part: proximity,
-        // confidence and diversity-sum factors replaced by the bucket's
-        // maxima, multiplied in the same association order as
-        // `candidate_score` so monotone rounding keeps the bound sound.
-        // The diversity of a candidate pairs at most 63 with an existing
-        // replica on another continent and at most 31 with one on its own.
-        self.heads.clear();
-        self.gains.clear();
-        for b in &self.buckets {
-            let mut div_ub = 0u32;
-            for l in &self.existing_locs {
-                div_ub += if l.continent == b.continent { 31 } else { 63 };
-            }
-            let g_max = prox.g_max(b.token, &b.reps, region_queries, ctx.topology);
-            self.gains.push(g_max * b.conf_max * f64::from(div_ub) * v);
-            self.heads.push(0);
-        }
-        let mut best: Option<(ServerId, f64)> = None;
-        loop {
-            // Best-first: the head with the greatest score bound.
-            let mut pick: Option<(usize, f64)> = None;
-            for bi in 0..self.buckets.len() {
-                let Some(e) = self.buckets[bi].entries.get(self.heads[bi]) else {
-                    continue;
-                };
-                if let Some(cap) = rent_below {
-                    if e.base_rent >= cap {
-                        // Rent-sorted: the whole rest of this bucket is
-                        // past the cap too.
-                        self.heads[bi] = usize::MAX;
-                        continue;
+        let mut best: Option<(u32, ServerId)> = None;
+        for bucket in buckets.iter() {
+            // A candidate pairs at most 63 with a replica on another
+            // continent and at most 31 with one on its own.
+            let ub: u32 = walk
+                .existing_locs
+                .iter()
+                .map(|l| {
+                    if l.continent == bucket.continent {
+                        31
+                    } else {
+                        63
                     }
-                }
-                let ub = self.gains[bi] - e.base_rent;
-                if pick.is_none_or(|(_, best_ub)| ub > best_ub) {
-                    pick = Some((bi, ub));
-                }
-            }
-            let Some((bi, ub)) = pick else { break };
-            // Branch-and-bound cutoff: no remaining candidate can beat
-            // (or, because its rent is strictly costlier at equal gain,
-            // even tie) the best score found so far.
-            if let Some((_, best_score)) = best {
-                if ub < best_score {
-                    break;
-                }
-            }
-            let e = self.buckets[bi].entries[self.heads[bi]];
-            self.heads[bi] += 1;
-            if existing.contains(&e.id) {
-                continue;
-            }
-            if e.storage_free < partition_size {
-                continue;
-            }
-            let added_frac = if e.storage_capacity == 0 {
-                1.0
-            } else {
-                partition_size as f64 / e.storage_capacity as f64
-            };
-            let projected_storage = (e.storage_frac + added_frac).min(1.0);
-            let rent = e.up * (1.0 + alpha * projected_storage + beta * e.query_frac);
-            if let Some(cap) = rent_below {
-                if rent >= cap {
+                })
+                .sum();
+            if let Some((best_gain, _)) = best {
+                // Strictly below: an equal bound can still tie and win on id.
+                if ub < best_gain {
                     continue;
                 }
             }
-            // Cheap per-candidate cut with the exact projected rent: the
-            // real score can only be lower than the bucket gain bound
-            // minus it.
-            if let Some((_, best_score)) = best {
-                if self.gains[bi] - rent < best_score {
+            for e in &bucket.entries {
+                if e.storage_free < partition_size || existing.contains(&e.id) {
                     continue;
                 }
+                let gain: u32 = walk
+                    .existing_locs
+                    .iter()
+                    .map(|l| u32::from(skute_geo::diversity(l, &e.location)))
+                    .sum();
+                let better = match &best {
+                    None => true,
+                    Some((bg, bid)) => gain > *bg || (gain == *bg && e.id < *bid),
+                };
+                if better {
+                    best = Some((gain, e.id));
+                }
             }
-            let g = prox.g(region_queries, &e.location, ctx.topology);
-            let score = candidate_score(
-                &self.existing_locs,
-                &e.location,
-                e.confidence,
-                rent,
-                g,
-                ctx.economy.diversity_unit_value,
-            );
-            best = match best {
-                None => Some((e.id, score)),
-                Some((best_id, best_score)) => match score.total_cmp(&best_score) {
-                    std::cmp::Ordering::Greater => Some((e.id, score)),
-                    std::cmp::Ordering::Equal if e.id < best_id => Some((e.id, score)),
-                    _ => best,
-                },
-            };
         }
-        best
+        best.map(|(_, id)| id)
     }
+}
+
+/// The bounded best-first eq.-(3) walk shared by the owned and read-only
+/// query paths (see [`PlacementIndex::economic_target`] for the contract).
+#[allow(clippy::too_many_arguments)]
+fn walk_economic_target(
+    buckets: &[ContinentBucket],
+    has_client_zone: bool,
+    walk: &mut WalkScratch,
+    ctx: &PlacementContext<'_>,
+    existing: &[ServerId],
+    partition_size: u64,
+    region_queries: &[RegionQueries],
+    rent_below: Option<f64>,
+    prox: &mut ProximityCache,
+) -> Option<(ServerId, f64)> {
+    // The per-continent g_max bound relies on proximity being constant
+    // within a server country, which holds only when every client sits
+    // in a country zone and no candidate does. Anything else takes the
+    // oracle scan so the equivalence contract holds unconditionally.
+    if has_client_zone || !region_queries.iter().all(|r| r.location.is_client_zone()) {
+        return economic_target(ctx, existing, partition_size, region_queries, rent_below);
+    }
+    // Migration queries usually find nothing under their rent cap:
+    // when even the cheapest base rent is at or past the cap, no
+    // candidate is feasible — answer without computing any bound.
+    if let Some(cap) = rent_below {
+        if !buckets
+            .iter()
+            .any(|b| b.entries.first().is_some_and(|e| e.base_rent < cap))
+        {
+            return None;
+        }
+    }
+    walk.existing_locs.clear();
+    for id in existing {
+        if let Some(s) = ctx.cluster.get(*id) {
+            walk.existing_locs.push(s.location);
+        }
+    }
+    let v = ctx.economy.diversity_unit_value;
+    let alpha = ctx.economy.alpha;
+    let beta = ctx.economy.beta;
+    // Per-bucket upper bound of the score's positive part: proximity,
+    // confidence and diversity-sum factors replaced by the bucket's
+    // maxima, multiplied in the same association order as
+    // `candidate_score` so monotone rounding keeps the bound sound.
+    // The diversity of a candidate pairs at most 63 with an existing
+    // replica on another continent and at most 31 with one on its own.
+    walk.heads.clear();
+    walk.gains.clear();
+    for b in buckets {
+        let mut div_ub = 0u32;
+        for l in &walk.existing_locs {
+            div_ub += if l.continent == b.continent { 31 } else { 63 };
+        }
+        let g_max = prox.g_max(b.token, &b.reps, region_queries, ctx.topology);
+        walk.gains.push(g_max * b.conf_max * f64::from(div_ub) * v);
+        walk.heads.push(0);
+    }
+    let mut best: Option<(ServerId, f64)> = None;
+    loop {
+        // Best-first: the head with the greatest score bound.
+        let mut pick: Option<(usize, f64)> = None;
+        for (bi, bucket) in buckets.iter().enumerate() {
+            let Some(e) = bucket.entries.get(walk.heads[bi]) else {
+                continue;
+            };
+            if let Some(cap) = rent_below {
+                if e.base_rent >= cap {
+                    // Rent-sorted: the whole rest of this bucket is
+                    // past the cap too.
+                    walk.heads[bi] = usize::MAX;
+                    continue;
+                }
+            }
+            let ub = walk.gains[bi] - e.base_rent;
+            if pick.is_none_or(|(_, best_ub)| ub > best_ub) {
+                pick = Some((bi, ub));
+            }
+        }
+        let Some((bi, ub)) = pick else { break };
+        // Branch-and-bound cutoff: no remaining candidate can beat
+        // (or, because its rent is strictly costlier at equal gain,
+        // even tie) the best score found so far.
+        if let Some((_, best_score)) = best {
+            if ub < best_score {
+                break;
+            }
+        }
+        let e = buckets[bi].entries[walk.heads[bi]];
+        walk.heads[bi] += 1;
+        if existing.contains(&e.id) {
+            continue;
+        }
+        if e.storage_free < partition_size {
+            continue;
+        }
+        let added_frac = if e.storage_capacity == 0 {
+            1.0
+        } else {
+            partition_size as f64 / e.storage_capacity as f64
+        };
+        let projected_storage = (e.storage_frac + added_frac).min(1.0);
+        let rent = e.up * (1.0 + alpha * projected_storage + beta * e.query_frac);
+        if let Some(cap) = rent_below {
+            if rent >= cap {
+                continue;
+            }
+        }
+        // Cheap per-candidate cut with the exact projected rent: the
+        // real score can only be lower than the bucket gain bound
+        // minus it.
+        if let Some((_, best_score)) = best {
+            if walk.gains[bi] - rent < best_score {
+                continue;
+            }
+        }
+        let g = prox.g(region_queries, &e.location, ctx.topology);
+        let score = candidate_score(
+            &walk.existing_locs,
+            &e.location,
+            e.confidence,
+            rent,
+            g,
+            ctx.economy.diversity_unit_value,
+        );
+        best = match best {
+            None => Some((e.id, score)),
+            Some((best_id, best_score)) => match score.total_cmp(&best_score) {
+                std::cmp::Ordering::Greater => Some((e.id, score)),
+                std::cmp::Ordering::Equal if e.id < best_id => Some((e.id, score)),
+                _ => best,
+            },
+        };
+    }
+    best
 }
 
 /// The paper's placement policy (eq. 3) behind the strategy interface.
@@ -844,6 +1054,149 @@ mod tests {
             let indexed_warm =
                 index.economic_target(&ctx, &existing, partition_size, &regions, rent_below, &mut prox);
             prop_assert_eq!(indexed_warm, brute);
+        }
+    }
+
+    #[test]
+    fn read_only_walk_matches_owned_walk() {
+        let (topology, mut cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        // Skew meters so projected rents differentiate.
+        for i in [5u32, 77, 140] {
+            let s = cluster.get_mut(ServerId(i)).unwrap();
+            let caps = s.capacities;
+            assert!(s.usage.reserve_storage(&caps, (u64::from(i % 7) + 1) << 24));
+        }
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let mut index = PlacementIndex::new();
+        index.refresh(&ctx);
+        let regions = [RegionQueries {
+            location: Location::client_in_country(2, 0),
+            queries: 400.0,
+        }];
+        for existing in [vec![], vec![ServerId(0), ServerId(123)]] {
+            for cap in [None, Some(0.2)] {
+                let mut prox_a = skute_economy::ProximityCache::new();
+                let mut prox_b = skute_economy::ProximityCache::new();
+                let mut walk = WalkScratch::default();
+                let ro = index.economic_target_in(
+                    &ctx,
+                    &existing,
+                    1 << 20,
+                    &regions,
+                    cap,
+                    &mut prox_a,
+                    &mut walk,
+                );
+                let owned =
+                    index.economic_target(&ctx, &existing, 1 << 20, &regions, cap, &mut prox_b);
+                assert_eq!(ro, owned, "existing {existing:?} cap {cap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn queued_invalidation_applies_at_next_read() {
+        let (topology, mut cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let mut index = PlacementIndex::new();
+        let mut prox = skute_economy::ProximityCache::new();
+        let first = {
+            let ctx = PlacementContext {
+                cluster: &cluster,
+                board: &board,
+                topology: &topology,
+                economy: &economy,
+            };
+            index.economic_target(&ctx, &[], 1 << 20, &[], None, &mut prox)
+        };
+        let (winner, _) = first.unwrap();
+        // Mutate exactly the winner (as an executed placement would) and
+        // queue the invalidation instead of applying it immediately.
+        {
+            let s = cluster.get_mut(winner).unwrap();
+            let caps = s.capacities;
+            let free = s.storage_free();
+            assert!(s.usage.reserve_storage(&caps, free));
+        }
+        index.queue_servers_changed(&[winner]);
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        // The queued note re-synchronizes the stamp: no rebuild, and the
+        // answer matches the brute-force scan of the live state.
+        let rebuilt = index.refresh(&ctx);
+        assert!(!rebuilt, "queued repositioning avoids the rebuild");
+        let indexed = index.economic_target(&ctx, &[], 1 << 20, &[], None, &mut prox);
+        let brute = economic_target(&ctx, &[], 1 << 20, &[], None);
+        assert_eq!(indexed, brute);
+        assert_ne!(indexed.unwrap().0, winner, "full server cannot win");
+    }
+
+    #[test]
+    fn index_baselines_match_full_scans() {
+        let (topology, mut cluster, mut board) = setup();
+        let economy = EconomyConfig::paper();
+        for i in [9u32, 60, 150] {
+            let s = cluster.get_mut(ServerId(i)).unwrap();
+            let caps = s.capacities;
+            assert!(s.usage.reserve_storage(&caps, 1 << 29));
+        }
+        board.withdraw(ServerId(17));
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let mut index = PlacementIndex::new();
+        for existing in [vec![], vec![ServerId(0)], vec![ServerId(0), ServerId(199)]] {
+            for size in [0u64, 1 << 29, 1 << 31] {
+                // Cheapest-first: minimum posted rent, ties to lower id.
+                let scan_cheapest = cluster
+                    .alive()
+                    .filter(|s| !existing.contains(&s.id) && s.storage_free() >= size)
+                    .filter_map(|s| board.price_of(s.id).map(|p| (s.id, p)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+                    .map(|(id, _)| id);
+                assert_eq!(
+                    index.cheapest_posted(&ctx, &existing, size),
+                    scan_cheapest,
+                    "cheapest: existing {existing:?} size {size}"
+                );
+                // Max-spread: maximum summed diversity, ties to lower id
+                // (over the board-posted candidate set).
+                let scan_spread = cluster
+                    .alive()
+                    .filter(|s| {
+                        !existing.contains(&s.id)
+                            && s.storage_free() >= size
+                            && board.price_of(s.id).is_some()
+                    })
+                    .map(|s| {
+                        let gain: u32 = existing
+                            .iter()
+                            .filter_map(|id| cluster.get(*id))
+                            .map(|e| u32::from(skute_geo::diversity(&e.location, &s.location)))
+                            .sum();
+                        (s.id, gain)
+                    })
+                    .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                    .map(|(id, _)| id);
+                assert_eq!(
+                    index.max_spread(&ctx, &existing, size),
+                    scan_spread,
+                    "spread: existing {existing:?} size {size}"
+                );
+            }
         }
     }
 

@@ -65,6 +65,26 @@ impl Replica {
     }
 }
 
+/// Per-partition scratch of the traffic-delivery phase: the parallel plan
+/// pass fills it (proximity weights, client distances, serving order), the
+/// sequential commit pass consumes it against the live capacity meters.
+/// Reused across epochs; meaningless unless [`DeliveryPlan::ready`].
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryPlan {
+    /// Queries addressed to the partition by the planned delivery.
+    pub q: f64,
+    /// Σ of the per-replica proximity weights below.
+    pub sum_g: f64,
+    /// Per-replica eq.-(4) proximity weights, in replica order.
+    pub gs: Vec<f64>,
+    /// Per-replica region-weighted client distances, in replica order.
+    pub dists: Vec<f64>,
+    /// Replica indices sorted by descending proximity (serving order).
+    pub order: Vec<usize>,
+    /// True between a plan pass and its commit pass.
+    pub ready: bool,
+}
+
 /// Runtime state of one partition of one virtual ring.
 #[derive(Debug, Clone)]
 pub struct PartitionState {
@@ -91,6 +111,20 @@ pub struct PartitionState {
     /// delivery) and shared by every placement decision of the partition
     /// within an epoch.
     pub prox_cache: ProximityCache,
+    /// Bumped on every replica-membership change (add, remove, or host
+    /// change). The epoch pipeline's parallel pre-passes snapshot it to
+    /// detect, at commit time, whether their per-vnode precomputation is
+    /// still exact or must be redone against the mutated partition.
+    pub membership_version: u64,
+    /// Memoized eq.-(2) availability of the current replica set.
+    /// Invalidated (with the version bump) by
+    /// [`PartitionState::note_membership_changed`]; server locations and
+    /// confidences are immutable, so membership is the only input that can
+    /// move it. Survives across epochs: a converged partition never
+    /// re-evaluates eq. (2) in `repair_availability` or the epoch report.
+    pub cached_availability: Option<f64>,
+    /// Traffic-delivery scratch (see [`DeliveryPlan`]).
+    pub delivery: DeliveryPlan,
 }
 
 impl PartitionState {
@@ -105,7 +139,18 @@ impl PartitionState {
             queries_epoch: 0.0,
             write_bytes_epoch: 0,
             prox_cache: ProximityCache::new(),
+            membership_version: 0,
+            cached_availability: None,
+            delivery: DeliveryPlan::default(),
         }
+    }
+
+    /// Records that the replica set changed (replica added, removed, or
+    /// moved to another server): bumps the membership version and drops the
+    /// memoized availability. Every mutation of `replicas` must call this.
+    pub fn note_membership_changed(&mut self) {
+        self.membership_version += 1;
+        self.cached_availability = None;
     }
 
     /// The logical size of one replica of this partition: synthetic bytes
@@ -137,11 +182,14 @@ impl PartitionState {
     }
 
     /// Resets the per-epoch accumulators of the partition and its replicas.
+    /// The availability cache is *not* reset: it depends only on replica
+    /// membership, not on epoch-scoped meters.
     pub fn begin_epoch(&mut self) {
         self.region_queries.clear();
         self.prox_cache.clear();
         self.queries_epoch = 0.0;
         self.write_bytes_epoch = 0;
+        self.delivery.ready = false;
         for r in &mut self.replicas {
             r.begin_epoch();
         }
@@ -214,5 +262,22 @@ mod tests {
     #[test]
     fn display_vnode_id() {
         assert_eq!(VnodeId(8).to_string(), "v8");
+    }
+
+    #[test]
+    fn membership_note_bumps_version_and_drops_availability() {
+        let mut p = PartitionState::new(PartitionId(0), 1.0);
+        p.cached_availability = Some(63.0);
+        let v0 = p.membership_version;
+        p.note_membership_changed();
+        assert_eq!(p.membership_version, v0 + 1);
+        assert_eq!(p.cached_availability, None);
+        // Epoch reset keeps the cache (membership did not change) but
+        // invalidates any stale delivery plan.
+        p.cached_availability = Some(63.0);
+        p.delivery.ready = true;
+        p.begin_epoch();
+        assert_eq!(p.cached_availability, Some(63.0));
+        assert!(!p.delivery.ready);
     }
 }

@@ -1,0 +1,414 @@
+//! Deterministic scoped fan-out for the epoch pipeline.
+//!
+//! The offline build environment has no rayon; this crate provides the
+//! small slice of it Skute needs, designed around one invariant: **results
+//! never depend on the thread count or on worker scheduling**.
+//!
+//! Three pieces:
+//!
+//! - [`WorkerPool`]: a scoped fork-join pool. Work is pre-split into
+//!   chunks whose boundaries the *caller* fixes; workers steal whole
+//!   chunks, so scheduling decides only *who* runs a chunk, never what the
+//!   chunk computes. With one thread (or one chunk) everything runs inline
+//!   on the caller's stack — zero spawns, zero synchronization.
+//! - [`ShardAccounts`]: per-chunk delta accumulators whose merge replays
+//!   deltas in (shard, insertion) order — a deterministic sequence fixed
+//!   by the chunk decomposition, not by which worker finished first. The
+//!   merge is bit-identical to the sequential left fold over the items.
+//! - [`stream_seed`]: derives independent per-shard RNG streams from a
+//!   base seed and a shard id, so a parallel phase that needs randomness
+//!   draws from streams tied to the (deterministic) shard decomposition
+//!   rather than to worker identity.
+
+use std::sync::Mutex;
+
+/// A scoped fork-join worker pool with a fixed thread budget.
+///
+/// The pool holds no threads between calls: each [`WorkerPool::run_chunks`]
+/// / [`WorkerPool::run_sharded`] invocation opens one [`std::thread::scope`]
+/// (when it parallelizes at all), so tasks may freely borrow caller state.
+/// Keep parallel regions coarse — one per pipeline phase — to amortize the
+/// spawn cost.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool running `threads` workers per parallel region; `0` asks the
+    /// OS for the available parallelism.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// A pool that always runs inline on the caller's thread.
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The resolved worker budget (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(chunk_index, chunk)` over `items` split into chunks of
+    /// `chunk_size`, in parallel when the pool has more than one thread and
+    /// there is more than one chunk.
+    ///
+    /// `f` must be order-independent across chunks (chunks of distinct
+    /// indices never observe each other); within a chunk it runs over the
+    /// items in slice order on a single worker.
+    pub fn run_chunks<T, F>(&self, items: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let mut none: [(); 0] = [];
+        self.dispatch(
+            items,
+            chunk_size,
+            &mut none,
+            |i, chunk, _state: Option<&mut ()>| f(i, chunk),
+        );
+    }
+
+    /// Like [`WorkerPool::run_chunks`], but hands chunk `i` exclusive access
+    /// to `shards[i]` — per-shard scratch buffers, accumulators
+    /// ([`ShardAccounts::shards_mut`]) or RNG streams ([`stream_seed`]).
+    ///
+    /// # Panics
+    /// Panics unless `shards.len() == chunk_count(items.len(), chunk_size)`.
+    pub fn run_sharded<T, S, F>(&self, items: &mut [T], chunk_size: usize, shards: &mut [S], f: F)
+    where
+        T: Send,
+        S: Send,
+        F: Fn(usize, &mut [T], &mut S) + Sync,
+    {
+        assert_eq!(
+            shards.len(),
+            chunk_count(items.len(), chunk_size),
+            "one shard per chunk"
+        );
+        self.dispatch(
+            items,
+            chunk_size,
+            shards,
+            |i, chunk, state: Option<&mut S>| f(i, chunk, state.expect("shard count checked")),
+        );
+    }
+
+    fn dispatch<T, S, F>(&self, items: &mut [T], chunk_size: usize, shards: &mut [S], f: F)
+    where
+        T: Send,
+        S: Send,
+        F: Fn(usize, &mut [T], Option<&mut S>) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        let chunk_size = chunk_size.max(1);
+        let mut tasks: Vec<(usize, &mut [T], Option<&mut S>)> = {
+            let mut shard_iter = shards.iter_mut();
+            items
+                .chunks_mut(chunk_size)
+                .enumerate()
+                .map(|(i, c)| (i, c, shard_iter.next()))
+                .collect()
+        };
+        let workers = self.threads.min(tasks.len());
+        if workers <= 1 {
+            for (i, chunk, state) in tasks {
+                f(i, chunk, state);
+            }
+            return;
+        }
+        let queue = Mutex::new(tasks.drain(..));
+        let run = || {
+            loop {
+                // Take the next whole chunk; drop the lock before running it.
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match next {
+                    Some((i, chunk, state)) => f(i, chunk, state),
+                    None => break,
+                }
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(run);
+            }
+            // The calling thread is worker 0.
+            run();
+        });
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Number of chunks `chunk_size` splits `items` into (the shard count of a
+/// parallel region). Depends only on the two arguments — never on the
+/// thread count — so shard-indexed state is deterministic.
+pub fn chunk_count(items: usize, chunk_size: usize) -> usize {
+    items.div_ceil(chunk_size.max(1))
+}
+
+/// Derives the RNG stream seed of shard `shard` from a base `seed`
+/// (splitmix64 over the pair, so neighboring shards get uncorrelated
+/// streams). Shard ids come from the deterministic chunk decomposition;
+/// two runs with different thread counts derive identical streams.
+pub fn stream_seed(seed: u64, shard: u64) -> u64 {
+    let mut z = seed ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-shard delta accumulators with a deterministic, scheduling-blind
+/// merge.
+///
+/// A parallel phase hands shard `i`'s `Vec` to chunk `i`
+/// ([`WorkerPool::run_sharded`]); workers push `(key, delta)` pairs in item
+/// order. Merging replays every delta in **(shard, insertion) order** —
+/// with contiguous chunks that is exactly the original item order, so a
+/// floating-point fold produces the same bits as the sequential loop the
+/// phase replaced, at any thread count and under any chunk decomposition.
+#[derive(Debug, Clone)]
+pub struct ShardAccounts<K, V> {
+    shards: Vec<Vec<(K, V)>>,
+}
+
+impl<K, V> Default for ShardAccounts<K, V> {
+    fn default() -> Self {
+        Self { shards: Vec::new() }
+    }
+}
+
+impl<K: Ord + Copy, V> ShardAccounts<K, V> {
+    /// An accumulator with no shards; size it with [`ShardAccounts::reset`].
+    pub fn new() -> Self {
+        Self { shards: Vec::new() }
+    }
+
+    /// Clears all shards and resizes to `shards` of them, keeping the
+    /// allocation of every retained shard.
+    pub fn reset(&mut self, shards: usize) {
+        self.shards.truncate(shards);
+        for s in &mut self.shards {
+            s.clear();
+        }
+        while self.shards.len() < shards {
+            self.shards.push(Vec::new());
+        }
+    }
+
+    /// The per-shard delta buffers, for zipping into a parallel region.
+    pub fn shards_mut(&mut self) -> &mut [Vec<(K, V)>] {
+        &mut self.shards
+    }
+
+    /// Total recorded deltas across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// True when no delta is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Vec::is_empty)
+    }
+
+    /// Drains every delta in (shard, insertion) order.
+    pub fn drain_in_order(&mut self, mut f: impl FnMut(K, V)) {
+        for shard in &mut self.shards {
+            for (k, v) in shard.drain(..) {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Drains the deltas into `out`, a key-sorted accumulator vector:
+    /// each delta either lands on its key's existing slot via `combine` or
+    /// inserts a fresh `init()` slot first. Deltas of one key are combined
+    /// in (shard, insertion) order; keys end up sorted ascending.
+    pub fn merge_into_sorted<A>(
+        &mut self,
+        out: &mut Vec<(K, A)>,
+        mut init: impl FnMut() -> A,
+        mut combine: impl FnMut(&mut A, V),
+    ) {
+        self.drain_in_order(|k, v| match out.binary_search_by(|(ok, _)| ok.cmp(&k)) {
+            Ok(pos) => combine(&mut out[pos].1, v),
+            Err(pos) => {
+                out.insert(pos, (k, init()));
+                combine(&mut out[pos].1, v);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn inline_and_parallel_chunks_agree() {
+        let compute = |pool: &WorkerPool, chunk: usize| {
+            let mut items: Vec<u64> = (0..1000).collect();
+            pool.run_chunks(&mut items, chunk, |i, c| {
+                for v in c.iter_mut() {
+                    *v = v.wrapping_mul(2654435761).rotate_left((i % 7) as u32);
+                }
+            });
+            items
+        };
+        let seq = compute(&WorkerPool::sequential(), 64);
+        for threads in [2, 4, 8] {
+            let par = compute(&WorkerPool::new(threads), 64);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let mut items = vec![1u8; 257];
+        WorkerPool::new(8).run_chunks(&mut items, 16, |_, c| {
+            counter.fetch_add(c.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(chunk_count(257, 16), 17);
+        assert_eq!(chunk_count(0, 16), 0);
+        assert_eq!(chunk_count(16, 16), 1);
+        assert_eq!(chunk_count(17, 0), 17, "chunk size is clamped to 1");
+    }
+
+    #[test]
+    fn sharded_state_is_indexed_by_chunk_not_worker() {
+        let mut items: Vec<usize> = (0..100).collect();
+        let chunks = chunk_count(items.len(), 9);
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); chunks];
+        WorkerPool::new(4).run_sharded(&mut items, 9, &mut shards, |i, chunk, shard| {
+            shard.extend(chunk.iter().map(|&v| v + i));
+        });
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.len(), if i == chunks - 1 { 1 } else { 9 });
+            assert_eq!(shard[0], i * 9 + i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one shard per chunk")]
+    fn shard_count_mismatch_panics() {
+        let mut items = [0u8; 10];
+        let mut shards: Vec<Vec<(u8, u8)>> = vec![Vec::new()];
+        WorkerPool::new(2).run_sharded(&mut items, 3, &mut shards, |_, _, _| {});
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(WorkerPool::new(0).threads() >= 1);
+        assert_eq!(WorkerPool::sequential().threads(), 1);
+        assert_eq!(WorkerPool::default().threads(), 1);
+    }
+
+    #[test]
+    fn stream_seeds_differ_per_shard_and_replay() {
+        let a = stream_seed(42, 0);
+        let b = stream_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, stream_seed(42, 0));
+        // Streams are usable: seeding the workspace StdRng draws diverge.
+        use rand::{Rng, SeedableRng};
+        let mut ra = rand::rngs::StdRng::seed_from_u64(a);
+        let mut rb = rand::rngs::StdRng::seed_from_u64(b);
+        assert_ne!(ra.gen_range(0..u64::MAX), rb.gen_range(0..u64::MAX));
+    }
+
+    #[test]
+    fn merge_into_sorted_replays_item_order_per_key() {
+        // Two shards, overlapping keys: deltas of key 7 combine in
+        // (shard, insertion) order — 1.0 then 2.0 then 4.0.
+        let mut acc: ShardAccounts<u32, f64> = ShardAccounts::new();
+        acc.reset(2);
+        acc.shards_mut()[0].extend([(7u32, 1.0f64), (3, 10.0), (7, 2.0)]);
+        acc.shards_mut()[1].extend([(7, 4.0), (1, 0.5)]);
+        assert_eq!(acc.len(), 5);
+        let mut out: Vec<(u32, Vec<f64>)> = Vec::new();
+        acc.merge_into_sorted(&mut out, Vec::new, |slot, v| slot.push(v));
+        assert!(acc.is_empty());
+        assert_eq!(
+            out,
+            vec![(1, vec![0.5]), (3, vec![10.0]), (7, vec![1.0, 2.0, 4.0]),]
+        );
+    }
+
+    #[test]
+    fn reset_keeps_allocations_and_clears_contents() {
+        let mut acc: ShardAccounts<u32, u32> = ShardAccounts::new();
+        acc.reset(3);
+        acc.shards_mut()[2].push((1, 1));
+        acc.reset(2);
+        assert_eq!(acc.shards_mut().len(), 2);
+        assert!(acc.is_empty());
+        acc.reset(4);
+        assert_eq!(acc.shards_mut().len(), 4);
+    }
+
+    proptest! {
+        /// The contract behind the pipeline's bitwise determinism: merging
+        /// ShardAccounts filled from a chunk decomposition equals the
+        /// sequential left fold over the items — for any chunk size and
+        /// regardless of the order in which shards were filled (i.e. of
+        /// which worker finished first).
+        #[test]
+        fn prop_sharded_merge_equals_sequential_fold(
+            items in proptest::collection::vec((0u32..8, -1e3f64..1e3), 0..120),
+            chunk_size in 1usize..40,
+            fill_order_seed in 0u64..1000,
+        ) {
+            // Sequential reference: left fold in item order.
+            let mut reference: Vec<(u32, f64)> = Vec::new();
+            for &(k, v) in &items {
+                match reference.binary_search_by(|(ok, _)| ok.cmp(&k)) {
+                    Ok(p) => reference[p].1 += v,
+                    Err(p) => reference.insert(p, (k, v)),
+                }
+            }
+            // Sharded: contiguous chunks, filled in a permuted order.
+            let chunks = chunk_count(items.len(), chunk_size);
+            let mut acc: ShardAccounts<u32, f64> = ShardAccounts::new();
+            acc.reset(chunks);
+            let mut order: Vec<usize> = (0..chunks).collect();
+            // Cheap deterministic permutation of the fill order.
+            for i in (1..order.len()).rev() {
+                let j = (stream_seed(fill_order_seed, i as u64) % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            for &shard in &order {
+                let lo = shard * chunk_size;
+                let hi = (lo + chunk_size).min(items.len());
+                acc.shards_mut()[shard].extend(items[lo..hi].iter().copied());
+            }
+            let mut merged: Vec<(u32, f64)> = Vec::new();
+            acc.merge_into_sorted(&mut merged, || 0.0, |slot, v| *slot += v);
+            // Bitwise equality, not approximate: same fold order, same bits.
+            prop_assert_eq!(reference.len(), merged.len());
+            for (a, b) in reference.iter().zip(&merged) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+}

@@ -176,23 +176,21 @@ mod tests {
 
     #[test]
     fn concurrent_writers_converge() {
+        // Eight writers race on one key through the scoped worker pool
+        // (one single-writer chunk each), all mutating the same shared
+        // store handle concurrently.
         let store = SharedPartitionStore::new();
-        let handles: Vec<_> = (0..8u32)
-            .map(|writer| {
-                let s = store.clone();
-                std::thread::spawn(move || {
-                    for seq in 0..100u64 {
-                        s.apply(
-                            &b"contended"[..],
-                            Record::put(vec![writer as u8], Version::new(1, seq, writer)),
-                        );
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
+        let mut writers: Vec<u32> = (0..8).collect();
+        skute_exec::WorkerPool::new(8).run_chunks(&mut writers, 1, |_, chunk| {
+            for &writer in chunk.iter() {
+                for seq in 0..100u64 {
+                    store.apply(
+                        &b"contended"[..],
+                        Record::put(vec![writer as u8], Version::new(1, seq, writer)),
+                    );
+                }
+            }
+        });
         // LWW winner is the highest (epoch, seq, writer) = (1, 99, 7).
         let winner = store.get(b"contended").unwrap();
         assert_eq!(winner.version, Version::new(1, 99, 7));

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N] [--seed N]
-//!           [--csv PATH] [--print-every N] [--brute-force]
+//!           [--csv PATH] [--print-every N] [--brute-force] [--threads N]
 //! skute-sim --bench-json PATH
 //! ```
 //!
@@ -28,6 +28,7 @@ struct Args {
     csv: Option<String>,
     print_every: u64,
     brute_force: bool,
+    threads: Option<usize>,
     bench_json: Option<String>,
 }
 
@@ -39,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         csv: None,
         print_every: 10,
         brute_force: false,
+        threads: None,
         bench_json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -67,13 +69,22 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--print-every: {e}"))?
             }
             "--brute-force" => args.brute_force = true,
+            "--threads" | "-t" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--help" | "-h" => {
                 println!(
                     "skute-sim: run a Skute paper scenario\n\n\
                      USAGE: skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N]\n\
                             [--seed N] [--csv PATH] [--print-every N] [--brute-force]\n\
-                            [--bench-json PATH]"
+                            [--threads N] [--bench-json PATH]\n\n\
+                     --threads sets the epoch pipeline's worker budget (0 = all\n\
+                     cores); same-seed output is bitwise identical at any value."
                 );
                 std::process::exit(0);
             }
@@ -131,6 +142,9 @@ fn main() -> ExitCode {
         scenario.seed = seed;
     }
     scenario.config.brute_force_placement = args.brute_force;
+    if let Some(threads) = args.threads {
+        scenario.config.threads = threads;
+    }
     println!(
         "scenario {} — {} servers, {} apps, {} epochs, seed {}",
         scenario.name,

@@ -27,8 +27,8 @@ fn economic_dominates_the_availability_cost_frontier() {
     for k in [2usize, 3, 4] {
         let cfg = quick_cfg(&fixture, k);
         let economic = evaluate(&mut EconomicPlacement, &fixture, &cfg);
-        let spread = evaluate(&mut MaxSpreadPlacement, &fixture, &cfg);
-        let cheapest = evaluate(&mut CheapestPlacement, &fixture, &cfg);
+        let spread = evaluate(&mut MaxSpreadPlacement::default(), &fixture, &cfg);
+        let cheapest = evaluate(&mut CheapestPlacement::default(), &fixture, &cfg);
         let successor = evaluate(&mut SuccessorPlacement, &fixture, &cfg);
         let random = evaluate(&mut RandomPlacement::new(1), &fixture, &cfg);
         // Full SLA satisfaction at no more rent than the diversity-only

@@ -72,6 +72,50 @@ fn identical_seeds_are_bitwise_identical_at_paper_scale() {
 }
 
 #[test]
+fn thread_counts_replay_bitwise_identically() {
+    // The parallel epoch pipeline's acceptance bar: threads = 1 runs every
+    // phase inline (the sequential path); larger budgets fan the plan
+    // passes out across workers. Every field of every per-epoch
+    // Observation — floats included — must be bitwise identical, through
+    // traffic, repairs, economic decisions and a failure burst.
+    let run = |threads: usize| {
+        let mut s = paper::scaled_scenario("threads-det", 16, 2_500, 14);
+        s.seed = 0x7EAD;
+        s.config.threads = threads;
+        s.schedule = Schedule::new().at(7, CloudEvent::RemoveServers { count: 8 });
+        Simulation::new(s).run()
+    };
+    let sequential = run(1);
+    for threads in [2usize, 8] {
+        let parallel = run(threads);
+        assert_eq!(sequential.len(), parallel.len());
+        for (epoch, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(a, b, "threads = {threads} diverges at epoch {epoch}");
+        }
+    }
+}
+
+#[test]
+fn thread_counts_replay_bitwise_identically_at_paper_scale() {
+    // Same bar at the paper's M = 200 (600 partitions across three rings):
+    // the chunked plan passes, sharded report accounting and speculative
+    // placement must leave no trace in the trajectory.
+    let run = |threads: usize| {
+        let mut s = paper::scaled_scenario("threads-det-200", 200, 3_000, 6);
+        s.seed = 0xD200;
+        s.config.threads = threads;
+        Simulation::new(s).run()
+    };
+    let sequential = run(1);
+    for threads in [2usize, 8] {
+        let parallel = run(threads);
+        for (epoch, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(a, b, "threads = {threads} diverges at epoch {epoch}");
+        }
+    }
+}
+
+#[test]
 fn indexed_and_brute_force_placement_produce_identical_trajectories() {
     // End-to-end equivalence oracle: routing every eq.-(3) decision through
     // the brute-force full-cluster scan must reproduce the indexed
