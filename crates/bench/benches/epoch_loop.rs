@@ -2,11 +2,16 @@
 //! against the brute-force full-scan oracle at M ∈ {16, 50, 200} partitions
 //! per application, from a cold start (covering the decision-heavy
 //! convergence phase), plus the M = 200 thread-scaling rows at pipeline
-//! threads ∈ {1, 2, 4, 8} (same bitwise trajectory, wall clock only).
-//! Prints the comparison table and writes the machine-readable perf
-//! trajectory to `BENCH_epoch.json` at the workspace root; CI's
-//! bench-smoke job diffs that file against the committed one with the
-//! `bench_gate` binary.
+//! threads ∈ {1, 2, 4, 8}, a pool-overhead row (M = 16 at 8 threads:
+//! dispatch handoff dominates, charting the persistent pool's fixed cost)
+//! and the commit-mode rows (sequential traffic-commit oracle vs the
+//! default reconciled commit). Every row replays the same bitwise
+//! trajectory; only wall clock differs. Prints the comparison table and
+//! writes the machine-readable perf trajectory to `BENCH_epoch.json` at
+//! the workspace root; CI's bench-smoke job diffs that file against the
+//! committed one with the `bench_gate` binary (rows matched by
+//! `(partitions, threads, commit)` key; unmatched rows skip with a
+//! warning).
 //!
 //! Run with `cargo bench -p skute-bench --bench epoch_loop`.
 

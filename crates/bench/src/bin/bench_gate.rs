@@ -5,9 +5,11 @@
 //!            [--ratio-tolerance 0.3] [--abs-tolerance 0.6]
 //! ```
 //!
-//! Parses both `BENCH_epoch.json` documents, matches rows by
-//! `(partitions, threads)`, and exits non-zero when a row vanished or
-//! fell below either floor:
+//! Parses both `BENCH_epoch.json` documents, matches rows **by key** —
+//! `(partitions, threads, commit mode)` — skipping unmatched rows on
+//! either side with a warning (so adding or retiring bench rows never
+//! fails the gate), and exits non-zero when a matched row fell below
+//! either floor:
 //!
 //! * the **speedup ratio** (indexed over brute-force epochs/sec, both
 //!   measured in the same run) — hardware-neutral, so a faster or slower
@@ -110,38 +112,54 @@ fn main() -> ExitCode {
     );
     let ratio = |eps: f64, brute: f64| if brute > 0.0 { eps / brute } else { 0.0 };
     for b in &baseline {
-        let fresh = current
-            .iter()
-            .find(|c| c.partitions == b.partitions && c.threads == b.threads);
+        let fresh = current.iter().find(|c| c.key() == b.key());
         match fresh {
-            Some(c) => println!(
-                "  M = {:>4}, threads = {}: indexed {:>10.2} → {:>10.2} epochs/sec ({:+.1}%), \
-                 speedup {:.2}x → {:.2}x",
-                b.partitions,
-                b.threads,
-                b.indexed_eps,
-                c.indexed_eps,
-                100.0 * (c.indexed_eps - b.indexed_eps) / b.indexed_eps,
-                ratio(b.indexed_eps, b.brute_eps),
-                ratio(c.indexed_eps, c.brute_eps),
-            ),
-            None => println!(
-                "  M = {:>4}, threads = {}: row missing",
-                b.partitions, b.threads
-            ),
+            Some(c) => {
+                let delta = if b.indexed_eps > 0.0 {
+                    format!(
+                        "{:+.1}%",
+                        100.0 * (c.indexed_eps - b.indexed_eps) / b.indexed_eps
+                    )
+                } else {
+                    "n/a".to_string()
+                };
+                println!(
+                    "  {}: indexed {:>10.2} → {:>10.2} epochs/sec ({delta}), \
+                     speedup {:.2}x → {:.2}x",
+                    b.describe_key(),
+                    b.indexed_eps,
+                    c.indexed_eps,
+                    ratio(b.indexed_eps, b.brute_eps),
+                    ratio(c.indexed_eps, c.brute_eps),
+                );
+            }
+            None => println!("  {}: row missing (skipped)", b.describe_key()),
         }
     }
-    let violations = gate_trajectory(
+    let report = gate_trajectory(
         &baseline,
         &current,
         args.ratio_tolerance,
         args.abs_tolerance,
     );
-    if violations.is_empty() {
-        println!("bench_gate: trajectory holds");
+    for w in &report.warnings {
+        println!("bench_gate: warning: {w}");
+    }
+    if report.passed() {
+        println!(
+            "bench_gate: trajectory holds ({} row{} gated)",
+            report.matched,
+            if report.matched == 1 { "" } else { "s" }
+        );
         ExitCode::SUCCESS
     } else {
-        for v in &violations {
+        if report.matched == 0 {
+            eprintln!(
+                "bench_gate: REGRESSION: no baseline row matched any fresh row — \
+                 the sweep or the JSON row format changed out from under the gate"
+            );
+        }
+        for v in &report.violations {
             eprintln!("bench_gate: REGRESSION: {v}");
         }
         ExitCode::FAILURE

@@ -24,7 +24,8 @@ pub struct PipelineTiming {
     pub decisions: u64,
 }
 
-/// Head-to-head result for one partition count at one worker-thread count.
+/// Head-to-head result for one partition count at one worker-thread count
+/// and one traffic-commit mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochLoopResult {
     /// Partitions per application (the paper's M).
@@ -37,6 +38,11 @@ pub struct EpochLoopResult {
     /// trajectory is bitwise identical at every value; only wall clock
     /// moves, so rows at different thread counts chart the scaling curve.
     pub threads: usize,
+    /// True when the run routed the traffic commit through the sequential
+    /// oracle loop instead of the default reconciled parallel commit. The
+    /// trajectory is bitwise identical either way; the row pair charts
+    /// the commit-mode cost.
+    pub sequential_commit: bool,
     /// The rent-indexed pipeline (the default).
     pub indexed: PipelineTiming,
     /// The brute-force full-scan pipeline (the pre-optimization oracle).
@@ -65,6 +71,7 @@ pub fn time_pipeline(
     epochs: u64,
     brute_force: bool,
     threads: usize,
+    sequential_commit: bool,
 ) -> PipelineTiming {
     let mut best: Option<PipelineTiming> = None;
     for _ in 0..2 {
@@ -77,6 +84,7 @@ pub fn time_pipeline(
         scenario.seed = 0xBE_7C;
         scenario.config.brute_force_placement = brute_force;
         scenario.config.threads = threads;
+        scenario.config.sequential_traffic_commit = sequential_commit;
         let mut sim = Simulation::new(scenario);
         let mut decisions = 0u64;
         let start = Instant::now();
@@ -98,33 +106,56 @@ pub fn time_pipeline(
     best.expect("two passes ran")
 }
 
-/// Runs both pipelines at one partition count and thread count.
+/// Runs both pipelines at one partition count and thread count, in the
+/// default (parallel) traffic-commit mode.
 pub fn run_epoch_loop(partitions: usize, epochs: u64, threads: usize) -> EpochLoopResult {
+    run_epoch_loop_mode(partitions, epochs, threads, false)
+}
+
+/// Runs both pipelines at one partition count, thread count and
+/// traffic-commit mode.
+pub fn run_epoch_loop_mode(
+    partitions: usize,
+    epochs: u64,
+    threads: usize,
+    sequential_commit: bool,
+) -> EpochLoopResult {
     EpochLoopResult {
         partitions,
         epochs,
         threads,
-        indexed: time_pipeline(partitions, epochs, false, threads),
-        brute_force: time_pipeline(partitions, epochs, true, threads),
+        sequential_commit,
+        indexed: time_pipeline(partitions, epochs, false, threads, sequential_commit),
+        brute_force: time_pipeline(partitions, epochs, true, threads, sequential_commit),
     }
 }
 
 /// The standard sweep: the paper's M = 200 plus two reduced scales at one
-/// worker, then the M = 200 scaling curve at threads ∈ {2, 4, 8}. Epoch
-/// counts shrink as M grows so the whole sweep stays a smoke-test-sized
-/// run while still covering the decision-heavy convergence phase. All
-/// rows replay the same bitwise trajectory; only wall clock differs.
+/// worker, the M = 200 scaling curve at threads ∈ {2, 4, 8}, a
+/// **pool-overhead** row (M = 16 at 8 threads: per-chunk work so small
+/// the row is dominated by the persistent pool's dispatch handoff — on a
+/// single-core host it is pure overhead by construction), and two
+/// **commit-mode** rows timing the sequential traffic-commit oracle
+/// against the default reconciled commit at M = 200. Epoch counts shrink
+/// as M grows so the whole sweep stays a smoke-test-sized run while still
+/// covering the decision-heavy convergence phase. All rows replay the
+/// same bitwise trajectory; only wall clock differs.
 pub fn standard_sweep() -> Vec<EpochLoopResult> {
     [
-        (16usize, 40u64, 1usize),
-        (50, 25, 1),
-        (200, 12, 1),
-        (200, 12, 2),
-        (200, 12, 4),
-        (200, 12, 8),
+        (16usize, 40u64, 1usize, false),
+        (50, 25, 1, false),
+        (200, 12, 1, false),
+        (200, 12, 2, false),
+        (200, 12, 4, false),
+        (200, 12, 8, false),
+        // Pool-overhead row.
+        (16, 40, 8, false),
+        // Commit-mode rows (sequential oracle).
+        (200, 12, 1, true),
+        (200, 12, 8, true),
     ]
     .into_iter()
-    .map(|(m, epochs, threads)| run_epoch_loop(m, epochs, threads))
+    .map(|(m, epochs, threads, seq)| run_epoch_loop_mode(m, epochs, threads, seq))
     .collect()
 }
 
@@ -149,10 +180,11 @@ pub fn to_json(results: &[EpochLoopResult]) -> String {
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"partitions\": {}, \"epochs\": {}, \"threads\": {}, \"indexed\": {}, \"brute_force\": {}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"partitions\": {}, \"epochs\": {}, \"threads\": {}, \"commit\": \"{}\", \"indexed\": {}, \"brute_force\": {}, \"speedup\": {:.2}}}{}\n",
             r.partitions,
             r.epochs,
             r.threads,
+            if r.sequential_commit { "sequential" } else { "parallel" },
             timing_json(&r.indexed),
             timing_json(&r.brute_force),
             r.speedup(),
@@ -164,17 +196,43 @@ pub fn to_json(results: &[EpochLoopResult]) -> String {
 }
 
 /// One row parsed back out of a `BENCH_epoch.json` document: the key
-/// `(partitions, threads)` plus both pipelines' epochs/sec.
+/// `(partitions, threads, commit mode)` plus both pipelines' epochs/sec.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrajectoryRow {
     /// Partitions per application.
     pub partitions: usize,
     /// Pipeline worker threads (1 when the document predates the field).
     pub threads: usize,
+    /// Sequential-oracle traffic commit (false when the document predates
+    /// the field — older documents measured the only commit that existed,
+    /// which the default mode reproduces bit-for-bit).
+    pub sequential_commit: bool,
     /// Indexed-pipeline epochs per second.
     pub indexed_eps: f64,
     /// Brute-force-pipeline epochs per second.
     pub brute_eps: f64,
+}
+
+impl TrajectoryRow {
+    /// The row-matching key: rows are compared across documents only when
+    /// partitions, thread budget and commit mode all agree.
+    pub fn key(&self) -> (usize, usize, bool) {
+        (self.partitions, self.threads, self.sequential_commit)
+    }
+
+    /// Human-readable rendering of [`TrajectoryRow::key`].
+    pub fn describe_key(&self) -> String {
+        format!(
+            "M = {}, threads = {}, {} commit",
+            self.partitions,
+            self.threads,
+            if self.sequential_commit {
+                "sequential"
+            } else {
+                "parallel"
+            }
+        )
+    }
 }
 
 fn num_after(s: &str, key: &str) -> Option<f64> {
@@ -188,7 +246,8 @@ fn num_after(s: &str, key: &str) -> Option<f64> {
 
 /// Parses the result rows of a `BENCH_epoch.json` document (the format
 /// [`to_json`] writes: one result object per line). Documents written
-/// before the threads field default those rows to `threads = 1`.
+/// before the threads/commit fields default those rows to `threads = 1`
+/// and the parallel commit.
 pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
     let mut rows = Vec::new();
     for line in json.lines() {
@@ -196,6 +255,10 @@ pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
             continue;
         };
         let threads = num_after(line, "\"threads\"").unwrap_or(1.0);
+        let sequential_commit = line
+            .find("\"commit\"")
+            .map(|i| line[i..].starts_with("\"commit\": \"sequential\""))
+            .unwrap_or(false);
         let indexed = line.find("\"indexed\"").map(|i| &line[i..]);
         let brute = line.find("\"brute_force\"").map(|i| &line[i..]);
         let (Some(indexed), Some(brute)) = (indexed, brute) else {
@@ -210,6 +273,7 @@ pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
         rows.push(TrajectoryRow {
             partitions: partitions as usize,
             threads: threads as usize,
+            sequential_commit,
             indexed_eps,
             brute_eps,
         });
@@ -217,8 +281,38 @@ pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
     rows
 }
 
-/// Diffs a fresh trajectory against the committed baseline. Every baseline
-/// `(partitions, threads)` row must still exist and clear two floors:
+/// Outcome of diffing a fresh trajectory against the committed baseline:
+/// hard failures and advisory warnings, kept apart so a changed row *set*
+/// (new bench rows, retired rows) never fails the gate while a regressed
+/// row always does.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Regressions beyond tolerance; non-empty fails the gate.
+    pub violations: Vec<String>,
+    /// Unmatched rows on either side, skipped rather than gated.
+    pub warnings: Vec<String>,
+    /// Baseline rows that found a fresh partner and were actually gated.
+    /// Callers must treat `0` as a failure in its own right: a sweep or
+    /// JSON-format regression that empties the fresh row set would
+    /// otherwise downgrade every row to a warning and wave CI through
+    /// with the gate checking nothing.
+    pub matched: usize,
+}
+
+impl GateReport {
+    /// True when no violation was recorded **and** at least one row was
+    /// actually compared (warnings do not fail; gating nothing does).
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.matched > 0
+    }
+}
+
+/// Diffs a fresh trajectory against the committed baseline. Rows are
+/// matched **by key** — `(partitions, threads, commit mode)` — and rows
+/// without a partner on the other side (a freshly added bench row, or a
+/// retired one) are *skipped with a warning* instead of failing the gate,
+/// so evolving the sweep's row set never requires lock-step baseline
+/// surgery. Every matched row must clear two floors:
 ///
 /// * **speedup ratio** (primary, hardware-neutral): the row's
 ///   indexed-over-brute-force epochs/sec ratio — both pipelines measured
@@ -230,26 +324,22 @@ pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
 ///   fall more than `abs_tolerance` below the baseline's. This catches
 ///   regressions that slow both pipelines equally, at the cost of
 ///   hardware sensitivity — keep its tolerance generous.
-///
-/// Returns human-readable violations; empty = pass.
 pub fn gate_trajectory(
     baseline: &[TrajectoryRow],
     current: &[TrajectoryRow],
     ratio_tolerance: f64,
     abs_tolerance: f64,
-) -> Vec<String> {
-    let mut violations = Vec::new();
+) -> GateReport {
+    let mut report = GateReport::default();
     for b in baseline {
-        let Some(c) = current
-            .iter()
-            .find(|c| c.partitions == b.partitions && c.threads == b.threads)
-        else {
-            violations.push(format!(
-                "row (M = {}, threads = {}) disappeared from the fresh trajectory",
-                b.partitions, b.threads
+        let Some(c) = current.iter().find(|c| c.key() == b.key()) else {
+            report.warnings.push(format!(
+                "baseline row ({}) has no match in the fresh trajectory; skipped",
+                b.describe_key()
             ));
             continue;
         };
+        report.matched += 1;
         let b_ratio = if b.brute_eps > 0.0 {
             b.indexed_eps / b.brute_eps
         } else {
@@ -262,11 +352,10 @@ pub fn gate_trajectory(
         };
         let ratio_floor = b_ratio * (1.0 - ratio_tolerance);
         if c_ratio < ratio_floor {
-            violations.push(format!(
-                "M = {}, threads = {}: speedup {:.2}x fell below {:.2}x \
+            report.violations.push(format!(
+                "{}: speedup {:.2}x fell below {:.2}x \
                  (baseline {:.2}x, tolerance {:.0}%)",
-                b.partitions,
-                b.threads,
+                b.describe_key(),
                 c_ratio,
                 ratio_floor,
                 b_ratio,
@@ -275,11 +364,10 @@ pub fn gate_trajectory(
         }
         let abs_floor = b.indexed_eps * (1.0 - abs_tolerance);
         if c.indexed_eps < abs_floor {
-            violations.push(format!(
-                "M = {}, threads = {}: indexed {:.2} epochs/sec fell below {:.2} \
+            report.violations.push(format!(
+                "{}: indexed {:.2} epochs/sec fell below {:.2} \
                  (baseline {:.2}, tolerance {:.0}%)",
-                b.partitions,
-                b.threads,
+                b.describe_key(),
                 c.indexed_eps,
                 abs_floor,
                 b.indexed_eps,
@@ -287,7 +375,15 @@ pub fn gate_trajectory(
             ));
         }
     }
-    violations
+    for c in current {
+        if !baseline.iter().any(|b| b.key() == c.key()) {
+            report.warnings.push(format!(
+                "fresh row ({}) is not in the baseline; not gated",
+                c.describe_key()
+            ));
+        }
+    }
+    report
 }
 
 /// Writes the sweep to `path` as JSON.
@@ -304,10 +400,11 @@ pub fn write_json(path: &Path, results: &[EpochLoopResult]) -> std::io::Result<(
 /// Prints the human-readable comparison table for a sweep.
 pub fn print_table(results: &[EpochLoopResult]) {
     println!(
-        "{:>6} {:>7} {:>8} {:>14} {:>14} {:>12} {:>12} {:>8}",
+        "{:>6} {:>7} {:>8} {:>11} {:>14} {:>14} {:>12} {:>12} {:>8}",
         "M",
         "epochs",
         "threads",
+        "commit",
         "indexed ep/s",
         "brute ep/s",
         "idx ns/dec",
@@ -316,10 +413,15 @@ pub fn print_table(results: &[EpochLoopResult]) {
     );
     for r in results {
         println!(
-            "{:>6} {:>7} {:>8} {:>14.2} {:>14.2} {:>12.0} {:>12.0} {:>7.2}x",
+            "{:>6} {:>7} {:>8} {:>11} {:>14.2} {:>14.2} {:>12.0} {:>12.0} {:>7.2}x",
             r.partitions,
             r.epochs,
             r.threads,
+            if r.sequential_commit {
+                "sequential"
+            } else {
+                "parallel"
+            },
             r.indexed.epochs_per_sec,
             r.brute_force.epochs_per_sec,
             r.indexed.ns_per_decision,
@@ -347,6 +449,7 @@ mod tests {
         assert!(json.contains("\"bench\": \"epoch_loop\""));
         assert!(json.contains("\"partitions\": 4"));
         assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"commit\": \"parallel\""));
         assert!(json.contains("\"host_cpus\""));
         assert!(json.contains("\"speedup\""));
         // Balanced braces/brackets (cheap well-formedness check without a
@@ -370,9 +473,12 @@ mod tests {
         // The scaling rows must chart wall clock only: decision counts (and
         // therefore the simulated trajectory) are identical across thread
         // counts.
-        let t1 = time_pipeline(4, 3, false, 1);
-        let t8 = time_pipeline(4, 3, false, 8);
+        let t1 = time_pipeline(4, 3, false, 1, false);
+        let t8 = time_pipeline(4, 3, false, 8, false);
         assert_eq!(t1.decisions, t8.decisions);
+        // Commit modes replay the same trajectory too.
+        let seq = time_pipeline(4, 3, false, 1, true);
+        assert_eq!(t1.decisions, seq.decisions);
     }
 
     #[test]
@@ -382,6 +488,7 @@ mod tests {
                 partitions: 200,
                 epochs: 12,
                 threads: 1,
+                sequential_commit: false,
                 indexed: PipelineTiming {
                     seconds: 0.5,
                     epochs_per_sec: 24.0,
@@ -399,6 +506,7 @@ mod tests {
                 partitions: 200,
                 epochs: 12,
                 threads: 4,
+                sequential_commit: true,
                 indexed: PipelineTiming {
                     seconds: 0.25,
                     epochs_per_sec: 48.0,
@@ -417,9 +525,12 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].partitions, 200);
         assert_eq!(parsed[0].threads, 1);
+        assert!(!parsed[0].sequential_commit);
         assert_eq!(parsed[0].indexed_eps, 24.0);
         assert_eq!(parsed[1].threads, 4);
+        assert!(parsed[1].sequential_commit);
         assert_eq!(parsed[1].brute_eps, 15.0);
+        assert_ne!(parsed[0].key(), parsed[1].key());
     }
 
     #[test]
@@ -433,6 +544,11 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].threads, 1);
         assert_eq!(rows[0].partitions, 16);
+        assert!(
+            !rows[0].sequential_commit,
+            "legacy rows measured the only commit that existed; the default \
+             mode reproduces it bit-for-bit, so they match the parallel key"
+        );
         assert!((rows[0].indexed_eps - 10995.817).abs() < 1e-9);
     }
 
@@ -442,6 +558,7 @@ mod tests {
         let base = [TrajectoryRow {
             partitions: 200,
             threads: 1,
+            sequential_commit: false,
             indexed_eps: 100.0,
             brute_eps: 20.0,
         }];
@@ -452,7 +569,7 @@ mod tests {
             brute_eps: 60.0,
             ..base[0]
         }];
-        assert!(gate_trajectory(&base, &fast_host, 0.3, 0.5).is_empty());
+        assert!(gate_trajectory(&base, &fast_host, 0.3, 0.5).passed());
         // A uniformly slower machine (both pipelines halved): ratio holds,
         // the generous absolute backstop still clears.
         let slow_host = [TrajectoryRow {
@@ -460,7 +577,7 @@ mod tests {
             brute_eps: 11.0,
             ..base[0]
         }];
-        assert!(gate_trajectory(&base, &slow_host, 0.3, 0.5).is_empty());
+        assert!(gate_trajectory(&base, &slow_host, 0.3, 0.5).passed());
         // A real code regression on a 2x-faster machine: the index path
         // lost its edge (speedup 5x → 2.5x) while absolute numbers grew.
         // The absolute floor would wave it through; the ratio floor fails.
@@ -469,9 +586,9 @@ mod tests {
             brute_eps: 44.0,
             ..base[0]
         }];
-        let violations = gate_trajectory(&base, &regressed, 0.3, 0.5);
-        assert_eq!(violations.len(), 1);
-        assert!(violations[0].contains("speedup"));
+        let report = gate_trajectory(&base, &regressed, 0.3, 0.5);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("speedup"));
         // A same-machine across-the-board slowdown: ratio holds, the
         // absolute backstop fails.
         let uniform_slow = [TrajectoryRow {
@@ -479,13 +596,69 @@ mod tests {
             brute_eps: 8.0,
             ..base[0]
         }];
-        let violations = gate_trajectory(&base, &uniform_slow, 0.3, 0.5);
-        assert_eq!(violations.len(), 1);
-        assert!(violations[0].contains("epochs/sec"));
-        // A vanished row is a violation too.
-        let violations = gate_trajectory(&base, &[], 0.3, 0.5);
-        assert_eq!(violations.len(), 1);
-        assert!(violations[0].contains("disappeared"));
+        let report = gate_trajectory(&base, &uniform_slow, 0.3, 0.5);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("epochs/sec"));
+    }
+
+    #[test]
+    fn gate_skips_unmatched_rows_with_warnings() {
+        let base_row = TrajectoryRow {
+            partitions: 200,
+            threads: 1,
+            sequential_commit: false,
+            indexed_eps: 100.0,
+            brute_eps: 20.0,
+        };
+        // With *every* baseline row unmatched nothing was gated at all:
+        // that is a failure in its own right (an emptied or renamed fresh
+        // trajectory must not wave CI through), reported alongside the
+        // skip warning.
+        let report = gate_trajectory(&[base_row], &[], 0.3, 0.5);
+        assert!(!report.passed());
+        assert_eq!(report.matched, 0);
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].contains("skipped"));
+        // Rows differing only in thread budget or commit mode do not
+        // match: each side's stragglers warn, nothing fails, and the
+        // matched row is still gated.
+        let fresh = [
+            base_row,
+            TrajectoryRow {
+                threads: 8,
+                ..base_row
+            },
+            TrajectoryRow {
+                sequential_commit: true,
+                ..base_row
+            },
+        ];
+        let baseline = [
+            base_row,
+            TrajectoryRow {
+                partitions: 400,
+                ..base_row
+            },
+        ];
+        let report = gate_trajectory(&baseline, &fresh, 0.3, 0.5);
+        assert!(report.passed());
+        assert_eq!(report.matched, 1);
+        assert_eq!(report.warnings.len(), 3, "{:?}", report.warnings);
+        // A matched row that regressed still fails even when unmatched
+        // rows are present.
+        let regressed = [
+            TrajectoryRow {
+                indexed_eps: 10.0,
+                brute_eps: 10.0,
+                ..base_row
+            },
+            TrajectoryRow {
+                threads: 8,
+                ..base_row
+            },
+        ];
+        let report = gate_trajectory(&baseline, &regressed, 0.3, 0.5);
+        assert!(!report.passed());
     }
 
     fn figures_tmp() -> std::path::PathBuf {

@@ -1,6 +1,7 @@
 //! [`SkuteCloud`]: the self-managed, multi-ring key-value cloud.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -19,7 +20,7 @@ use crate::config::SkuteConfig;
 use crate::decision::{classify, clears_profit_hurdle, ActionCounts, Intent, VnodeSituation};
 use crate::error::CoreError;
 use crate::metrics::{AntiEntropyReport, EpochReport, RingReport};
-use crate::pipeline::{cached_availability, DecisionTask, EpochPipeline, PreDecision};
+use crate::pipeline::{cached_availability, DecisionItem, DeliveryBatch, EpochPipeline};
 use crate::placement::{economic_target, PlacementContext, PlacementIndex};
 use crate::vnode::{PartitionState, Replica, VnodeId};
 
@@ -63,7 +64,10 @@ impl RingState {
 /// returns an [`EpochReport`]).
 pub struct SkuteCloud {
     config: SkuteConfig,
-    topology: Topology,
+    /// Shared with the pipeline's parallel phases (jobs on the persistent
+    /// pool must own their inputs; the topology is immutable, so one `Arc`
+    /// serves every dispatch without a take/restore round trip).
+    topology: Arc<Topology>,
     cluster: Cluster,
     board: Board,
     rent_model: RentModel,
@@ -89,6 +93,23 @@ pub struct SkuteCloud {
     work_scratch: Vec<(usize, PartitionId, VnodeId, usize)>,
     servers_scratch: Vec<ServerId>,
     placed_scratch: Vec<(Location, f64)>,
+    /// Per-replica `(query_capacity, simulated served)` pairs of the
+    /// traffic reconciliation's feasibility peek.
+    meter_scratch: Vec<(f64, f64)>,
+}
+
+/// One ring's query traffic for a batched
+/// [`SkuteCloud::deliver_queries_multi`] call.
+#[derive(Debug, Clone)]
+pub struct TrafficBatch {
+    /// Target application.
+    pub app: AppId,
+    /// Availability level (ring index within the application).
+    pub level: u32,
+    /// Queries offered to the ring this epoch.
+    pub queries: f64,
+    /// Client regions with normalized weights.
+    pub regions: Vec<RegionWeight>,
 }
 
 impl SkuteCloud {
@@ -103,7 +124,7 @@ impl SkuteCloud {
         let mut cloud = Self {
             rng: StdRng::seed_from_u64(config.seed),
             config,
-            topology,
+            topology: Arc::new(topology),
             cluster,
             board: Board::new(),
             rent_model,
@@ -120,6 +141,7 @@ impl SkuteCloud {
             work_scratch: Vec::new(),
             servers_scratch: Vec::new(),
             placed_scratch: Vec::new(),
+            meter_scratch: Vec::new(),
         };
         cloud.post_prices();
         cloud
@@ -772,13 +794,9 @@ impl SkuteCloud {
     /// server's query capacity saturates. Replica utility accrues per
     /// eq. (5).
     ///
-    /// Runs as a two-pass pipeline phase: a parallel **plan** pass computes
-    /// every partition's region mix, proximity weights, client distances
-    /// and serving order (pure per-partition work against immutable server
-    /// locations), then a sequential **commit** pass serves the planned
-    /// shares against the live capacity meters in ring order — so the
-    /// capacity spill-over between partitions resolves in exactly the
-    /// order the sequential loop always used, at any thread count.
+    /// Equivalent to a one-element [`SkuteCloud::deliver_queries_multi`]
+    /// call; batching every ring's traffic into one `multi` call runs all
+    /// plan passes in a single pool dispatch.
     pub fn deliver_queries(
         &mut self,
         app: AppId,
@@ -786,41 +804,172 @@ impl SkuteCloud {
         total_queries: f64,
         regions: &[RegionWeight],
     ) -> Result<(), CoreError> {
-        let ring_idx = self.ring_index(app, level)?;
-        if total_queries <= 0.0 {
-            return Ok(());
+        self.deliver_queries_multi(vec![TrafficBatch {
+            app,
+            level,
+            queries: total_queries,
+            regions: regions.to_vec(),
+        }])
+    }
+
+    /// Delivers one epoch's query traffic to several rings at once,
+    /// batching every ring's delivery **plan** pass into a single
+    /// dispatch on the persistent worker pool, then committing:
+    ///
+    /// 1. a sequential **reconciliation** walks the rings in batch order
+    ///    and each ring's partitions in ring order, validating every
+    ///    partition's planned delivery events against the live per-server
+    ///    query-capacity meters (a bit-exact simulation of the sequential
+    ///    `serve_on` arithmetic). Spill-free partitions commit their
+    ///    capacity movement from the plan; a partition whose events could
+    ///    touch a saturating meter falls back to the original sequential
+    ///    algorithm on the spot, in exactly the position the sequential
+    ///    loop would have processed it;
+    /// 2. a parallel **accrual** pass applies the per-replica query
+    ///    counts and eq.-(5) utility of the spill-free partitions
+    ///    (partition-local arithmetic on planned floats).
+    ///
+    /// The trajectory is therefore **bitwise identical** to
+    /// [`SkuteConfig::sequential_traffic_commit`] mode — which routes
+    /// step 1 entirely through the sequential algorithm and skips step 2
+    /// — and to the pre-batching per-ring calls: delivery plans read no
+    /// capacity meters, so batching cannot change any float.
+    ///
+    /// Batches are processed in order; batches addressing the same ring
+    /// observe each other's committed traffic exactly like consecutive
+    /// [`SkuteCloud::deliver_queries`] calls. A batch naming an unknown
+    /// app or level fails the whole call before any traffic lands.
+    pub fn deliver_queries_multi(&mut self, batches: Vec<TrafficBatch>) -> Result<(), CoreError> {
+        // Resolve every ring up front: a bad batch fails the whole call
+        // before any traffic lands.
+        let mut resolved: Vec<(usize, TrafficBatch)> = Vec::with_capacity(batches.len());
+        for b in batches {
+            let ri = self.ring_index(b.app, b.level)?;
+            resolved.push((ri, b));
         }
+        // Batches targeting the same ring must observe each other's
+        // committed traffic: split the call into waves of distinct rings,
+        // processed in order (each wave is one plan dispatch).
+        let mut wave: Vec<(usize, TrafficBatch)> = Vec::new();
+        for (ri, b) in resolved {
+            if wave.iter().any(|(wri, _)| *wri == ri) {
+                let w = std::mem::take(&mut wave);
+                self.deliver_wave(w);
+            }
+            wave.push((ri, b));
+        }
+        if !wave.is_empty() {
+            self.deliver_wave(wave);
+        }
+        Ok(())
+    }
+
+    /// Plans and commits one wave of distinct-ring traffic batches.
+    ///
+    /// The reconciled (planned-event) commit only engages when the
+    /// pipeline has workers to run the accrual pass on; an inline
+    /// (`threads = 1`) pipeline plans in place over borrowed partitions —
+    /// no map rebuilds, no context round trip — and commits through the
+    /// sequential loop. Both routes are bitwise identical (asserted by the
+    /// thread-matrix and commit-mode equivalence tests).
+    fn deliver_wave(&mut self, wave: Vec<(usize, TrafficBatch)>) {
         let gamma = self.config.economy.utility_per_query;
-        let pids: Vec<PartitionId> = self.rings[ring_idx].ring.partition_ids();
-        let total_pop: f64 = pids
-            .iter()
-            .filter_map(|pid| self.rings[ring_idx].partitions.get(pid))
-            .map(|p| p.popularity)
-            .sum();
-        if total_pop <= 0.0 {
-            return Ok(());
+        let planned_commit = !self.config.sequential_traffic_commit && self.pipeline.threads() > 1;
+        if self.pipeline.threads() == 1 {
+            // Single-thread fast path: identical per-partition arithmetic,
+            // run in place.
+            let mut ring_indices: Vec<usize> = Vec::with_capacity(wave.len());
+            for (ri, b) in wave {
+                if b.queries <= 0.0 {
+                    continue;
+                }
+                let total_pop: f64 = self.rings[ri]
+                    .partitions
+                    .values()
+                    .map(|p| p.popularity)
+                    .sum();
+                if total_pop <= 0.0 {
+                    continue;
+                }
+                let Self {
+                    rings,
+                    cluster,
+                    topology,
+                    ..
+                } = self;
+                for part in rings[ri].partitions.values_mut() {
+                    crate::pipeline::plan_one_delivery(
+                        part, cluster, topology, &b.regions, b.queries, total_pop, false,
+                    );
+                }
+                ring_indices.push(ri);
+            }
+            for ri in ring_indices {
+                self.commit_ring_traffic(ri, gamma, true);
+            }
+            return;
         }
-        // Plan pass (parallel): partition-local state only.
-        {
-            let Self {
-                rings,
-                cluster,
-                topology,
-                pipeline,
-                ..
-            } = self;
-            let mut parts: Vec<&mut PartitionState> =
-                rings[ring_idx].partitions.values_mut().collect();
-            pipeline.plan_delivery(
-                &mut parts,
-                cluster,
-                topology,
-                regions,
-                total_queries,
+        let mut batches: Vec<DeliveryBatch> = Vec::with_capacity(wave.len());
+        for (ri, b) in wave {
+            if b.queries <= 0.0 {
+                continue;
+            }
+            let total_pop: f64 = self.rings[ri]
+                .partitions
+                .values()
+                .map(|p| p.popularity)
+                .sum();
+            if total_pop <= 0.0 {
+                continue;
+            }
+            // Move the ring's partitions out for the owned-task dispatch;
+            // they come back in the same ascending order.
+            let parts: Vec<(PartitionId, PartitionState)> =
+                std::mem::take(&mut self.rings[ri].partitions)
+                    .into_iter()
+                    .collect();
+            batches.push(DeliveryBatch {
+                ring_idx: ri,
+                total_queries: b.queries,
                 total_pop,
-            );
+                regions: b.regions,
+                parts,
+            });
         }
-        // Commit pass (sequential, ring order): live capacity meters.
+        if batches.is_empty() {
+            return;
+        }
+        // Plan pass: one pool dispatch across every ring of the wave.
+        let cluster = std::mem::take(&mut self.cluster);
+        let (cluster, batches) = self.pipeline.plan_delivery_multi(
+            cluster,
+            Arc::clone(&self.topology),
+            batches,
+            planned_commit,
+        );
+        self.cluster = cluster;
+        let ring_indices: Vec<usize> = batches.iter().map(|b| b.ring_idx).collect();
+        for batch in batches {
+            let ri = batch.ring_idx;
+            self.rings[ri].partitions = batch.parts.into_iter().collect();
+        }
+        // Commit: sequential reconciliation in batch/ring order, then the
+        // parallel accrual of the spill-free partitions.
+        for ri in ring_indices {
+            self.commit_ring_traffic(ri, gamma, !planned_commit);
+        }
+        if planned_commit {
+            self.apply_pending_accrual(gamma);
+        }
+    }
+
+    /// The traffic commit of one ring, in ring order: spill-free planned
+    /// deliveries apply their meter movement directly (accrual deferred to
+    /// the parallel pass); everything else runs the sequential algorithm
+    /// in place. With `sequential` set, every partition takes the
+    /// sequential path (the oracle mode).
+    fn commit_ring_traffic(&mut self, ring_idx: usize, gamma: f64, sequential: bool) {
+        let pids: Vec<PartitionId> = self.rings[ring_idx].ring.partition_ids();
         for pid in pids {
             let Some(partition) = self.rings[ring_idx].partitions.get_mut(&pid) else {
                 continue;
@@ -829,63 +978,174 @@ impl SkuteCloud {
                 continue; // no queries addressed to this partition
             }
             let q = partition.delivery.q;
-            let sum_g = partition.delivery.sum_g;
-            if sum_g <= 0.0 {
+            if partition.delivery.sum_g <= 0.0 {
                 let ring = &mut self.rings[ring_idx];
                 ring.queries_offered_epoch += q;
                 ring.queries_dropped_epoch += q;
                 continue;
             }
-            let PartitionState {
-                replicas, delivery, ..
-            } = &mut *partition;
-            let gs = &delivery.gs;
-            let dists = &delivery.dists;
-            let order = &delivery.order;
-            let mut distance_sum = 0.0;
-            // Pass 1: proximity-proportional shares, capped by capacity.
-            let mut remaining = q;
-            let mut served_total = 0.0;
-            for &i in order.iter() {
-                let want = q * gs[i] / sum_g;
-                let served =
-                    Self::serve_on(&mut self.cluster, replicas[i].server, want.min(remaining));
-                replicas[i].queries_epoch += served;
-                replicas[i].utility_epoch += gamma * served * gs[i];
-                distance_sum += served * dists[i];
-                remaining -= served;
-                served_total += served;
+            if !sequential && self.try_commit_planned(ring_idx, pid) {
+                // Spill-free: the planned events were applied to the
+                // meters bit-exactly; ring totals come from the planned
+                // folds (same floats the sequential loop would produce).
+                let d = &self.rings[ring_idx].partitions[&pid].delivery;
+                let (served_total, final_remaining, distance_sum) =
+                    (d.served_total, d.final_remaining, d.distance_sum);
+                let ring = &mut self.rings[ring_idx];
+                ring.queries_offered_epoch += q;
+                ring.queries_served_epoch += served_total;
+                ring.queries_dropped_epoch += final_remaining.max(0.0);
+                ring.distance_sum_epoch += distance_sum;
+                continue;
             }
-            // Pass 2: spill the remainder to whoever still has capacity,
-            // closest replicas first.
-            if remaining > 1e-9 {
-                for &i in order.iter() {
-                    if remaining <= 1e-9 {
-                        break;
-                    }
-                    let served = Self::serve_on(&mut self.cluster, replicas[i].server, remaining);
-                    replicas[i].queries_epoch += served;
-                    replicas[i].utility_epoch += gamma * served * gs[i];
-                    distance_sum += served * dists[i];
-                    remaining -= served;
-                    served_total += served;
-                }
-            }
-            if remaining > 1e-9 {
-                // Genuinely dropped: record on the closest replica's server.
-                if let Some(&best) = order.first() {
-                    if let Some(s) = self.cluster.get_mut(replicas[best].server) {
-                        s.usage.queries_dropped += remaining;
-                    }
-                }
-            }
+            // Sequential algorithm: the oracle mode, and the fallback for
+            // partitions whose planned events could touch a saturating
+            // capacity meter.
+            let partition = self.rings[ring_idx].partitions.get_mut(&pid).unwrap();
+            let (served_total, remaining, distance_sum) =
+                Self::commit_partition_sequential(&mut self.cluster, partition, gamma);
             let ring = &mut self.rings[ring_idx];
             ring.queries_offered_epoch += q;
             ring.queries_served_epoch += served_total;
             ring.queries_dropped_epoch += remaining.max(0.0);
             ring.distance_sum_epoch += distance_sum;
         }
-        Ok(())
+    }
+
+    /// Tries to commit one partition's planned delivery events against the
+    /// live capacity meters. The feasibility peek simulates `serve_on`'s
+    /// arithmetic bit-exactly (per-replica `served + amount` folds against
+    /// `(capacity - served).max(0)` rooms seeded from the live meters); if
+    /// any event would be clipped — including events on dead servers — the
+    /// partition is left untouched and the caller falls back to the
+    /// sequential algorithm. On success the meters receive exactly the
+    /// adds `serve_on` would have performed, in event order, and the
+    /// partition is queued for the parallel accrual pass.
+    fn try_commit_planned(&mut self, ring_idx: usize, pid: PartitionId) -> bool {
+        let Self {
+            rings,
+            cluster,
+            meter_scratch,
+            ..
+        } = self;
+        let partition = rings[ring_idx].partitions.get_mut(&pid).unwrap();
+        let PartitionState {
+            replicas, delivery, ..
+        } = &mut *partition;
+        meter_scratch.clear();
+        for r in replicas.iter() {
+            match cluster.get(r.server) {
+                Some(s) if s.is_alive() => {
+                    meter_scratch.push((s.capacities.query_capacity, s.usage.queries_served))
+                }
+                _ => meter_scratch.push((0.0, 0.0)), // dead server: no room
+            }
+        }
+        for &(i, amount) in &delivery.events {
+            if amount <= 0.0 {
+                continue; // serve_on no-ops on non-positive requests
+            }
+            let (cap, served) = meter_scratch[i];
+            let room = (cap - served).max(0.0);
+            if amount > room {
+                return false;
+            }
+            meter_scratch[i].1 = served + amount;
+        }
+        // Every event fits: apply the same adds serve_on would have
+        // performed, in event order.
+        for &(i, amount) in &delivery.events {
+            if amount <= 0.0 {
+                continue;
+            }
+            if let Some(s) = cluster.get_mut(replicas[i].server) {
+                s.usage.queries_served += amount;
+            }
+        }
+        delivery.accrual_pending = true;
+        true
+    }
+
+    /// The original sequential per-partition traffic commit: the
+    /// proximity-proportional pass capped by live capacity, the spill
+    /// pass, and the drop recording. Returns the partition's
+    /// `(served, remaining, distance_sum)` contributions to the ring
+    /// totals.
+    fn commit_partition_sequential(
+        cluster: &mut Cluster,
+        partition: &mut PartitionState,
+        gamma: f64,
+    ) -> (f64, f64, f64) {
+        let PartitionState {
+            replicas, delivery, ..
+        } = &mut *partition;
+        let q = delivery.q;
+        let sum_g = delivery.sum_g;
+        let gs = &delivery.gs;
+        let dists = &delivery.dists;
+        let order = &delivery.order;
+        let mut distance_sum = 0.0;
+        // Pass 1: proximity-proportional shares, capped by capacity.
+        let mut remaining = q;
+        let mut served_total = 0.0;
+        for &i in order.iter() {
+            let want = q * gs[i] / sum_g;
+            let served = Self::serve_on(cluster, replicas[i].server, want.min(remaining));
+            replicas[i].queries_epoch += served;
+            replicas[i].utility_epoch += gamma * served * gs[i];
+            distance_sum += served * dists[i];
+            remaining -= served;
+            served_total += served;
+        }
+        // Pass 2: spill the remainder to whoever still has capacity,
+        // closest replicas first.
+        if remaining > 1e-9 {
+            for &i in order.iter() {
+                if remaining <= 1e-9 {
+                    break;
+                }
+                let served = Self::serve_on(cluster, replicas[i].server, remaining);
+                replicas[i].queries_epoch += served;
+                replicas[i].utility_epoch += gamma * served * gs[i];
+                distance_sum += served * dists[i];
+                remaining -= served;
+                served_total += served;
+            }
+        }
+        if remaining > 1e-9 {
+            // Genuinely dropped: record on the closest replica's server.
+            if let Some(&best) = order.first() {
+                if let Some(s) = cluster.get_mut(replicas[best].server) {
+                    s.usage.queries_dropped += remaining;
+                }
+            }
+        }
+        (served_total, remaining, distance_sum)
+    }
+
+    /// Runs the parallel accrual pass over every partition whose planned
+    /// events committed spill-free in this wave.
+    fn apply_pending_accrual(&mut self, gamma: f64) {
+        let mut pending: Vec<(usize, PartitionId, PartitionState)> = Vec::new();
+        for (ri, ring) in self.rings.iter_mut().enumerate() {
+            let ids: Vec<PartitionId> = ring
+                .partitions
+                .iter()
+                .filter(|(_, p)| p.delivery.accrual_pending)
+                .map(|(pid, _)| *pid)
+                .collect();
+            for pid in ids {
+                let part = ring.partitions.remove(&pid).expect("listed above");
+                pending.push((ri, pid, part));
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let done = self.pipeline.apply_traffic_accrual(pending, gamma);
+        for (ri, pid, part) in done {
+            self.rings[ri].partitions.insert(pid, part);
+        }
     }
 
     fn serve_on(cluster: &mut Cluster, server: ServerId, queries: f64) -> f64 {
@@ -936,19 +1196,41 @@ impl SkuteCloud {
         let window = self.config.economy.decision_window;
         let max_repairs = self.config.max_repairs_per_partition_per_epoch;
         let max_replicas = self.config.economy.max_replicas;
-        {
-            let Self {
-                rings,
-                cluster,
-                pipeline,
-                ..
-            } = self;
-            let mut parts: Vec<&mut PartitionState> = rings
-                .iter_mut()
-                .flat_map(|r| r.partitions.values_mut())
-                .filter(|p| p.cached_availability.is_none())
-                .collect();
-            pipeline.warm_availability(&mut parts, cluster);
+        if self.pipeline.threads() == 1 {
+            // Single-thread fast path: warm the cache in place.
+            let Self { rings, cluster, .. } = self;
+            for ring in rings.iter_mut() {
+                for part in ring.partitions.values_mut() {
+                    if part.cached_availability.is_none() {
+                        let _ = cached_availability(cluster, part);
+                    }
+                }
+            }
+        } else {
+            // Move the cache-miss partitions out for the owned-task warm
+            // dispatch; the converged steady state has no misses and skips
+            // the dispatch entirely.
+            let mut misses: Vec<(usize, PartitionId, PartitionState)> = Vec::new();
+            for (ri, ring) in self.rings.iter_mut().enumerate() {
+                let ids: Vec<PartitionId> = ring
+                    .partitions
+                    .iter()
+                    .filter(|(_, p)| p.cached_availability.is_none())
+                    .map(|(pid, _)| *pid)
+                    .collect();
+                for pid in ids {
+                    let part = ring.partitions.remove(&pid).expect("listed above");
+                    misses.push((ri, pid, part));
+                }
+            }
+            if !misses.is_empty() {
+                let cluster = std::mem::take(&mut self.cluster);
+                let (cluster, warmed) = self.pipeline.warm_availability(cluster, misses);
+                self.cluster = cluster;
+                for (ri, pid, part) in warmed {
+                    self.rings[ri].partitions.insert(pid, part);
+                }
+            }
         }
         for ri in 0..self.rings.len() {
             let threshold = self.rings[ri].level.threshold;
@@ -1068,10 +1350,9 @@ impl SkuteCloud {
             self.index.refresh(&ctx);
         }
         let frozen = (self.cluster.version(), self.board.version());
-        let mut pre = std::mem::take(&mut self.pipeline.pre);
-        pre.clear();
-        pre.resize(slots, PreDecision::default());
-        {
+        if self.pipeline.threads() == 1 {
+            // Single-thread fast path: identical per-vnode arithmetic, run
+            // in place over borrowed partitions in the same flat order.
             let Self {
                 rings,
                 cluster,
@@ -1082,32 +1363,59 @@ impl SkuteCloud {
                 pipeline,
                 ..
             } = self;
-            let mut tasks: Vec<DecisionTask<'_>> = Vec::new();
-            let mut rest: &mut [PreDecision] = &mut pre;
-            for ring in rings.iter_mut() {
-                let threshold = ring.level.threshold;
-                for p in ring.partitions.values_mut() {
-                    let (head, tail) = rest.split_at_mut(p.replicas.len());
-                    rest = tail;
-                    tasks.push(DecisionTask {
-                        threshold,
-                        part: p,
-                        slots: head,
-                    });
-                }
-            }
-            pipeline.decisions_prepass(
-                &mut tasks,
+            let inputs = crate::pipeline::DecisionInputs {
                 cluster,
                 board,
                 topology,
-                &config.economy,
+                economy: &config.economy,
                 index,
                 brute_force,
                 min_rent,
+            };
+            pipeline.decisions_prepass_inline(
+                rings.iter_mut().flat_map(|ring| {
+                    let threshold = ring.level.threshold;
+                    ring.partitions.values_mut().map(move |p| (threshold, p))
+                }),
+                &inputs,
             );
+        } else {
+            // Move every partition (and the shared decision inputs) into
+            // the owned-task prepass dispatch; everything comes back at
+            // the barrier, partitions in flat (ring, partition) order —
+            // the same enumeration the slot indices were assigned in.
+            let mut items: Vec<DecisionItem> = Vec::new();
+            for (ri, ring) in self.rings.iter_mut().enumerate() {
+                let threshold = ring.level.threshold;
+                for (pid, part) in std::mem::take(&mut ring.partitions) {
+                    items.push(DecisionItem {
+                        ring_idx: ri,
+                        threshold,
+                        pid,
+                        part,
+                    });
+                }
+            }
+            let (cluster, board, index, items) = self.pipeline.decisions_prepass(
+                std::mem::take(&mut self.cluster),
+                std::mem::take(&mut self.board),
+                Arc::clone(&self.topology),
+                self.config.economy,
+                std::mem::take(&mut self.index),
+                brute_force,
+                min_rent,
+                items,
+            );
+            self.cluster = cluster;
+            self.board = board;
+            self.index = index;
+            for item in items {
+                self.rings[item.ring_idx]
+                    .partitions
+                    .insert(item.pid, item.part);
+            }
         }
-        self.pipeline.pre = pre;
+        debug_assert_eq!(self.pipeline.pre.len(), slots, "one slot per vnode");
         // Commit pass (sequential, seeded shuffle order).
         for &(ri, pid, vid, slot) in &work {
             let threshold = self.rings[ri].level.threshold;
@@ -1339,44 +1647,52 @@ impl SkuteCloud {
         let alive_servers = self.cluster.alive_count();
         let mut rings = Vec::with_capacity(self.rings.len());
         self.pipeline.begin_report();
-        {
-            let Self {
-                rings: ring_states,
-                cluster,
-                pipeline,
-                ..
-            } = self;
-            for ring in ring_states.iter_mut() {
-                let threshold = ring.level.threshold;
-                let stats = {
-                    let mut parts: Vec<&mut PartitionState> =
-                        ring.partitions.values_mut().collect();
-                    pipeline.ring_stats(&mut parts, cluster, threshold)
-                };
-                rings.push(RingReport {
-                    ring: ring.id,
-                    target_replicas: ring.level.target_replicas,
-                    partitions: ring.partitions.len(),
-                    vnodes: stats.vnodes,
-                    mean_availability: stats.mean_availability,
-                    min_availability: stats.min_availability,
-                    sla_satisfied_frac: stats.sla_satisfied_frac,
-                    queries_offered: ring.queries_offered_epoch,
-                    queries_served: ring.queries_served_epoch,
-                    queries_dropped: ring.queries_dropped_epoch,
-                    load_per_server: if alive_servers == 0 {
-                        0.0
-                    } else {
-                        ring.queries_served_epoch / alive_servers as f64
-                    },
-                    load_cv: stats.load_cv,
-                    mean_client_distance: if ring.queries_served_epoch > 0.0 {
-                        ring.distance_sum_epoch / ring.queries_served_epoch
-                    } else {
-                        0.0
-                    },
-                });
-            }
+        for ri in 0..self.rings.len() {
+            let threshold = self.rings[ri].level.threshold;
+            let stats = if self.pipeline.threads() == 1 {
+                // Single-thread fast path: identical accounting in place.
+                let Self {
+                    rings,
+                    cluster,
+                    pipeline,
+                    ..
+                } = self;
+                pipeline.ring_stats_inline(cluster, rings[ri].partitions.values_mut(), threshold)
+            } else {
+                let parts: Vec<(PartitionId, PartitionState)> =
+                    std::mem::take(&mut self.rings[ri].partitions)
+                        .into_iter()
+                        .collect();
+                let cluster = std::mem::take(&mut self.cluster);
+                let (cluster, parts, stats) = self.pipeline.ring_stats(cluster, parts, threshold);
+                self.cluster = cluster;
+                self.rings[ri].partitions = parts.into_iter().collect();
+                stats
+            };
+            let ring = &self.rings[ri];
+            rings.push(RingReport {
+                ring: ring.id,
+                target_replicas: ring.level.target_replicas,
+                partitions: ring.partitions.len(),
+                vnodes: stats.vnodes,
+                mean_availability: stats.mean_availability,
+                min_availability: stats.min_availability,
+                sla_satisfied_frac: stats.sla_satisfied_frac,
+                queries_offered: ring.queries_offered_epoch,
+                queries_served: ring.queries_served_epoch,
+                queries_dropped: ring.queries_dropped_epoch,
+                load_per_server: if alive_servers == 0 {
+                    0.0
+                } else {
+                    ring.queries_served_epoch / alive_servers as f64
+                },
+                load_cv: stats.load_cv,
+                mean_client_distance: if ring.queries_served_epoch > 0.0 {
+                    ring.distance_sum_epoch / ring.queries_served_epoch
+                } else {
+                    0.0
+                },
+            });
         }
         EpochReport {
             epoch: self.epoch,
@@ -1889,6 +2205,219 @@ mod tests {
         for r in &p.replicas {
             let server = cloud.cluster.get(r.server).unwrap();
             assert!(server.usage.storage_used >= r.store.logical_bytes());
+        }
+    }
+
+    /// Per-epoch served/dropped meter bits of every alive server.
+    type MeterBits = Vec<(ServerId, u64, u64)>;
+
+    /// Runs a query-capacity-constrained cloud for `epochs` and returns
+    /// per-epoch reports plus every alive server's served/dropped meter
+    /// bits — the conservation fingerprint of the traffic commit.
+    fn saturated_run(
+        sequential_commit: bool,
+        threads: usize,
+        query_capacity: f64,
+        queries: f64,
+        epochs: usize,
+    ) -> Vec<(EpochReport, MeterBits)> {
+        let topology = Topology::paper();
+        let cluster = Cluster::from_topology(&topology, |i, location| ServerSpec {
+            location,
+            capacities: Capacities::paper(10 * GIB, query_capacity),
+            monthly_cost: if i % 10 < 7 { 100.0 } else { 125.0 },
+            confidence: 1.0,
+        });
+        let mut config = SkuteConfig::paper().with_threads(threads);
+        config.sequential_traffic_commit = sequential_commit;
+        let mut cloud = SkuteCloud::new(config, topology, cluster);
+        let app = cloud
+            .create_application(AppSpec::new("t").level(LevelSpec::new(3, 24)))
+            .unwrap();
+        let regions = skute_geo::ClientGeo::Uniform.region_weights(cloud.topology());
+        let mut out = Vec::new();
+        for _ in 0..epochs {
+            cloud.begin_epoch();
+            cloud.deliver_queries(app, 0, queries, &regions).unwrap();
+            let report = cloud.end_epoch();
+            let meters: Vec<(ServerId, u64, u64)> = cloud
+                .cluster()
+                .alive()
+                .map(|s| {
+                    (
+                        s.id,
+                        s.usage.queries_served.to_bits(),
+                        s.usage.queries_dropped.to_bits(),
+                    )
+                })
+                .collect();
+            out.push((report, meters));
+        }
+        out
+    }
+
+    #[test]
+    fn pipeline_parks_workers_for_the_cloud_lifetime() {
+        // An inline cloud spawns nothing; a threaded cloud parks
+        // `threads - 1` workers at construction and keeps them across
+        // epochs (the persistent pool's whole point — no per-phase
+        // spawns).
+        let (cloud, _) = small_cloud();
+        assert_eq!(cloud.pipeline().threads(), 1);
+        assert_eq!(cloud.pipeline().live_workers(), 0);
+        let topology = Topology::paper();
+        let cluster = paper_cluster(&topology);
+        let mut cloud = SkuteCloud::new(SkuteConfig::paper().with_threads(4), topology, cluster);
+        let app = cloud
+            .create_application(AppSpec::new("t").level(LevelSpec::new(3, 16)))
+            .unwrap();
+        assert_eq!(cloud.pipeline().live_workers(), 3);
+        for _ in 0..3 {
+            cloud.begin_epoch();
+            let regions = skute_geo::ClientGeo::Uniform.region_weights(cloud.topology());
+            cloud.deliver_queries(app, 0, 500.0, &regions).unwrap();
+            cloud.end_epoch();
+            assert_eq!(
+                cloud.pipeline().live_workers(),
+                3,
+                "dispatches must reuse the parked workers, not respawn"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_traffic_commit_matches_sequential_oracle() {
+        // 200 servers × 12 queries of capacity against 5000 offered
+        // queries: meters saturate, so the reconciliation's feasibility
+        // peek fails and the deferred sequential fallback engages. The
+        // parallel commit must still be bitwise identical to the oracle —
+        // reports and per-server served/dropped meters — at every thread
+        // count.
+        let parallel = saturated_run(false, 1, 12.0, 5_000.0, 6);
+        assert_eq!(
+            parallel,
+            saturated_run(true, 1, 12.0, 5_000.0, 6),
+            "sharded commit diverges from the sequential oracle under saturation"
+        );
+        assert_eq!(
+            parallel,
+            saturated_run(false, 8, 12.0, 5_000.0, 6),
+            "sharded commit is not thread-count invariant under saturation"
+        );
+        // The scenario genuinely exercises the deferred path: queries were
+        // dropped, which only the capacity-bound branch can produce.
+        let dropped: f64 = parallel
+            .iter()
+            .flat_map(|(r, _)| r.rings.iter().map(|ring| ring.queries_dropped))
+            .sum();
+        assert!(dropped > 0.0, "test must exercise capacity exhaustion");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        /// Conservation equivalence as a property: across random capacity
+        /// regimes (ample through heavily saturated) and traffic volumes,
+        /// the parallel traffic commit delivers and spills exactly the
+        /// same queries per server per epoch as the sequential oracle —
+        /// asserted bitwise on reports and meters, at 1 and 8 threads.
+        #[test]
+        fn prop_traffic_commit_conservation_equivalence(
+            query_capacity in 5.0f64..80.0,
+            queries in 200.0f64..9_000.0,
+        ) {
+            let parallel = saturated_run(false, 1, query_capacity, queries, 3);
+            let oracle = saturated_run(true, 1, query_capacity, queries, 3);
+            proptest::prop_assert_eq!(&parallel, &oracle);
+            let threaded = saturated_run(false, 8, query_capacity, queries, 3);
+            proptest::prop_assert_eq!(&parallel, &threaded);
+        }
+    }
+
+    #[test]
+    fn deliver_queries_multi_matches_consecutive_single_calls() {
+        // Batching distinct rings into one multi call (one plan dispatch)
+        // must be bitwise identical to consecutive per-ring calls, and
+        // same-ring batches must stack like consecutive calls.
+        let build = || {
+            let topology = Topology::paper();
+            let cluster = paper_cluster(&topology);
+            let mut cloud = SkuteCloud::new(SkuteConfig::paper(), topology, cluster);
+            let app = cloud
+                .create_application(
+                    AppSpec::new("t")
+                        .level(LevelSpec::new(2, 8))
+                        .level(LevelSpec::new(3, 8)),
+                )
+                .unwrap();
+            for _ in 0..4 {
+                cloud.begin_epoch();
+                cloud.end_epoch();
+            }
+            cloud.begin_epoch();
+            (cloud, app)
+        };
+        let fingerprint = |cloud: &mut SkuteCloud| {
+            let r = cloud.end_epoch();
+            let meters: Vec<u64> = cloud
+                .cluster()
+                .alive()
+                .map(|s| s.usage.queries_served.to_bits())
+                .collect();
+            (r, meters)
+        };
+        let (mut single, app) = build();
+        let regions = skute_geo::ClientGeo::Uniform.region_weights(single.topology());
+        single.deliver_queries(app, 0, 900.0, &regions).unwrap();
+        single.deliver_queries(app, 1, 1_400.0, &regions).unwrap();
+        single.deliver_queries(app, 0, 300.0, &regions).unwrap();
+        let a = fingerprint(&mut single);
+        let (mut multi, app) = build();
+        multi
+            .deliver_queries_multi(vec![
+                TrafficBatch {
+                    app,
+                    level: 0,
+                    queries: 900.0,
+                    regions: regions.clone(),
+                },
+                TrafficBatch {
+                    app,
+                    level: 1,
+                    queries: 1_400.0,
+                    regions: regions.clone(),
+                },
+                TrafficBatch {
+                    app,
+                    level: 0,
+                    queries: 300.0,
+                    regions: regions.clone(),
+                },
+            ])
+            .unwrap();
+        let b = fingerprint(&mut multi);
+        assert_eq!(a, b);
+        // A bad batch fails the whole call before any traffic lands.
+        let (mut bad, app) = build();
+        assert!(matches!(
+            bad.deliver_queries_multi(vec![
+                TrafficBatch {
+                    app,
+                    level: 0,
+                    queries: 500.0,
+                    regions: regions.clone(),
+                },
+                TrafficBatch {
+                    app,
+                    level: 9,
+                    queries: 500.0,
+                    regions: regions.clone(),
+                },
+            ]),
+            Err(CoreError::UnknownLevel)
+        ));
+        let r = bad.end_epoch();
+        for ring in &r.rings {
+            assert_eq!(ring.queries_offered, 0.0, "no traffic may land");
         }
     }
 

@@ -31,6 +31,18 @@ pub struct SkuteConfig {
     /// equivalent; this switch exists as the equivalence oracle for tests
     /// and as the "before" side of the `epoch_loop` benchmark.
     pub brute_force_placement: bool,
+    /// Routes the traffic-delivery **commit** through the purely
+    /// sequential ring-order loop instead of the two-pass reconciled
+    /// commit (parallel accrual of spill-free deliveries plus a
+    /// sequential capacity reconciliation at the barrier). The two are
+    /// bit-for-bit equivalent — the reconciliation defers every partition
+    /// whose planned deliveries could touch a saturating capacity meter
+    /// back to the sequential algorithm — so this switch exists as the
+    /// equivalence oracle for tests and CI's determinism matrix. An
+    /// inline pipeline (`threads = 1`) always commits sequentially: the
+    /// reconciled commit's only benefit is offloading the accrual pass to
+    /// workers, and there are none to offload to.
+    pub sequential_traffic_commit: bool,
     /// Worker threads of the epoch pipeline's parallel phases (`0` = the
     /// machine's available parallelism; explicit budgets are honored
     /// exactly — beyond the host's core count that costs wall clock,
@@ -52,8 +64,18 @@ impl SkuteConfig {
             seed: DEFAULT_SEED,
             max_repairs_per_partition_per_epoch: 4,
             brute_force_placement: false,
+            sequential_traffic_commit: false,
             threads: 1,
         }
+    }
+
+    /// Returns a copy routed through the sequential traffic-delivery
+    /// commit (the equivalence oracle; see the field docs). Trajectories
+    /// stay bitwise identical in either mode.
+    #[must_use]
+    pub fn with_sequential_traffic_commit(mut self) -> Self {
+        self.sequential_traffic_commit = true;
+        self
     }
 
     /// Returns a copy running the epoch pipeline's parallel phases on
@@ -134,6 +156,17 @@ mod tests {
         assert_eq!(a.seed, b.seed);
         b.validate();
         a.with_threads(0).validate();
+    }
+
+    #[test]
+    fn with_sequential_traffic_commit_flips_only_the_commit_mode() {
+        let a = SkuteConfig::paper();
+        let b = a.with_sequential_traffic_commit();
+        assert!(!a.sequential_traffic_commit);
+        assert!(b.sequential_traffic_commit);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.threads, b.threads);
+        b.validate();
     }
 
     #[test]

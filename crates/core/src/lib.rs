@@ -61,7 +61,7 @@ pub mod vnode;
 
 pub use app::{AppId, AppSpec, Application, AvailabilityLevel, LevelSpec};
 pub use availability::{availability_of, greedy_max_availability, threshold_for_replicas};
-pub use cloud::SkuteCloud;
+pub use cloud::{SkuteCloud, TrafficBatch};
 pub use config::SkuteConfig;
 pub use decision::{Action, ActionCounts};
 pub use error::CoreError;

@@ -5,19 +5,35 @@
 //! structured as
 //!
 //! 1. a **parallel plan pass** that fans out across partitions on the
-//!    [`WorkerPool`]: pure per-partition computation against state that is
-//!    immutable for the duration of the phase (server locations,
-//!    confidences, posted rents, the refreshed [`PlacementIndex`]
-//!    snapshot), writing only partition-local state and per-shard scratch;
+//!    persistent [`WorkerPool`]: pure per-partition computation against
+//!    state that is immutable for the duration of the phase (server
+//!    locations, confidences, posted rents, the refreshed
+//!    [`PlacementIndex`] snapshot), writing only partition-local state and
+//!    per-shard scratch;
 //! 2. a **sequential commit pass** that applies every effect on shared
 //!    state — capacity meters, rent-board-indexed structures, executed
 //!    actions — in a fixed order (ring/partition order for traffic, the
-//!    seeded shuffle order for decisions).
+//!    seeded shuffle order for decisions). Traffic delivery additionally
+//!    splits its commit: the sequential reconciliation only validates and
+//!    applies capacity-meter movement, while the per-replica accrual of
+//!    spill-free partitions runs as a second parallel pass (see
+//!    [`crate::SkuteCloud::deliver_queries_multi`]).
+//!
+//! The pool holds parked workers for the lifetime of the cloud; the
+//! workspace denies `unsafe_code`, so jobs must own their data — each
+//! phase **moves** its partitions out of the ring maps into owned task
+//! chunks, ships shared inputs (cluster, board, index, topology) through
+//! an `Arc` context that the cloud takes out of itself and reclaims at the
+//! phase barrier (`Arc::try_unwrap`; [`WorkerPool::run_tasks`] guarantees
+//! every job's context clone is dropped before its result is published),
+//! and restores the partitions in deterministic order afterwards.
 //!
 //! Determinism is structural, not incidental:
 //!
 //! * plan passes are order-independent per item, so chunk boundaries and
-//!   worker scheduling cannot change any result;
+//!   worker scheduling cannot change any result, and
+//!   [`WorkerPool::run_tasks`] returns results in task order, never
+//!   completion order;
 //! * per-shard accumulators ([`ShardAccounts`]) merge in (shard,
 //!   insertion) order — with contiguous chunks that is the original item
 //!   order, so floating-point folds keep the exact bits of the sequential
@@ -40,10 +56,11 @@
 //! inline with zero spawns.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use skute_cluster::{Board, Cluster, ServerId};
 use skute_economy::{floored_utility, EconomyConfig, ProximityCache, RegionQueries};
-use skute_exec::{chunk_count, ShardAccounts, WorkerPool};
+use skute_exec::{split_chunks, ShardAccounts, WorkerPool};
 use skute_geo::{Location, RegionWeight, Topology};
 use skute_ring::PartitionId;
 
@@ -51,13 +68,13 @@ use crate::availability::availability_of;
 use crate::decision::{classify, Intent, VnodeSituation};
 use crate::metrics::mean_cv;
 use crate::placement::{economic_target, PlacementContext, PlacementIndex, WalkScratch};
-use crate::vnode::PartitionState;
+use crate::vnode::{DeliveryPlan, PartitionState};
 
 /// Chunk size of a compute-heavy parallel phase over `n` partitions. Small
-/// inputs stay in one chunk (which runs inline, with zero spawns); large
-/// inputs split into at most ~16 chunks so work-stealing stays coarse.
-/// Never depends on the thread count — only results-irrelevant scheduling
-/// does.
+/// inputs stay in one chunk (which runs inline, with zero queue traffic);
+/// large inputs split into at most ~16 chunks so work distribution stays
+/// coarse. Never depends on the thread count — only results-irrelevant
+/// scheduling does.
 fn phase_chunk(n: usize) -> usize {
     if n < 64 {
         n.max(1)
@@ -115,15 +132,37 @@ pub(crate) struct PreDecision {
     pub spec: Option<(ServerId, f64)>,
 }
 
-/// One partition's slice of the decision plan pass: the ring's SLA
-/// threshold, the partition, and its replicas' [`PreDecision`] slots.
-pub(crate) struct DecisionTask<'a> {
-    pub threshold: f64,
-    pub part: &'a mut PartitionState,
-    pub slots: &'a mut [PreDecision],
+/// One ring's slice of a batched traffic-delivery plan pass: the batch
+/// parameters plus the ring's partitions, **moved** out of the ring map
+/// for the dispatch and restored afterwards.
+pub(crate) struct DeliveryBatch {
+    /// Index of the ring in the cloud's ring table.
+    pub ring_idx: usize,
+    /// Queries offered to the ring this epoch.
+    pub total_queries: f64,
+    /// Σ popularity over the ring's partitions (the proportional-split
+    /// denominator), computed before the partitions were moved out.
+    pub total_pop: f64,
+    /// Client regions with normalized weights.
+    pub regions: Vec<RegionWeight>,
+    /// The ring's partitions in ascending partition-id order.
+    pub parts: Vec<(PartitionId, PartitionState)>,
 }
 
-/// Per-shard scratch of the decision plan pass.
+/// One partition's slice of the decision plan pass, moved out of its ring
+/// map for the dispatch.
+pub(crate) struct DecisionItem {
+    /// Index of the ring in the cloud's ring table.
+    pub ring_idx: usize,
+    /// The ring's SLA threshold.
+    pub threshold: f64,
+    /// Ring-local partition id (for restoring into the ring map).
+    pub pid: PartitionId,
+    /// The partition, owned for the duration of the dispatch.
+    pub part: PartitionState,
+}
+
+/// Per-chunk scratch of the decision plan pass.
 #[derive(Debug, Clone, Default)]
 struct DecisionScratch {
     walk: WalkScratch,
@@ -142,23 +181,66 @@ pub(crate) struct RingPhaseStats {
     pub load_cv: f64,
 }
 
-/// Shard view handed to one chunk of the report plan pass.
-struct ReportShard<'a> {
-    avail: &'a mut Vec<(PartitionId, f64)>,
-    loads: &'a mut Vec<(ServerId, f64)>,
-    vnodes: &'a mut Vec<(ServerId, usize)>,
+/// Shared context of the decision plan pass, taken out of the cloud for
+/// the dispatch and reclaimed at the barrier.
+struct DecisionCtx {
+    cluster: Cluster,
+    board: Board,
+    topology: Arc<Topology>,
+    economy: EconomyConfig,
+    index: PlacementIndex,
+    brute_force: bool,
+    min_rent: Option<f64>,
 }
 
-/// Phase orchestration and reusable scratch of the epoch loop: the worker
-/// pool, per-vnode decision slots, and the sharded report accumulators.
-/// Owned by [`crate::SkuteCloud`]; one instance per cloud.
+/// Borrowed view of the decision plan pass's shared inputs, common to the
+/// owned-dispatch path (viewing a [`DecisionCtx`]) and the inline
+/// single-thread path (viewing the cloud's fields directly).
+pub(crate) struct DecisionInputs<'a> {
+    pub cluster: &'a Cluster,
+    pub board: &'a Board,
+    pub topology: &'a Topology,
+    pub economy: &'a EconomyConfig,
+    pub index: &'a PlacementIndex,
+    pub brute_force: bool,
+    pub min_rent: Option<f64>,
+}
+
+/// Shared context of the delivery plan pass.
+struct DeliveryCtx {
+    cluster: Cluster,
+    topology: Arc<Topology>,
+    /// `(total_queries, total_pop, regions)` per batch.
+    params: Vec<(f64, f64, Vec<RegionWeight>)>,
+    /// Whether to precompute planned delivery events (only the reconciled
+    /// parallel commit consumes them).
+    with_events: bool,
+}
+
+/// Reclaims a phase context at the barrier. [`WorkerPool::run_tasks`]
+/// guarantees every job dropped its context clone before publishing its
+/// result, so by the time the dispatch returns the `Arc` is unique again.
+fn reclaim<T>(ctx: Arc<T>) -> T {
+    match Arc::try_unwrap(ctx) {
+        Ok(ctx) => ctx,
+        Err(_) => unreachable!("all phase jobs drop their context before finishing"),
+    }
+}
+
+/// Phase orchestration and reusable scratch of the epoch loop: the
+/// persistent worker pool, per-vnode decision slots, and the sharded
+/// report accumulators. Owned by [`crate::SkuteCloud`]; one instance (and
+/// therefore one set of parked workers) per cloud.
 #[derive(Debug, Default)]
 pub struct EpochPipeline {
     pool: WorkerPool,
     /// Per-vnode decision precomputation (indexed by work-list slot).
     pub(crate) pre: Vec<PreDecision>,
-    /// Per-shard scratch of the decision plan pass.
+    /// Per-chunk scratch of the decision plan pass, reused across epochs.
     states: Vec<DecisionScratch>,
+    /// Per-chunk slot buffers of the decision plan pass, reused across
+    /// epochs (concatenated into `pre` in chunk order at the barrier).
+    slot_bufs: Vec<Vec<PreDecision>>,
     // Report accumulators, reused across epochs.
     avail_acc: ShardAccounts<PartitionId, f64>,
     load_acc: ShardAccounts<ServerId, f64>,
@@ -176,7 +258,8 @@ impl EpochPipeline {
     /// budget is honored exactly, even beyond the host's core count —
     /// oversubscription only costs wall clock (phase chunks are
     /// compute-bound), never determinism, and determinism tests rely on
-    /// explicit budgets actually spawning workers.
+    /// explicit budgets actually parking workers. The workers are spawned
+    /// once, here, and live until the pipeline (i.e. the cloud) drops.
     pub fn new(threads: usize) -> Self {
         Self {
             pool: WorkerPool::new(threads),
@@ -189,103 +272,99 @@ impl EpochPipeline {
         self.pool.threads()
     }
 
+    /// Worker threads currently parked for this pipeline (`threads - 1`,
+    /// or 0 for an inline pipeline).
+    pub fn live_workers(&self) -> usize {
+        self.pool.live_workers()
+    }
+
     // ------------------------------------------------------------------
-    // Phase 1: traffic delivery — parallel plan pass
+    // Phase 1: traffic delivery — batched parallel plan pass
     // ------------------------------------------------------------------
 
-    /// Plans one ring's query delivery: for every partition, folds the
-    /// epoch's region mix into `region_queries`, refreshes the proximity
-    /// cache, and fills the partition's [`crate::vnode::DeliveryPlan`]
-    /// (per-replica proximity weights, client distances, serving order).
-    /// Reads only immutable-for-the-phase state; writes only
-    /// partition-local state, so chunks are independent.
-    pub(crate) fn plan_delivery(
+    /// Plans query delivery for every ring of a batch in **one** pool
+    /// dispatch: for every partition, folds the epoch's region mix into
+    /// `region_queries`, refreshes the proximity cache, fills the
+    /// partition's [`DeliveryPlan`] (per-replica proximity weights, client
+    /// distances, serving order) and precomputes the planned delivery
+    /// event sequence. Reads only immutable-for-the-phase state; writes
+    /// only partition-local state, so chunks are independent.
+    pub(crate) fn plan_delivery_multi(
         &self,
-        parts: &mut [&mut PartitionState],
-        cluster: &Cluster,
-        topology: &Topology,
-        regions: &[RegionWeight],
-        total_queries: f64,
-        total_pop: f64,
-    ) {
-        let chunk = phase_chunk(parts.len());
-        self.pool.run_chunks(parts, chunk, |_, chunk| {
-            for part in chunk {
-                let part = &mut **part;
-                part.delivery.ready = false;
-                let q = total_queries * part.popularity / total_pop;
-                if q <= 0.0 {
-                    continue;
-                }
-                part.queries_epoch += q;
-                for region in regions {
-                    let add = q * region.weight;
-                    if add <= 0.0 {
-                        continue;
-                    }
-                    match part
-                        .region_queries
-                        .iter_mut()
-                        .find(|r| r.location == region.location)
-                    {
-                        Some(r) => r.queries += add,
-                        None => part.region_queries.push(RegionQueries {
-                            location: region.location,
-                            queries: add,
-                        }),
-                    }
-                }
-                // The region mix just changed: drop stale memoized
-                // proximity, then refill it while computing the
-                // per-replica weights. Placement decisions later in the
-                // epoch reuse the refilled cache.
-                part.prox_cache.clear();
-                let PartitionState {
-                    region_queries,
-                    prox_cache,
-                    replicas,
-                    delivery,
-                    ..
-                } = &mut *part;
-                delivery.gs.clear();
-                delivery.dists.clear();
-                for r in replicas.iter() {
-                    match cluster.get(r.server) {
-                        Some(s) => {
-                            // Per-replica proximity, memoized per country.
-                            delivery
-                                .gs
-                                .push(prox_cache.g(region_queries, &s.location, topology));
-                            // Region-weighted client distance of the
-                            // replica (latency proxy, diversity units).
-                            delivery.dists.push(
-                                regions
-                                    .iter()
-                                    .map(|reg| {
-                                        reg.weight
-                                            * f64::from(skute_geo::diversity(
-                                                &reg.location,
-                                                &s.location,
-                                            ))
-                                    })
-                                    .sum(),
-                            );
-                        }
-                        None => {
-                            delivery.gs.push(1.0);
-                            delivery.dists.push(0.0);
-                        }
-                    }
-                }
-                delivery.order.clear();
-                delivery.order.extend(0..replicas.len());
-                let gs = &delivery.gs;
-                delivery.order.sort_by(|&a, &b| gs[b].total_cmp(&gs[a]));
-                delivery.q = q;
-                delivery.sum_g = delivery.gs.iter().sum();
-                delivery.ready = true;
+        cluster: Cluster,
+        topology: Arc<Topology>,
+        mut batches: Vec<DeliveryBatch>,
+        with_events: bool,
+    ) -> (Cluster, Vec<DeliveryBatch>) {
+        let mut tasks: Vec<(usize, Vec<(PartitionId, PartitionState)>)> = Vec::new();
+        let mut params: Vec<(f64, f64, Vec<RegionWeight>)> = Vec::with_capacity(batches.len());
+        for (bi, batch) in batches.iter_mut().enumerate() {
+            params.push((
+                batch.total_queries,
+                batch.total_pop,
+                std::mem::take(&mut batch.regions),
+            ));
+            let parts = std::mem::take(&mut batch.parts);
+            let chunk = phase_chunk(parts.len());
+            for chunk in split_chunks(parts, chunk) {
+                tasks.push((bi, chunk));
             }
+        }
+        let ctx = Arc::new(DeliveryCtx {
+            cluster,
+            topology,
+            params,
+            with_events,
         });
+        let job_ctx = Arc::clone(&ctx);
+        let results = self.pool.run_tasks(tasks, move |_, (bi, mut chunk)| {
+            let (total_queries, total_pop, regions) = &job_ctx.params[bi];
+            for (_, part) in &mut chunk {
+                plan_one_delivery(
+                    part,
+                    &job_ctx.cluster,
+                    &job_ctx.topology,
+                    regions,
+                    *total_queries,
+                    *total_pop,
+                    job_ctx.with_events,
+                );
+            }
+            (bi, chunk)
+        });
+        // Task order = (batch, chunk) order, so extending per batch
+        // restores the original ascending partition order.
+        for (bi, chunk) in results {
+            batches[bi].parts.extend(chunk);
+        }
+        let ctx = reclaim(ctx);
+        for (batch, (_, _, regions)) in batches.iter_mut().zip(ctx.params) {
+            batch.regions = regions;
+        }
+        (ctx.cluster, batches)
+    }
+
+    /// The parallel accrual half of the traffic commit: partitions whose
+    /// planned events committed spill-free (marked by the reconciliation
+    /// pass via [`DeliveryPlan::accrual_pending`]) apply their per-replica
+    /// query counts and eq.-(5) utility from the planned event sequence —
+    /// partition-local arithmetic, bit-identical to the sequential
+    /// commit's in-loop accrual because the event values and per-replica
+    /// fold order are exactly the ones the sequential loop would produce.
+    pub(crate) fn apply_traffic_accrual(
+        &self,
+        parts: Vec<(usize, PartitionId, PartitionState)>,
+        gamma: f64,
+    ) -> Vec<(usize, PartitionId, PartitionState)> {
+        let chunk = light_chunk(parts.len());
+        let tasks = split_chunks(parts, chunk);
+        let results = self.pool.run_tasks(tasks, move |_, mut chunk| {
+            for (_, _, part) in &mut chunk {
+                accrue_one(part, gamma);
+            }
+            chunk
+        });
+        results.into_iter().flatten().collect()
     }
 
     // ------------------------------------------------------------------
@@ -295,14 +374,23 @@ impl EpochPipeline {
     /// Warms the memoized eq.-(2) availability of `parts` (the caller
     /// passes only cache misses) so the sequential repair scan reads
     /// cached floats. In the converged steady state the miss set is empty
-    /// and this is free.
-    pub(crate) fn warm_availability(&self, parts: &mut [&mut PartitionState], cluster: &Cluster) {
+    /// and the caller skips the dispatch entirely.
+    pub(crate) fn warm_availability(
+        &self,
+        cluster: Cluster,
+        parts: Vec<(usize, PartitionId, PartitionState)>,
+    ) -> (Cluster, Vec<(usize, PartitionId, PartitionState)>) {
         let chunk = phase_chunk(parts.len());
-        self.pool.run_chunks(parts, chunk, |_, chunk| {
-            for part in chunk {
-                let _ = cached_availability(cluster, part);
+        let tasks = split_chunks(parts, chunk);
+        let ctx = Arc::new(cluster);
+        let job_ctx = Arc::clone(&ctx);
+        let results = self.pool.run_tasks(tasks, move |_, mut chunk| {
+            for (_, _, part) in &mut chunk {
+                let _ = cached_availability(&job_ctx, part);
             }
+            chunk
         });
+        (reclaim(ctx), results.into_iter().flatten().collect())
     }
 
     // ------------------------------------------------------------------
@@ -312,143 +400,108 @@ impl EpochPipeline {
     /// Precomputes every vnode's decision inputs — balance recording,
     /// streaks, availability-without-self, and (for vnodes whose planned
     /// intent needs one) a speculative eq.-(3) target against the frozen
-    /// index snapshot. The commit pass consumes the slots in the seeded
-    /// shuffle order.
+    /// index snapshot — filling [`EpochPipeline::pre`] in flat
+    /// (ring, partition, replica) enumeration order. The commit pass
+    /// consumes the slots in the seeded shuffle order. The shared inputs
+    /// travel as an owned context and are returned at the barrier.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn decisions_prepass(
         &mut self,
-        tasks: &mut [DecisionTask<'_>],
-        cluster: &Cluster,
-        board: &Board,
-        topology: &Topology,
-        economy: &EconomyConfig,
-        index: &PlacementIndex,
+        cluster: Cluster,
+        board: Board,
+        topology: Arc<Topology>,
+        economy: EconomyConfig,
+        index: PlacementIndex,
         brute_force: bool,
         min_rent: Option<f64>,
-    ) {
-        let chunk = phase_chunk(tasks.len());
-        let chunks = chunk_count(tasks.len(), chunk);
-        self.states.truncate(chunks);
-        while self.states.len() < chunks {
+        items: Vec<DecisionItem>,
+    ) -> (Cluster, Board, PlacementIndex, Vec<DecisionItem>) {
+        let chunk = phase_chunk(items.len());
+        let chunks = split_chunks(items, chunk);
+        let n_chunks = chunks.len();
+        self.states.truncate(n_chunks);
+        while self.states.len() < n_chunks {
             self.states.push(DecisionScratch::default());
         }
-        let ctx = PlacementContext {
+        self.slot_bufs.truncate(n_chunks);
+        while self.slot_bufs.len() < n_chunks {
+            self.slot_bufs.push(Vec::new());
+        }
+        let tasks: Vec<(Vec<DecisionItem>, Vec<PreDecision>, DecisionScratch)> = chunks
+            .into_iter()
+            .zip(self.slot_bufs.iter_mut().map(std::mem::take))
+            .zip(self.states.iter_mut().map(std::mem::take))
+            .map(|((items, mut slots), scratch)| {
+                slots.clear();
+                (items, slots, scratch)
+            })
+            .collect();
+        let ctx = Arc::new(DecisionCtx {
             cluster,
             board,
             topology,
             economy,
-        };
-        let mib = 1024.0 * 1024.0;
-        self.pool
-            .run_sharded(tasks, chunk, &mut self.states, |_, chunk, scratch| {
-                for task in chunk {
-                    let threshold = task.threshold;
-                    let part = &mut *task.part;
-                    let consistency_cost =
-                        economy.consistency_cost_per_mib * (part.write_bytes_epoch as f64 / mib);
-                    let n = part.replicas.len();
-                    debug_assert_eq!(task.slots.len(), n);
-                    for idx in 0..n {
-                        let pre = &mut task.slots[idx];
-                        *pre = PreDecision::default();
-                        let server = part.replicas[idx].server;
-                        let Some(rent) = board.price_of(server) else {
-                            // Server vanished mid-epoch; the replica was
-                            // removed and the commit pass skips the item.
-                            pre.skip = true;
-                            continue;
-                        };
-                        let u_eff = floored_utility(part.replicas[idx].utility_epoch, min_rent);
-                        let balance = u_eff - rent;
-                        scratch.placed.clear();
-                        for (i, r) in part.replicas.iter().enumerate() {
-                            if i == idx {
-                                continue;
-                            }
-                            if let Some(s) = cluster.get(r.server) {
-                                scratch.placed.push((s.location, s.confidence));
-                            }
-                        }
-                        part.replicas[idx].balance.record(balance);
-                        pre.rent = rent;
-                        pre.u_eff = u_eff;
-                        pre.consistency_cost = consistency_cost;
-                        pre.membership_version = part.membership_version;
-                        pre.replica_count = n;
-                        pre.availability_without_self = availability_of(&scratch.placed);
-                        pre.negative_streak = part.replicas[idx].balance.negative_streak();
-                        pre.positive_streak = part.replicas[idx].balance.positive_streak();
-                        pre.window_mean = part.replicas[idx].balance.window_mean();
-                        let situation = VnodeSituation {
-                            negative_streak: pre.negative_streak,
-                            positive_streak: pre.positive_streak,
-                            window_mean: pre.window_mean,
-                            availability_without_self: pre.availability_without_self,
-                            threshold,
-                            replica_count: n,
-                            max_replicas: economy.max_replicas,
-                            current_rent: rent,
-                            projected_replica_cost: min_rent.unwrap_or(0.0) + consistency_cost,
-                            hurdle: economy.replication_hurdle,
-                        };
-                        match classify(&situation) {
-                            Intent::Stay | Intent::Suicide => {}
-                            Intent::Migrate => {
-                                scratch.servers.clear();
-                                for (i, r) in part.replicas.iter().enumerate() {
-                                    if i != idx {
-                                        scratch.servers.push(r.server);
-                                    }
-                                }
-                                let size =
-                                    part.synthetic_bytes + part.replicas[idx].store.logical_bytes();
-                                let rent_cap = rent * (1.0 - economy.migration_margin);
-                                let PartitionState {
-                                    region_queries,
-                                    prox_cache,
-                                    ..
-                                } = &mut *part;
-                                pre.spec = speculate(
-                                    index,
-                                    brute_force,
-                                    &ctx,
-                                    &scratch.servers,
-                                    size,
-                                    region_queries,
-                                    prox_cache,
-                                    Some(rent_cap),
-                                    &mut scratch.walk,
-                                );
-                                pre.spec_computed = true;
-                            }
-                            Intent::ReplicateForProfit => {
-                                scratch.servers.clear();
-                                scratch
-                                    .servers
-                                    .extend(part.replicas.iter().map(|r| r.server));
-                                let size = part.size_bytes();
-                                let PartitionState {
-                                    region_queries,
-                                    prox_cache,
-                                    ..
-                                } = &mut *part;
-                                pre.spec = speculate(
-                                    index,
-                                    brute_force,
-                                    &ctx,
-                                    &scratch.servers,
-                                    size,
-                                    region_queries,
-                                    prox_cache,
-                                    None,
-                                    &mut scratch.walk,
-                                );
-                                pre.spec_computed = true;
-                            }
-                        }
-                    }
+            index,
+            brute_force,
+            min_rent,
+        });
+        let job_ctx = Arc::clone(&ctx);
+        let results = self
+            .pool
+            .run_tasks(tasks, move |_, (mut items, mut slots, mut scratch)| {
+                let inputs = DecisionInputs {
+                    cluster: &job_ctx.cluster,
+                    board: &job_ctx.board,
+                    topology: &job_ctx.topology,
+                    economy: &job_ctx.economy,
+                    index: &job_ctx.index,
+                    brute_force: job_ctx.brute_force,
+                    min_rent: job_ctx.min_rent,
+                };
+                for item in &mut items {
+                    plan_one_decision(
+                        item.threshold,
+                        &mut item.part,
+                        &inputs,
+                        &mut slots,
+                        &mut scratch,
+                    );
                 }
+                (items, slots, scratch)
             });
+        // Chunk order = flat enumeration order: concatenating the chunk
+        // slot buffers reproduces the sequential slot layout exactly.
+        self.pre.clear();
+        let mut items_back: Vec<DecisionItem> = Vec::new();
+        for (ci, (items, slots, scratch)) in results.into_iter().enumerate() {
+            items_back.extend(items);
+            self.pre.extend_from_slice(&slots);
+            self.slot_bufs[ci] = slots;
+            self.states[ci] = scratch;
+        }
+        let ctx = reclaim(ctx);
+        (ctx.cluster, ctx.board, ctx.index, items_back)
+    }
+
+    /// The single-thread fast path of the decision plan pass: identical
+    /// per-vnode arithmetic, run in place over borrowed partitions — no
+    /// map rebuilds, no context round trip. `items` must yield
+    /// `(threshold, partition)` in flat (ring, partition) order so the
+    /// slot layout matches the owned dispatch exactly.
+    pub(crate) fn decisions_prepass_inline<'a>(
+        &mut self,
+        items: impl Iterator<Item = (f64, &'a mut PartitionState)>,
+        inputs: &DecisionInputs<'_>,
+    ) {
+        if self.states.is_empty() {
+            self.states.push(DecisionScratch::default());
+        }
+        let Self { pre, states, .. } = self;
+        let scratch = &mut states[0];
+        pre.clear();
+        for (threshold, part) in items {
+            plan_one_decision(threshold, part, inputs, pre, scratch);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -464,44 +517,85 @@ impl EpochPipeline {
     /// memoized cache), per-server served-query loads, and vnode counts,
     /// collected into [`ShardAccounts`] and merged in (partition, server)
     /// order — the exact fold order of the sequential loop this replaces.
+    /// The partitions move through the dispatch and come back in order.
     pub(crate) fn ring_stats(
         &mut self,
-        parts: &mut [&mut PartitionState],
-        cluster: &Cluster,
+        cluster: Cluster,
+        parts: Vec<(PartitionId, PartitionState)>,
         threshold: f64,
-    ) -> RingPhaseStats {
+    ) -> (Cluster, Vec<(PartitionId, PartitionState)>, RingPhaseStats) {
         let n = parts.len();
         let chunk = light_chunk(n);
-        let chunks = chunk_count(n, chunk);
-        self.avail_acc.reset(chunks);
-        self.load_acc.reset(chunks);
-        self.vnode_acc.reset(chunks);
-        {
-            let mut shards: Vec<ReportShard<'_>> = self
-                .avail_acc
-                .shards_mut()
-                .iter_mut()
-                .zip(self.load_acc.shards_mut())
-                .zip(self.vnode_acc.shards_mut())
-                .map(|((avail, loads), vnodes)| ReportShard {
-                    avail,
-                    loads,
-                    vnodes,
-                })
-                .collect();
-            self.pool
-                .run_sharded(parts, chunk, &mut shards, |_, chunk, sh| {
-                    for part in chunk {
-                        let part = &mut **part;
-                        let a = cached_availability(cluster, part);
-                        sh.avail.push((part.id, a));
-                        for r in &part.replicas {
-                            sh.vnodes.push((r.server, 1usize));
-                            sh.loads.push((r.server, r.queries_epoch));
-                        }
-                    }
-                });
+        let chunks = split_chunks(parts, chunk);
+        let n_chunks = chunks.len();
+        self.avail_acc.reset(n_chunks);
+        self.load_acc.reset(n_chunks);
+        self.vnode_acc.reset(n_chunks);
+        let tasks: Vec<ReportTask> = chunks
+            .into_iter()
+            .zip(self.avail_acc.shards_mut().iter_mut().map(std::mem::take))
+            .zip(self.load_acc.shards_mut().iter_mut().map(std::mem::take))
+            .zip(self.vnode_acc.shards_mut().iter_mut().map(std::mem::take))
+            .map(|(((parts, avail), loads), vnodes)| ReportTask {
+                parts,
+                avail,
+                loads,
+                vnodes,
+            })
+            .collect();
+        let ctx = Arc::new(cluster);
+        let job_ctx = Arc::clone(&ctx);
+        let results = self.pool.run_tasks(tasks, move |_, mut task| {
+            for (pid, part) in &mut task.parts {
+                let a = cached_availability(&job_ctx, part);
+                task.avail.push((*pid, a));
+                for r in &part.replicas {
+                    task.vnodes.push((r.server, 1usize));
+                    task.loads.push((r.server, r.queries_epoch));
+                }
+            }
+            task
+        });
+        let mut parts_back: Vec<(PartitionId, PartitionState)> = Vec::with_capacity(n);
+        for (ci, task) in results.into_iter().enumerate() {
+            parts_back.extend(task.parts);
+            self.avail_acc.shards_mut()[ci] = task.avail;
+            self.load_acc.shards_mut()[ci] = task.loads;
+            self.vnode_acc.shards_mut()[ci] = task.vnodes;
         }
+        let stats = self.finish_ring_stats(n, threshold);
+        (reclaim(ctx), parts_back, stats)
+    }
+
+    /// The single-thread fast path of the report pass: identical
+    /// accounting run in place over borrowed partitions, filling one
+    /// shard in item order — the merge replays exactly the same delta
+    /// sequence as any contiguous chunk decomposition, so the stats are
+    /// bit-identical to the owned dispatch.
+    pub(crate) fn ring_stats_inline<'a>(
+        &mut self,
+        cluster: &Cluster,
+        parts: impl Iterator<Item = &'a mut PartitionState>,
+        threshold: f64,
+    ) -> RingPhaseStats {
+        self.avail_acc.reset(1);
+        self.load_acc.reset(1);
+        self.vnode_acc.reset(1);
+        let mut n = 0usize;
+        for part in parts {
+            n += 1;
+            let a = cached_availability(cluster, part);
+            self.avail_acc.shards_mut()[0].push((part.id, a));
+            for r in &part.replicas {
+                self.vnode_acc.shards_mut()[0].push((r.server, 1usize));
+                self.load_acc.shards_mut()[0].push((r.server, r.queries_epoch));
+            }
+        }
+        self.finish_ring_stats(n, threshold)
+    }
+
+    /// Merges the filled shard accumulators into the ring's report stats.
+    fn finish_ring_stats(&mut self, n: usize, threshold: f64) -> RingPhaseStats {
         // Merges: partition ids ascend (= the rings' BTreeMap iteration
         // order), per-server loads combine in partition order.
         self.avail_merged.clear();
@@ -558,6 +652,286 @@ impl EpochPipeline {
             *map.entry(id).or_insert(0) += count;
         }
         map
+    }
+}
+
+/// One chunk of the report plan pass: the partitions plus the chunk's
+/// shard buffers, all owned for the dispatch.
+struct ReportTask {
+    parts: Vec<(PartitionId, PartitionState)>,
+    avail: Vec<(PartitionId, f64)>,
+    loads: Vec<(ServerId, f64)>,
+    vnodes: Vec<(ServerId, usize)>,
+}
+
+/// One partition's delivery plan: region-mix fold, proximity refresh,
+/// per-replica weights/distances/serving order, and (for the reconciled
+/// parallel commit) the planned event sequence. Pure per-partition work
+/// against immutable cluster state; shared verbatim by the owned dispatch
+/// and the single-thread inline path.
+pub(crate) fn plan_one_delivery(
+    part: &mut PartitionState,
+    cluster: &Cluster,
+    topology: &Topology,
+    regions: &[RegionWeight],
+    total_queries: f64,
+    total_pop: f64,
+    with_events: bool,
+) {
+    part.delivery.ready = false;
+    part.delivery.accrual_pending = false;
+    let q = total_queries * part.popularity / total_pop;
+    if q <= 0.0 {
+        return;
+    }
+    part.queries_epoch += q;
+    for region in regions {
+        let add = q * region.weight;
+        if add <= 0.0 {
+            continue;
+        }
+        match part
+            .region_queries
+            .iter_mut()
+            .find(|r| r.location == region.location)
+        {
+            Some(r) => r.queries += add,
+            None => part.region_queries.push(RegionQueries {
+                location: region.location,
+                queries: add,
+            }),
+        }
+    }
+    // The region mix just changed: drop stale memoized proximity, then
+    // refill it while computing the per-replica weights. Placement
+    // decisions later in the epoch reuse the refilled cache.
+    part.prox_cache.clear();
+    let PartitionState {
+        region_queries,
+        prox_cache,
+        replicas,
+        delivery,
+        ..
+    } = &mut *part;
+    delivery.gs.clear();
+    delivery.dists.clear();
+    for r in replicas.iter() {
+        match cluster.get(r.server) {
+            Some(s) => {
+                // Per-replica proximity, memoized per country.
+                delivery
+                    .gs
+                    .push(prox_cache.g(region_queries, &s.location, topology));
+                // Region-weighted client distance of the replica (latency
+                // proxy, diversity units).
+                delivery.dists.push(
+                    regions
+                        .iter()
+                        .map(|reg| {
+                            reg.weight * f64::from(skute_geo::diversity(&reg.location, &s.location))
+                        })
+                        .sum(),
+                );
+            }
+            None => {
+                delivery.gs.push(1.0);
+                delivery.dists.push(0.0);
+            }
+        }
+    }
+    delivery.order.clear();
+    delivery.order.extend(0..replicas.len());
+    let gs = &delivery.gs;
+    delivery.order.sort_by(|&a, &b| gs[b].total_cmp(&gs[a]));
+    delivery.q = q;
+    delivery.sum_g = delivery.gs.iter().sum();
+    delivery.ready = true;
+    if with_events {
+        plan_events(delivery);
+    }
+}
+
+/// Applies one spill-free partition's planned per-replica accrual: query
+/// counts and eq.-(5) utility from the planned event sequence, in event
+/// order — the same per-replica folds the sequential commit interleaves
+/// with its serving loop.
+pub(crate) fn accrue_one(part: &mut PartitionState, gamma: f64) {
+    let PartitionState {
+        replicas, delivery, ..
+    } = part;
+    debug_assert!(delivery.accrual_pending);
+    for &(i, served) in &delivery.events {
+        replicas[i].queries_epoch += served;
+        replicas[i].utility_epoch += gamma * served * delivery.gs[i];
+    }
+    delivery.accrual_pending = false;
+}
+
+/// Precomputes the planned delivery event sequence of one partition,
+/// replaying the sequential commit's arithmetic **bit-exactly** under the
+/// assumption that no server's query-capacity meter binds: the
+/// proximity-proportional pass (each take clipped by the partition's
+/// remaining queries, exactly like `serve_on` would return it uncapped),
+/// then the spill pass, which under that assumption is absorbed entirely
+/// by the closest replica, driving the remainder to exactly `0.0`. The
+/// commit's reconciliation validates the assumption against live meters
+/// and falls back to the sequential algorithm per partition where it
+/// fails, so these planned floats are only ever committed when they equal
+/// the sequential outcome.
+fn plan_events(d: &mut DeliveryPlan) {
+    d.events.clear();
+    d.served_total = 0.0;
+    d.final_remaining = 0.0;
+    d.distance_sum = 0.0;
+    if !d.ready || d.sum_g <= 0.0 {
+        return;
+    }
+    let mut remaining = d.q;
+    let mut served_total = 0.0;
+    let mut distance_sum = 0.0;
+    for &i in &d.order {
+        let want = d.q * d.gs[i] / d.sum_g;
+        let served = want.min(remaining);
+        d.events.push((i, served));
+        distance_sum += served * d.dists[i];
+        remaining -= served;
+        served_total += served;
+    }
+    if remaining > 1e-9 {
+        // Spill pass: with no capacity binding, the closest replica
+        // absorbs the whole float residue (`remaining - remaining = 0.0`).
+        let best = d.order[0];
+        let served = remaining;
+        d.events.push((best, served));
+        distance_sum += served * d.dists[best];
+        remaining -= served;
+        served_total += served;
+    }
+    d.served_total = served_total;
+    d.final_remaining = remaining;
+    d.distance_sum = distance_sum;
+}
+
+/// One partition's slice of the decision plan pass: records balances,
+/// evaluates each vnode's situation against the phase-start membership,
+/// runs speculative target queries, and pushes one [`PreDecision`] per
+/// replica in replica order. Shared verbatim by the owned dispatch and
+/// the single-thread inline path.
+fn plan_one_decision(
+    threshold: f64,
+    part: &mut PartitionState,
+    ctx: &DecisionInputs<'_>,
+    slots: &mut Vec<PreDecision>,
+    scratch: &mut DecisionScratch,
+) {
+    let pctx = PlacementContext {
+        cluster: ctx.cluster,
+        board: ctx.board,
+        topology: ctx.topology,
+        economy: ctx.economy,
+    };
+    let mib = 1024.0 * 1024.0;
+    let consistency_cost =
+        ctx.economy.consistency_cost_per_mib * (part.write_bytes_epoch as f64 / mib);
+    let n = part.replicas.len();
+    for idx in 0..n {
+        let mut pre = PreDecision::default();
+        let server = part.replicas[idx].server;
+        let Some(rent) = ctx.board.price_of(server) else {
+            // Server vanished mid-epoch; the replica was removed and the
+            // commit pass skips the item.
+            pre.skip = true;
+            slots.push(pre);
+            continue;
+        };
+        let u_eff = floored_utility(part.replicas[idx].utility_epoch, ctx.min_rent);
+        let balance = u_eff - rent;
+        scratch.placed.clear();
+        for (i, r) in part.replicas.iter().enumerate() {
+            if i == idx {
+                continue;
+            }
+            if let Some(s) = ctx.cluster.get(r.server) {
+                scratch.placed.push((s.location, s.confidence));
+            }
+        }
+        part.replicas[idx].balance.record(balance);
+        pre.rent = rent;
+        pre.u_eff = u_eff;
+        pre.consistency_cost = consistency_cost;
+        pre.membership_version = part.membership_version;
+        pre.replica_count = n;
+        pre.availability_without_self = availability_of(&scratch.placed);
+        pre.negative_streak = part.replicas[idx].balance.negative_streak();
+        pre.positive_streak = part.replicas[idx].balance.positive_streak();
+        pre.window_mean = part.replicas[idx].balance.window_mean();
+        let situation = VnodeSituation {
+            negative_streak: pre.negative_streak,
+            positive_streak: pre.positive_streak,
+            window_mean: pre.window_mean,
+            availability_without_self: pre.availability_without_self,
+            threshold,
+            replica_count: n,
+            max_replicas: ctx.economy.max_replicas,
+            current_rent: rent,
+            projected_replica_cost: ctx.min_rent.unwrap_or(0.0) + consistency_cost,
+            hurdle: ctx.economy.replication_hurdle,
+        };
+        match classify(&situation) {
+            Intent::Stay | Intent::Suicide => {}
+            Intent::Migrate => {
+                scratch.servers.clear();
+                for (i, r) in part.replicas.iter().enumerate() {
+                    if i != idx {
+                        scratch.servers.push(r.server);
+                    }
+                }
+                let size = part.synthetic_bytes + part.replicas[idx].store.logical_bytes();
+                let rent_cap = rent * (1.0 - ctx.economy.migration_margin);
+                let PartitionState {
+                    region_queries,
+                    prox_cache,
+                    ..
+                } = &mut *part;
+                pre.spec = speculate(
+                    ctx.index,
+                    ctx.brute_force,
+                    &pctx,
+                    &scratch.servers,
+                    size,
+                    region_queries,
+                    prox_cache,
+                    Some(rent_cap),
+                    &mut scratch.walk,
+                );
+                pre.spec_computed = true;
+            }
+            Intent::ReplicateForProfit => {
+                scratch.servers.clear();
+                scratch
+                    .servers
+                    .extend(part.replicas.iter().map(|r| r.server));
+                let size = part.size_bytes();
+                let PartitionState {
+                    region_queries,
+                    prox_cache,
+                    ..
+                } = &mut *part;
+                pre.spec = speculate(
+                    ctx.index,
+                    ctx.brute_force,
+                    &pctx,
+                    &scratch.servers,
+                    size,
+                    region_queries,
+                    prox_cache,
+                    None,
+                    &mut scratch.walk,
+                );
+                pre.spec_computed = true;
+            }
+        }
+        slots.push(pre);
     }
 }
 

@@ -1,4 +1,5 @@
-//! Deterministic scoped fan-out for the epoch pipeline.
+//! Deterministic fan-out for the epoch pipeline on a **persistent** worker
+//! pool.
 //!
 //! The offline build environment has no rayon; this crate provides the
 //! small slice of it Skute needs, designed around one invariant: **results
@@ -6,11 +7,16 @@
 //!
 //! Three pieces:
 //!
-//! - [`WorkerPool`]: a scoped fork-join pool. Work is pre-split into
-//!   chunks whose boundaries the *caller* fixes; workers steal whole
-//!   chunks, so scheduling decides only *who* runs a chunk, never what the
-//!   chunk computes. With one thread (or one chunk) everything runs inline
-//!   on the caller's stack — zero spawns, zero synchronization.
+//! - [`WorkerPool`]: a long-lived pool of parked workers. Construction
+//!   spawns `threads - 1` OS threads once; they park on a condvar between
+//!   dispatches, so a parallel phase costs one queue handoff instead of a
+//!   `std::thread::scope` spawn storm per phase (PR 3 opened 3–5 scopes
+//!   per epoch). Jobs are **owned** (`'static`) closures over owned task
+//!   data — the workspace denies `unsafe_code`, so borrowed-job handoff to
+//!   long-lived threads (the rayon/crossbeam trick) is out; callers move
+//!   task data in and get it back from [`WorkerPool::run_tasks`], whose
+//!   result vector is ordered by task index, never by completion order.
+//!   Dropping the pool shuts the workers down and joins them.
 //! - [`ShardAccounts`]: per-chunk delta accumulators whose merge replays
 //!   deltas in (shard, insertion) order — a deterministic sequence fixed
 //!   by the chunk decomposition, not by which worker finished first. The
@@ -20,23 +26,60 @@
 //!   draws from streams tied to the (deterministic) shard decomposition
 //!   rather than to worker identity.
 
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
-/// A scoped fork-join worker pool with a fixed thread budget.
+/// An owned unit of work queued on the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its parked workers.
+struct Shared {
+    /// Pending jobs; workers and the dispatching caller both pop from the
+    /// front (the caller participates, so a pool of budget *n* runs *n*
+    /// jobs concurrently with only *n − 1* spawned threads).
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals queued work (or shutdown) to parked workers.
+    work_ready: Condvar,
+    /// Set once by [`WorkerPool::drop`]; workers exit when they see it
+    /// with an empty queue.
+    shutdown: AtomicBool,
+    /// Workers currently alive (spawned and not yet exited).
+    live: AtomicUsize,
+}
+
+/// A persistent fork-join worker pool with a fixed thread budget.
 ///
-/// The pool holds no threads between calls: each [`WorkerPool::run_chunks`]
-/// / [`WorkerPool::run_sharded`] invocation opens one [`std::thread::scope`]
-/// (when it parallelizes at all), so tasks may freely borrow caller state.
-/// Keep parallel regions coarse — one per pipeline phase — to amortize the
-/// spawn cost.
-#[derive(Debug, Clone)]
+/// Workers are spawned once at construction and parked between dispatches;
+/// [`WorkerPool::run_tasks`] hands them owned tasks and returns the owned
+/// results in task order. With a budget of one (or zero/one tasks)
+/// everything runs inline on the caller's stack — zero queue traffic, zero
+/// synchronization — which is also why an explicit `threads = 1` budget is
+/// the bit-exact sequential reference at no overhead.
 pub struct WorkerPool {
     threads: usize,
+    /// `None` for a sequential pool (no workers, everything inline).
+    shared: Option<Arc<Shared>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("live_workers", &self.live_workers())
+            .finish()
+    }
 }
 
 impl WorkerPool {
     /// A pool running `threads` workers per parallel region; `0` asks the
-    /// OS for the available parallelism.
+    /// OS for the available parallelism. Budgets above one spawn
+    /// `threads - 1` parked worker threads immediately (the calling thread
+    /// is always worker 0 of a dispatch).
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -45,12 +88,36 @@ impl WorkerPool {
         } else {
             threads
         };
-        Self { threads }
+        if threads <= 1 {
+            return Self {
+                threads: 1,
+                shared: None,
+                workers: Vec::new(),
+            };
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                shared.live.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Self {
+            threads,
+            shared: Some(shared),
+            workers,
+        }
     }
 
     /// A pool that always runs inline on the caller's thread.
     pub fn sequential() -> Self {
-        Self { threads: 1 }
+        Self::new(1)
     }
 
     /// The resolved worker budget (≥ 1).
@@ -58,95 +125,122 @@ impl WorkerPool {
         self.threads
     }
 
-    /// Runs `f(chunk_index, chunk)` over `items` split into chunks of
-    /// `chunk_size`, in parallel when the pool has more than one thread and
-    /// there is more than one chunk.
-    ///
-    /// `f` must be order-independent across chunks (chunks of distinct
-    /// indices never observe each other); within a chunk it runs over the
-    /// items in slice order on a single worker.
-    pub fn run_chunks<T, F>(&self, items: &mut [T], chunk_size: usize, f: F)
-    where
-        T: Send,
-        F: Fn(usize, &mut [T]) + Sync,
-    {
-        let mut none: [(); 0] = [];
-        self.dispatch(
-            items,
-            chunk_size,
-            &mut none,
-            |i, chunk, _state: Option<&mut ()>| f(i, chunk),
-        );
+    /// Worker threads currently alive (spawned and not yet exited);
+    /// `threads() - 1` for a healthy parallel pool, `0` for a sequential
+    /// one — and, after the pool is dropped, provably `0` again: drop
+    /// signals shutdown and joins every worker before returning.
+    pub fn live_workers(&self) -> usize {
+        self.shared
+            .as_ref()
+            .map(|s| s.live.load(Ordering::SeqCst))
+            .unwrap_or(0)
     }
 
-    /// Like [`WorkerPool::run_chunks`], but hands chunk `i` exclusive access
-    /// to `shards[i]` — per-shard scratch buffers, accumulators
-    /// ([`ShardAccounts::shards_mut`]) or RNG streams ([`stream_seed`]).
+    /// Runs `f(task_index, task)` over the owned `tasks`, in parallel when
+    /// the pool has more than one thread and there is more than one task,
+    /// and returns the results **in task order** (never completion order).
     ///
-    /// # Panics
-    /// Panics unless `shards.len() == chunk_count(items.len(), chunk_size)`.
-    pub fn run_sharded<T, S, F>(&self, items: &mut [T], chunk_size: usize, shards: &mut [S], f: F)
+    /// `f` must be order-independent across tasks (tasks never observe each
+    /// other); shared inputs travel inside `f` (typically as `Arc`s) and
+    /// every `Arc` clone handed to a job is dropped before its result is
+    /// published, so once `run_tasks` returns the caller can reclaim a
+    /// uniquely-held context with `Arc::try_unwrap`.
+    ///
+    /// A panicking task is caught on the worker, and the panic resumes on
+    /// the calling thread after the dispatch drains.
+    pub fn run_tasks<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
     where
-        T: Send,
-        S: Send,
-        F: Fn(usize, &mut [T], &mut S) + Sync,
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
     {
-        assert_eq!(
-            shards.len(),
-            chunk_count(items.len(), chunk_size),
-            "one shard per chunk"
-        );
-        self.dispatch(
-            items,
-            chunk_size,
-            shards,
-            |i, chunk, state: Option<&mut S>| f(i, chunk, state.expect("shard count checked")),
-        );
-    }
-
-    fn dispatch<T, S, F>(&self, items: &mut [T], chunk_size: usize, shards: &mut [S], f: F)
-    where
-        T: Send,
-        S: Send,
-        F: Fn(usize, &mut [T], Option<&mut S>) + Sync,
-    {
-        if items.is_empty() {
-            return;
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
         }
-        let chunk_size = chunk_size.max(1);
-        let mut tasks: Vec<(usize, &mut [T], Option<&mut S>)> = {
-            let mut shard_iter = shards.iter_mut();
-            items
-                .chunks_mut(chunk_size)
-                .enumerate()
-                .map(|(i, c)| (i, c, shard_iter.next()))
-                .collect()
-        };
-        let workers = self.threads.min(tasks.len());
-        if workers <= 1 {
-            for (i, chunk, state) in tasks {
-                f(i, chunk, state);
+        let shared = match &self.shared {
+            Some(shared) if n > 1 => shared,
+            _ => {
+                // Inline: task order, caller's stack, zero synchronization.
+                return tasks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| f(i, t))
+                    .collect();
             }
-            return;
+        };
+        let f = Arc::new(f);
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, task) in tasks.into_iter().enumerate() {
+                let f = Arc::clone(&f);
+                let tx = tx.clone();
+                queue.push_back(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| f(i, task)));
+                    // Drop the function handle (and the shared context it
+                    // carries) *before* publishing the result, so that
+                    // "all results received" implies "no job still holds
+                    // a context Arc".
+                    drop(f);
+                    let _ = tx.send((i, result));
+                }));
+            }
+            shared.work_ready.notify_all();
         }
-        let queue = Mutex::new(tasks.drain(..));
-        let run = || {
-            loop {
-                // Take the next whole chunk; drop the lock before running it.
-                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
-                match next {
-                    Some((i, chunk, state)) => f(i, chunk, state),
-                    None => break,
+        drop(tx);
+        let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut received = 0usize;
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        let record =
+            |slot: (usize, std::thread::Result<R>),
+             results: &mut Vec<Option<R>>,
+             panic_payload: &mut Option<Box<dyn std::any::Any + Send>>| {
+                let (i, r) = slot;
+                match r {
+                    Ok(r) => results[i] = Some(r),
+                    Err(p) => {
+                        panic_payload.get_or_insert(p);
+                    }
                 }
+            };
+        while received < n {
+            // Drain whatever results are already published.
+            match rx.try_recv() {
+                Ok(slot) => {
+                    record(slot, &mut results, &mut panic_payload);
+                    received += 1;
+                    continue;
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => break,
             }
-        };
-        std::thread::scope(|scope| {
-            for _ in 1..workers {
-                scope.spawn(run);
+            // Participate: run one queued job (possibly ours, possibly a
+            // concurrent dispatch's — either way it makes progress), or
+            // block for the next result when the queue is dry.
+            let job = shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front();
+            match job {
+                Some(job) => job(),
+                None => match rx.recv() {
+                    Ok(slot) => {
+                        record(slot, &mut results, &mut panic_payload);
+                        received += 1;
+                    }
+                    Err(_) => break,
+                },
             }
-            // The calling thread is worker 0.
-            run();
-        });
+        }
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task publishes exactly one result"))
+            .collect()
     }
 }
 
@@ -156,11 +250,78 @@ impl Default for WorkerPool {
     }
 }
 
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            // Flag shutdown *while holding the queue mutex*: a worker
+            // between its shutdown check and its condvar wait still holds
+            // the lock, so taking it here guarantees every worker either
+            // has not checked yet (and will see the flag) or is already
+            // waiting (and receives the notify) — without it, a notify
+            // landing in that window is lost and the join below hangs.
+            let guard = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.work_ready.notify_all();
+            drop(guard);
+        }
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside a job already exited; joining
+            // it still reaps the thread.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The parked-worker loop: pop a job or sleep on the condvar; exit when
+/// shutdown is flagged and the queue is drained.
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => break,
+        }
+    }
+    shared.live.fetch_sub(1, Ordering::SeqCst);
+}
+
 /// Number of chunks `chunk_size` splits `items` into (the shard count of a
 /// parallel region). Depends only on the two arguments — never on the
 /// thread count — so shard-indexed state is deterministic.
 pub fn chunk_count(items: usize, chunk_size: usize) -> usize {
     items.div_ceil(chunk_size.max(1))
+}
+
+/// Splits owned `items` into contiguous chunks of `chunk_size` (the last
+/// may be shorter), preserving order — the owned-task counterpart of
+/// `slice::chunks` for [`WorkerPool::run_tasks`] dispatches. The
+/// decomposition depends only on the arguments, never on the thread count.
+pub fn split_chunks<T>(items: Vec<T>, chunk_size: usize) -> Vec<Vec<T>> {
+    let chunk_size = chunk_size.max(1);
+    let mut out = Vec::with_capacity(chunk_count(items.len(), chunk_size));
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.push(chunk);
+    }
+    out
 }
 
 /// Derives the RNG stream seed of shard `shard` from a base `seed`
@@ -177,12 +338,13 @@ pub fn stream_seed(seed: u64, shard: u64) -> u64 {
 /// Per-shard delta accumulators with a deterministic, scheduling-blind
 /// merge.
 ///
-/// A parallel phase hands shard `i`'s `Vec` to chunk `i`
-/// ([`WorkerPool::run_sharded`]); workers push `(key, delta)` pairs in item
-/// order. Merging replays every delta in **(shard, insertion) order** —
-/// with contiguous chunks that is exactly the original item order, so a
-/// floating-point fold produces the same bits as the sequential loop the
-/// phase replaced, at any thread count and under any chunk decomposition.
+/// A parallel phase hands shard `i`'s `Vec` to task `i` (moved through
+/// [`WorkerPool::run_tasks`] and moved back); workers push `(key, delta)`
+/// pairs in item order. Merging replays every delta in **(shard,
+/// insertion) order** — with contiguous chunks that is exactly the
+/// original item order, so a floating-point fold produces the same bits as
+/// the sequential loop the phase replaced, at any thread count and under
+/// any chunk decomposition.
 #[derive(Debug, Clone)]
 pub struct ShardAccounts<K, V> {
     shards: Vec<Vec<(K, V)>>,
@@ -212,7 +374,7 @@ impl<K: Ord + Copy, V> ShardAccounts<K, V> {
         }
     }
 
-    /// The per-shard delta buffers, for zipping into a parallel region.
+    /// The per-shard delta buffers, for moving into a parallel region.
     pub fn shards_mut(&mut self) -> &mut [Vec<(K, V)>] {
         &mut self.shards
     }
@@ -263,57 +425,64 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn inline_and_parallel_chunks_agree() {
+    fn inline_and_parallel_tasks_agree() {
         let compute = |pool: &WorkerPool, chunk: usize| {
-            let mut items: Vec<u64> = (0..1000).collect();
-            pool.run_chunks(&mut items, chunk, |i, c| {
+            let chunks = split_chunks((0u64..1000).collect(), chunk);
+            let out = pool.run_tasks(chunks, |i, mut c: Vec<u64>| {
                 for v in c.iter_mut() {
                     *v = v.wrapping_mul(2654435761).rotate_left((i % 7) as u32);
                 }
+                c
             });
-            items
+            out.into_iter().flatten().collect::<Vec<u64>>()
         };
-        let seq = compute(&WorkerPool::sequential(), 64);
+        let seq_pool = WorkerPool::sequential();
+        let seq = compute(&seq_pool, 64);
         for threads in [2, 4, 8] {
-            let par = compute(&WorkerPool::new(threads), 64);
+            let pool = WorkerPool::new(threads);
+            let par = compute(&pool, 64);
             assert_eq!(par, seq, "threads = {threads}");
         }
     }
 
     #[test]
-    fn every_chunk_runs_exactly_once() {
-        let counter = AtomicUsize::new(0);
-        let mut items = vec![1u8; 257];
-        WorkerPool::new(8).run_chunks(&mut items, 16, |_, c| {
-            counter.fetch_add(c.len(), Ordering::Relaxed);
+    fn results_come_back_in_task_order() {
+        let pool = WorkerPool::new(4);
+        // Tasks with index-dependent work: later-queued tasks finish first
+        // under contention, but the result vector is index-ordered.
+        let out = pool.run_tasks((0..64usize).collect(), |i, v| {
+            assert_eq!(i, v);
+            let mut acc = v as u64;
+            for _ in 0..(64 - v) * 500 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (v, acc & 1)
+        });
+        for (i, (v, _)) in out.iter().enumerate() {
+            assert_eq!(i, *v);
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let chunks = split_chunks(vec![1u8; 257], 16);
+        assert_eq!(chunks.len(), 17);
+        let pool = WorkerPool::new(8);
+        let c = Arc::clone(&counter);
+        pool.run_tasks(chunks, move |_, chunk: Vec<u8>| {
+            c.fetch_add(chunk.len(), Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 257);
         assert_eq!(chunk_count(257, 16), 17);
         assert_eq!(chunk_count(0, 16), 0);
         assert_eq!(chunk_count(16, 16), 1);
         assert_eq!(chunk_count(17, 0), 17, "chunk size is clamped to 1");
-    }
-
-    #[test]
-    fn sharded_state_is_indexed_by_chunk_not_worker() {
-        let mut items: Vec<usize> = (0..100).collect();
-        let chunks = chunk_count(items.len(), 9);
-        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); chunks];
-        WorkerPool::new(4).run_sharded(&mut items, 9, &mut shards, |i, chunk, shard| {
-            shard.extend(chunk.iter().map(|&v| v + i));
-        });
-        for (i, shard) in shards.iter().enumerate() {
-            assert_eq!(shard.len(), if i == chunks - 1 { 1 } else { 9 });
-            assert_eq!(shard[0], i * 9 + i);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "one shard per chunk")]
-    fn shard_count_mismatch_panics() {
-        let mut items = [0u8; 10];
-        let mut shards: Vec<Vec<(u8, u8)>> = vec![Vec::new()];
-        WorkerPool::new(2).run_sharded(&mut items, 3, &mut shards, |_, _, _| {});
+        assert!(split_chunks(Vec::<u8>::new(), 4).is_empty());
+        assert_eq!(
+            split_chunks(vec![1, 2, 3], 0),
+            vec![vec![1], vec![2], vec![3]]
+        );
     }
 
     #[test]
@@ -321,6 +490,74 @@ mod tests {
         assert!(WorkerPool::new(0).threads() >= 1);
         assert_eq!(WorkerPool::sequential().threads(), 1);
         assert_eq!(WorkerPool::default().threads(), 1);
+    }
+
+    #[test]
+    fn pool_spawns_workers_once_and_joins_them_on_drop() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.live_workers(), 3, "threads - 1 parked workers");
+        // Two dispatches on the same workers: the census does not grow.
+        for _ in 0..2 {
+            let sum: u64 = pool
+                .run_tasks((0..32u64).collect(), |_, v| v * 2)
+                .into_iter()
+                .sum();
+            assert_eq!(sum, 2 * (31 * 32 / 2));
+            assert_eq!(pool.live_workers(), 3);
+        }
+        // Drop signals shutdown and joins every worker before returning:
+        // a leaked worker would keep `live` nonzero (and a stuck one would
+        // hang the join, failing the test by timeout).
+        let shared = Arc::clone(pool.shared.as_ref().unwrap());
+        drop(pool);
+        assert_eq!(
+            shared.live.load(Ordering::SeqCst),
+            0,
+            "no worker survives drop"
+        );
+        assert_eq!(
+            Arc::strong_count(&shared),
+            1,
+            "no worker still holds the pool state"
+        );
+    }
+
+    #[test]
+    fn sequential_pool_has_no_workers() {
+        let pool = WorkerPool::sequential();
+        assert_eq!(pool.live_workers(), 0);
+        let out = pool.run_tasks(vec![1, 2, 3], |_, v: i32| v + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_the_caller() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_tasks((0..16usize).collect(), |_, v| {
+                assert!(v != 7, "boom");
+                v
+            })
+        }));
+        assert!(result.is_err(), "the task panic must resume on the caller");
+        // The pool survives a panicked dispatch.
+        let out = pool.run_tasks(vec![1u32, 2], |_, v| v);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn shared_context_is_reclaimable_after_dispatch() {
+        // The pipeline's take/restore contract: every context Arc handed to
+        // jobs is dropped by the time run_tasks returns.
+        let pool = WorkerPool::new(4);
+        let ctx = Arc::new(vec![1u64; 1024]);
+        let ctx2 = Arc::clone(&ctx);
+        let sums = pool.run_tasks((0..8usize).collect(), move |_, i| {
+            ctx2.iter().sum::<u64>() + i as u64
+        });
+        assert_eq!(sums[0], 1024);
+        let owned = Arc::try_unwrap(ctx).expect("no job still holds the context");
+        assert_eq!(owned.len(), 1024);
     }
 
     #[test]
@@ -366,6 +603,30 @@ mod tests {
         assert_eq!(acc.shards_mut().len(), 4);
     }
 
+    /// Fills `acc` from `items` on `pool`, one shard per contiguous chunk,
+    /// moving the shard buffers through the dispatch and back.
+    fn fill_sharded(
+        pool: &WorkerPool,
+        acc: &mut ShardAccounts<u32, f64>,
+        items: &[(u32, f64)],
+        chunk_size: usize,
+    ) {
+        type Deltas = Vec<(u32, f64)>;
+        let chunks = split_chunks(items.to_vec(), chunk_size);
+        acc.reset(chunks.len());
+        let tasks: Vec<(Deltas, Deltas)> = chunks
+            .into_iter()
+            .zip(acc.shards_mut().iter_mut().map(std::mem::take))
+            .collect();
+        let filled = pool.run_tasks(tasks, |_, (chunk, mut shard)| {
+            shard.extend(chunk);
+            shard
+        });
+        for (slot, shard) in acc.shards_mut().iter_mut().zip(filled) {
+            *slot = shard;
+        }
+    }
+
     proptest! {
         /// The contract behind the pipeline's bitwise determinism: merging
         /// ShardAccounts filled from a chunk decomposition equals the
@@ -409,6 +670,38 @@ mod tests {
                 prop_assert_eq!(a.0, b.0);
                 prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
             }
+        }
+
+        /// A pool **reused across many dispatches** accumulates exactly the
+        /// same ShardAccounts merge as a fresh pool per dispatch: parked
+        /// workers carry no state between dispatches that could leak into
+        /// results.
+        #[test]
+        fn prop_reused_pool_matches_fresh_pool_per_dispatch(
+            rounds in proptest::collection::vec(
+                (proptest::collection::vec((0u32..6, -1e2f64..1e2), 1..60), 1usize..16),
+                1..6,
+            ),
+        ) {
+            let reused = WorkerPool::new(4);
+            let mut acc_reused: ShardAccounts<u32, f64> = ShardAccounts::new();
+            let mut acc_fresh: ShardAccounts<u32, f64> = ShardAccounts::new();
+            let mut merged_reused: Vec<(u32, f64)> = Vec::new();
+            let mut merged_fresh: Vec<(u32, f64)> = Vec::new();
+            for (items, chunk_size) in &rounds {
+                fill_sharded(&reused, &mut acc_reused, items, *chunk_size);
+                acc_reused.merge_into_sorted(&mut merged_reused, || 0.0, |s, v| *s += v);
+                let fresh = WorkerPool::new(4);
+                fill_sharded(&fresh, &mut acc_fresh, items, *chunk_size);
+                acc_fresh.merge_into_sorted(&mut merged_fresh, || 0.0, |s, v| *s += v);
+                drop(fresh);
+                prop_assert_eq!(merged_reused.len(), merged_fresh.len());
+                for (a, b) in merged_reused.iter().zip(&merged_fresh) {
+                    prop_assert_eq!(a.0, b.0);
+                    prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+            prop_assert_eq!(reused.live_workers(), 3, "dispatches never leak workers");
         }
     }
 }

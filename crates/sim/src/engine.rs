@@ -5,7 +5,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use skute_cluster::{Capacities, Cluster, ServerSpec};
-use skute_core::{AppId, AppSpec, EpochReport, LevelSpec, SkuteCloud};
+use skute_core::{AppId, AppSpec, EpochReport, LevelSpec, SkuteCloud, TrafficBatch};
 use skute_geo::Location;
 use skute_workload::{pareto_popularities, QueryGenerator};
 
@@ -122,15 +122,22 @@ impl Simulation {
         for event in self.scenario.schedule.events_at(epoch).to_vec() {
             self.apply_event(event);
         }
-        // Queries.
+        // Queries: every application's traffic in one batched call, so the
+        // per-ring delivery plan passes share a single pool dispatch.
         let traffic = self.query_gen.epoch(&mut self.rng, epoch);
         let offered_rate: f64 = traffic.iter().map(|t| t.queries).sum();
-        for t in &traffic {
-            let app = self.apps[t.app_index];
-            self.cloud
-                .deliver_queries(app, 0, t.queries, &t.regions)
-                .expect("registered app");
-        }
+        let batches: Vec<TrafficBatch> = traffic
+            .into_iter()
+            .map(|t| TrafficBatch {
+                app: self.apps[t.app_index],
+                level: 0,
+                queries: t.queries,
+                regions: t.regions,
+            })
+            .collect();
+        self.cloud
+            .deliver_queries_multi(batches)
+            .expect("registered apps");
         // Inserts (Fig. 5), spread round-robin over the applications.
         if let Some(gen) = self.scenario.inserts {
             let batch = gen.epoch(&mut self.rng, epoch);

@@ -176,19 +176,18 @@ mod tests {
 
     #[test]
     fn concurrent_writers_converge() {
-        // Eight writers race on one key through the scoped worker pool
-        // (one single-writer chunk each), all mutating the same shared
-        // store handle concurrently.
+        // Eight writers race on one key through the persistent worker pool
+        // (one single-writer task each), all mutating the same shared
+        // store handle concurrently through cloned handles.
         let store = SharedPartitionStore::new();
-        let mut writers: Vec<u32> = (0..8).collect();
-        skute_exec::WorkerPool::new(8).run_chunks(&mut writers, 1, |_, chunk| {
-            for &writer in chunk.iter() {
-                for seq in 0..100u64 {
-                    store.apply(
-                        &b"contended"[..],
-                        Record::put(vec![writer as u8], Version::new(1, seq, writer)),
-                    );
-                }
+        let pool = skute_exec::WorkerPool::new(8);
+        let handle = store.clone();
+        pool.run_tasks((0..8u32).collect(), move |_, writer| {
+            for seq in 0..100u64 {
+                handle.apply(
+                    &b"contended"[..],
+                    Record::put(vec![writer as u8], Version::new(1, seq, writer)),
+                );
             }
         });
         // LWW winner is the highest (epoch, seq, writer) = (1, 99, 7).

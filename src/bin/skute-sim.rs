@@ -3,6 +3,7 @@
 //! ```text
 //! skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N] [--seed N]
 //!           [--csv PATH] [--print-every N] [--brute-force] [--threads N]
+//!           [--sequential-commit]
 //! skute-sim --bench-json PATH
 //! ```
 //!
@@ -28,6 +29,7 @@ struct Args {
     csv: Option<String>,
     print_every: u64,
     brute_force: bool,
+    sequential_commit: bool,
     threads: Option<usize>,
     bench_json: Option<String>,
 }
@@ -40,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         csv: None,
         print_every: 10,
         brute_force: false,
+        sequential_commit: false,
         threads: None,
         bench_json: None,
     };
@@ -69,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--print-every: {e}"))?
             }
             "--brute-force" => args.brute_force = true,
+            "--sequential-commit" => args.sequential_commit = true,
             "--threads" | "-t" => {
                 args.threads = Some(
                     value("--threads")?
@@ -82,9 +86,12 @@ fn parse_args() -> Result<Args, String> {
                     "skute-sim: run a Skute paper scenario\n\n\
                      USAGE: skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N]\n\
                             [--seed N] [--csv PATH] [--print-every N] [--brute-force]\n\
-                            [--threads N] [--bench-json PATH]\n\n\
+                            [--sequential-commit] [--threads N] [--bench-json PATH]\n\n\
                      --threads sets the epoch pipeline's worker budget (0 = all\n\
-                     cores); same-seed output is bitwise identical at any value."
+                     cores); same-seed output is bitwise identical at any value.\n\
+                     --sequential-commit routes the traffic commit through the\n\
+                     sequential oracle loop (bitwise-identical output; CI's\n\
+                     determinism matrix compares both modes)."
                 );
                 std::process::exit(0);
             }
@@ -142,6 +149,7 @@ fn main() -> ExitCode {
         scenario.seed = seed;
     }
     scenario.config.brute_force_placement = args.brute_force;
+    scenario.config.sequential_traffic_commit = args.sequential_commit;
     if let Some(threads) = args.threads {
         scenario.config.threads = threads;
     }

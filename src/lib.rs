@@ -85,6 +85,7 @@ pub mod prelude {
     pub use skute_core::{
         availability_of, threshold_for_replicas, AppId, AppSpec, AvailabilityLevel, CoreError,
         EpochReport, LevelSpec, PlacementStrategy, RingReport, SkuteCloud, SkuteConfig,
+        TrafficBatch,
     };
     pub use skute_economy::EconomyConfig;
     pub use skute_geo::{diversity, ClientGeo, LatencyModel, Level, Location, Topology};

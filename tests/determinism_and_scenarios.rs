@@ -138,6 +138,80 @@ fn indexed_and_brute_force_placement_produce_identical_trajectories() {
 }
 
 #[test]
+fn traffic_commit_modes_conserve_per_server_queries_on_all_scenarios() {
+    // The sharded traffic commit's acceptance bar: on every paper scenario
+    // the parallel commit (planned spill-free deliveries + sequential
+    // reconciliation) must be **bitwise identical** to the sequential
+    // oracle (`SkuteConfig::sequential_traffic_commit`) — every float of
+    // every Observation *and* every server's served/dropped query meters,
+    // epoch by epoch. Bitwise equality subsumes conservation: the total
+    // delivered and spilled queries per server per epoch match exactly.
+    for scenario in [
+        paper::base_scenario(),
+        paper::fig2_scenario(),
+        paper::fig3_scenario(),
+        paper::fig4_scenario(),
+        paper::fig5_scenario(),
+    ] {
+        let run = |sequential: bool| {
+            let mut s = scenario.clone();
+            s.epochs = 15;
+            s.config.sequential_traffic_commit = sequential;
+            let mut sim = Simulation::new(s);
+            let mut out = Vec::new();
+            for _ in 0..15 {
+                let obs = sim.step();
+                let meters: Vec<(ServerId, u64, u64)> = sim
+                    .cloud()
+                    .cluster()
+                    .alive()
+                    .map(|srv| {
+                        (
+                            srv.id,
+                            srv.usage.queries_served.to_bits(),
+                            srv.usage.queries_dropped.to_bits(),
+                        )
+                    })
+                    .collect();
+                out.push((obs, meters));
+            }
+            out
+        };
+        let parallel = run(false);
+        let sequential = run(true);
+        assert_eq!(parallel.len(), sequential.len());
+        for (epoch, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                p, s,
+                "commit modes diverge on {} at epoch {epoch}",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_commit_mode_replays_bitwise_across_thread_counts() {
+    // The oracle mode gets the same thread-invariance bar as the default:
+    // routing the commit through the sequential loop must not reintroduce
+    // any thread-count dependence in the (still parallel) plan passes.
+    let run = |threads: usize| {
+        let mut s = paper::scaled_scenario("seq-commit-threads", 16, 2_500, 10);
+        s.seed = 0x5EC0;
+        s.config.threads = threads;
+        s.config.sequential_traffic_commit = true;
+        Simulation::new(s).run()
+    };
+    let sequential = run(1);
+    for threads in [2usize, 8] {
+        let parallel = run(threads);
+        for (epoch, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(a, b, "threads = {threads} diverges at epoch {epoch}");
+        }
+    }
+}
+
+#[test]
 fn fig2_shape_scaled() {
     // Convergence: vnodes reach 9·M and stay; cheap servers outnumber
     // expensive in hosted vnodes.
