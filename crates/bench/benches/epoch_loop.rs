@@ -3,15 +3,18 @@
 //! per application, from a cold start (covering the decision-heavy
 //! convergence phase), plus the M = 200 thread-scaling rows at pipeline
 //! threads ∈ {1, 2, 4, 8}, a pool-overhead row (M = 16 at 8 threads:
-//! dispatch handoff dominates, charting the persistent pool's fixed cost)
-//! and the commit-mode rows (sequential traffic-commit oracle vs the
-//! default reconciled commit). Every row replays the same bitwise
-//! trajectory; only wall clock differs. Prints the comparison table and
-//! writes the machine-readable perf trajectory to `BENCH_epoch.json` at
-//! the workspace root; CI's bench-smoke job diffs that file against the
-//! committed one with the `bench_gate` binary (rows matched by
-//! `(partitions, threads, commit)` key; unmatched rows skip with a
-//! warning).
+//! dispatch handoff dominates, charting the persistent pool's fixed cost),
+//! the commit-mode rows (sequential traffic-commit oracle vs the default
+//! reconciled commit) and a convergence/churn row (M = 200 under a
+//! failure burst plus a capacity upgrade — many actions per epoch) that
+//! also charts the decision commit pass's speculation hit rate. Rows
+//! sharing a workload replay the same bitwise trajectory; only wall clock
+//! differs. Prints the comparison table and writes the machine-readable
+//! perf trajectory to `BENCH_epoch.json` at the workspace root; CI's
+//! bench-smoke job diffs that file against the committed one with the
+//! `bench_gate` binary (rows matched by `(partitions, threads, commit,
+//! workload)` key; unmatched rows skip with a warning, and the hit rate
+//! is informational).
 //!
 //! Run with `cargo bench -p skute-bench --bench epoch_loop`.
 
@@ -28,13 +31,25 @@ fn main() {
     }
     if let Some(r) = results
         .iter()
-        .find(|r| r.partitions == 200 && r.threads == 1)
+        .find(|r| r.partitions == 200 && r.threads == 1 && !r.sequential_commit && !r.churn)
     {
         println!(
             "M = 200 speedup: {:.2}x ({:.2} → {:.2} epochs/sec)",
             r.speedup(),
             r.brute_force.epochs_per_sec,
             r.indexed.epochs_per_sec
+        );
+    }
+    if let Some(r) = results.iter().find(|r| r.churn) {
+        println!(
+            "M = {} churn speculation hit rate: {} ({} hits / {} misses)",
+            r.partitions,
+            match r.spec_hit_rate() {
+                Some(hr) => format!("{:.0}%", hr * 100.0),
+                None => "n/a".to_string(),
+            },
+            r.indexed.spec_hits,
+            r.indexed.spec_misses
         );
     }
 }

@@ -6,10 +6,11 @@
 //! ```
 //!
 //! Parses both `BENCH_epoch.json` documents, matches rows **by key** —
-//! `(partitions, threads, commit mode)` — skipping unmatched rows on
-//! either side with a warning (so adding or retiring bench rows never
-//! fails the gate), and exits non-zero when a matched row fell below
-//! either floor:
+//! `(partitions, threads, commit mode, workload)` — skipping unmatched
+//! rows on either side with a warning (so adding or retiring bench rows
+//! never fails the gate). The speculation hit rate of matched rows is
+//! **informational**: a collapse warns, never fails. The gate exits
+//! non-zero when a matched row fell below either floor:
 //!
 //! * the **speedup ratio** (indexed over brute-force epochs/sec, both
 //!   measured in the same run) — hardware-neutral, so a faster or slower
@@ -123,9 +124,15 @@ fn main() -> ExitCode {
                 } else {
                     "n/a".to_string()
                 };
+                let hit_rate = match (b.spec_hit_rate, c.spec_hit_rate) {
+                    (Some(bh), Some(ch)) => {
+                        format!(", spec hit {:.0}% → {:.0}%", bh * 100.0, ch * 100.0)
+                    }
+                    _ => String::new(),
+                };
                 println!(
                     "  {}: indexed {:>10.2} → {:>10.2} epochs/sec ({delta}), \
-                     speedup {:.2}x → {:.2}x",
+                     speedup {:.2}x → {:.2}x{hit_rate}",
                     b.describe_key(),
                     b.indexed_eps,
                     c.indexed_eps,

@@ -8,7 +8,7 @@ use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use skute_sim::{paper, Simulation};
+use skute_sim::{paper, CloudEvent, Schedule, Simulation};
 
 /// Timing of one pipeline over one scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,10 +22,16 @@ pub struct PipelineTiming {
     pub ns_per_decision: f64,
     /// Total vnode decisions over the run.
     pub decisions: u64,
+    /// Speculative eq.-(3) targets honored by the decision commit passes
+    /// over the run (identical across pipelines and thread counts — the
+    /// trajectory is deterministic).
+    pub spec_hits: u64,
+    /// Speculations discarded and re-walked over the run.
+    pub spec_misses: u64,
 }
 
-/// Head-to-head result for one partition count at one worker-thread count
-/// and one traffic-commit mode.
+/// Head-to-head result for one partition count at one worker-thread count,
+/// one traffic-commit mode and one workload shape.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochLoopResult {
     /// Partitions per application (the paper's M).
@@ -43,6 +49,11 @@ pub struct EpochLoopResult {
     /// trajectory is bitwise identical either way; the row pair charts
     /// the commit-mode cost.
     pub sequential_commit: bool,
+    /// True when the run layered a server-churn schedule (a failure burst
+    /// plus a capacity upgrade) on the cold start, so every epoch keeps
+    /// executing many actions — the convergence workload the speculation
+    /// hit rate is measured on.
+    pub churn: bool,
     /// The rent-indexed pipeline (the default).
     pub indexed: PipelineTiming,
     /// The brute-force full-scan pipeline (the pre-optimization oracle).
@@ -56,6 +67,14 @@ impl EpochLoopResult {
             return 0.0;
         }
         self.indexed.epochs_per_sec / self.brute_force.epochs_per_sec
+    }
+
+    /// Fraction of speculations honored over the run (from the indexed
+    /// pipeline; the brute-force pipeline replays the same trajectory),
+    /// or `None` when no speculation was evaluated.
+    pub fn spec_hit_rate(&self) -> Option<f64> {
+        let total = self.indexed.spec_hits + self.indexed.spec_misses;
+        (total > 0).then(|| self.indexed.spec_hits as f64 / total as f64)
     }
 }
 
@@ -72,6 +91,7 @@ pub fn time_pipeline(
     brute_force: bool,
     threads: usize,
     sequential_commit: bool,
+    churn: bool,
 ) -> PipelineTiming {
     let mut best: Option<PipelineTiming> = None;
     for _ in 0..2 {
@@ -85,12 +105,24 @@ pub fn time_pipeline(
         scenario.config.brute_force_placement = brute_force;
         scenario.config.threads = threads;
         scenario.config.sequential_traffic_commit = sequential_commit;
+        if churn {
+            // Keep the decision phase busy past the cold-start ramp: a
+            // failure burst forces repairs/migrations mid-run, then a
+            // capacity upgrade re-opens cheap placements.
+            scenario.schedule = Schedule::new()
+                .at(epochs / 3 + 1, CloudEvent::RemoveServers { count: 20 })
+                .at(2 * epochs / 3 + 1, CloudEvent::AddServers { count: 20 });
+        }
         let mut sim = Simulation::new(scenario);
         let mut decisions = 0u64;
+        let mut spec_hits = 0u64;
+        let mut spec_misses = 0u64;
         let start = Instant::now();
         for _ in 0..epochs {
             let obs = sim.step();
             decisions += obs.report.total_vnodes() as u64;
+            spec_hits += obs.report.actions.spec_hits;
+            spec_misses += obs.report.actions.spec_misses;
         }
         let seconds = start.elapsed().as_secs_f64();
         let timing = PipelineTiming {
@@ -98,6 +130,8 @@ pub fn time_pipeline(
             epochs_per_sec: epochs as f64 / seconds.max(1e-12),
             ns_per_decision: seconds * 1e9 / decisions.max(1) as f64,
             decisions,
+            spec_hits,
+            spec_misses,
         };
         if best.is_none_or(|b| timing.seconds < b.seconds) {
             best = Some(timing);
@@ -107,26 +141,28 @@ pub fn time_pipeline(
 }
 
 /// Runs both pipelines at one partition count and thread count, in the
-/// default (parallel) traffic-commit mode.
+/// default (parallel) traffic-commit mode on the steady cold start.
 pub fn run_epoch_loop(partitions: usize, epochs: u64, threads: usize) -> EpochLoopResult {
-    run_epoch_loop_mode(partitions, epochs, threads, false)
+    run_epoch_loop_mode(partitions, epochs, threads, false, false)
 }
 
-/// Runs both pipelines at one partition count, thread count and
-/// traffic-commit mode.
+/// Runs both pipelines at one partition count, thread count,
+/// traffic-commit mode and workload shape.
 pub fn run_epoch_loop_mode(
     partitions: usize,
     epochs: u64,
     threads: usize,
     sequential_commit: bool,
+    churn: bool,
 ) -> EpochLoopResult {
     EpochLoopResult {
         partitions,
         epochs,
         threads,
         sequential_commit,
-        indexed: time_pipeline(partitions, epochs, false, threads, sequential_commit),
-        brute_force: time_pipeline(partitions, epochs, true, threads, sequential_commit),
+        churn,
+        indexed: time_pipeline(partitions, epochs, false, threads, sequential_commit, churn),
+        brute_force: time_pipeline(partitions, epochs, true, threads, sequential_commit, churn),
     }
 }
 
@@ -134,28 +170,37 @@ pub fn run_epoch_loop_mode(
 /// worker, the M = 200 scaling curve at threads ∈ {2, 4, 8}, a
 /// **pool-overhead** row (M = 16 at 8 threads: per-chunk work so small
 /// the row is dominated by the persistent pool's dispatch handoff — on a
-/// single-core host it is pure overhead by construction), and two
+/// single-core host it is pure overhead by construction), two
 /// **commit-mode** rows timing the sequential traffic-commit oracle
-/// against the default reconciled commit at M = 200. Epoch counts shrink
-/// as M grows so the whole sweep stays a smoke-test-sized run while still
-/// covering the decision-heavy convergence phase. All rows replay the
-/// same bitwise trajectory; only wall clock differs.
+/// against the default reconciled commit at M = 200, and a
+/// **convergence/churn** row (M = 200 with a failure burst and a
+/// capacity upgrade) where dozens of actions execute per epoch — the
+/// workload whose commit pass the read-set speculation turns from
+/// re-walks into validations (its hit rate lands in the JSON). Epoch
+/// counts shrink as M grows so the whole sweep stays a smoke-test-sized
+/// run while still covering the decision-heavy convergence phase. Rows
+/// sharing a workload replay the same bitwise trajectory; only wall
+/// clock differs.
 pub fn standard_sweep() -> Vec<EpochLoopResult> {
     [
-        (16usize, 40u64, 1usize, false),
-        (50, 25, 1, false),
-        (200, 12, 1, false),
-        (200, 12, 2, false),
-        (200, 12, 4, false),
-        (200, 12, 8, false),
+        (16usize, 40u64, 1usize, false, false),
+        (50, 25, 1, false, false),
+        (200, 12, 1, false, false),
+        (200, 12, 2, false, false),
+        (200, 12, 4, false, false),
+        (200, 12, 8, false, false),
         // Pool-overhead row.
-        (16, 40, 8, false),
+        (16, 40, 8, false, false),
         // Commit-mode rows (sequential oracle).
-        (200, 12, 1, true),
-        (200, 12, 8, true),
+        (200, 12, 1, true, false),
+        (200, 12, 8, true, false),
+        // Convergence/churn row: a failure burst and a capacity upgrade
+        // keep many actions executing per epoch, charting the
+        // speculation hit rate of the decision commit pass.
+        (200, 18, 1, false, true),
     ]
     .into_iter()
-    .map(|(m, epochs, threads, seq)| run_epoch_loop_mode(m, epochs, threads, seq))
+    .map(|(m, epochs, threads, seq, churn)| run_epoch_loop_mode(m, epochs, threads, seq, churn))
     .collect()
 }
 
@@ -179,12 +224,24 @@ pub fn to_json(results: &[EpochLoopResult]) -> String {
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
+        // Rows that evaluated no speculation at all omit the spec fields
+        // entirely (the parser maps absence back to `None`), so a future
+        // baseline can never mistake "not measured" for a 0% hit rate.
+        let spec = match r.spec_hit_rate() {
+            Some(hr) => format!(
+                "\"spec_hits\": {}, \"spec_misses\": {}, \"spec_hit_rate\": {:.4}, ",
+                r.indexed.spec_hits, r.indexed.spec_misses, hr
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"partitions\": {}, \"epochs\": {}, \"threads\": {}, \"commit\": \"{}\", \"indexed\": {}, \"brute_force\": {}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"partitions\": {}, \"epochs\": {}, \"threads\": {}, \"commit\": \"{}\", \"workload\": \"{}\", {}\"indexed\": {}, \"brute_force\": {}, \"speedup\": {:.2}}}{}\n",
             r.partitions,
             r.epochs,
             r.threads,
             if r.sequential_commit { "sequential" } else { "parallel" },
+            if r.churn { "churn" } else { "steady" },
+            spec,
             timing_json(&r.indexed),
             timing_json(&r.brute_force),
             r.speedup(),
@@ -196,7 +253,8 @@ pub fn to_json(results: &[EpochLoopResult]) -> String {
 }
 
 /// One row parsed back out of a `BENCH_epoch.json` document: the key
-/// `(partitions, threads, commit mode)` plus both pipelines' epochs/sec.
+/// `(partitions, threads, commit mode, workload)` plus both pipelines'
+/// epochs/sec and the informational speculation hit rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrajectoryRow {
     /// Partitions per application.
@@ -207,30 +265,42 @@ pub struct TrajectoryRow {
     /// the field — older documents measured the only commit that existed,
     /// which the default mode reproduces bit-for-bit).
     pub sequential_commit: bool,
+    /// Server-churn workload (false when the document predates the field
+    /// — older documents only measured the steady cold start).
+    pub churn: bool,
     /// Indexed-pipeline epochs per second.
     pub indexed_eps: f64,
     /// Brute-force-pipeline epochs per second.
     pub brute_eps: f64,
+    /// Speculation hit rate of the run, when the document records one.
+    /// Informational: the gate warns on a collapse, never fails.
+    pub spec_hit_rate: Option<f64>,
 }
 
 impl TrajectoryRow {
     /// The row-matching key: rows are compared across documents only when
-    /// partitions, thread budget and commit mode all agree.
-    pub fn key(&self) -> (usize, usize, bool) {
-        (self.partitions, self.threads, self.sequential_commit)
+    /// partitions, thread budget, commit mode and workload all agree.
+    pub fn key(&self) -> (usize, usize, bool, bool) {
+        (
+            self.partitions,
+            self.threads,
+            self.sequential_commit,
+            self.churn,
+        )
     }
 
     /// Human-readable rendering of [`TrajectoryRow::key`].
     pub fn describe_key(&self) -> String {
         format!(
-            "M = {}, threads = {}, {} commit",
+            "M = {}, threads = {}, {} commit, {}",
             self.partitions,
             self.threads,
             if self.sequential_commit {
                 "sequential"
             } else {
                 "parallel"
-            }
+            },
+            if self.churn { "churn" } else { "steady" }
         )
     }
 }
@@ -259,6 +329,11 @@ pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
             .find("\"commit\"")
             .map(|i| line[i..].starts_with("\"commit\": \"sequential\""))
             .unwrap_or(false);
+        let churn = line
+            .find("\"workload\"")
+            .map(|i| line[i..].starts_with("\"workload\": \"churn\""))
+            .unwrap_or(false);
+        let spec_hit_rate = num_after(line, "\"spec_hit_rate\"");
         let indexed = line.find("\"indexed\"").map(|i| &line[i..]);
         let brute = line.find("\"brute_force\"").map(|i| &line[i..]);
         let (Some(indexed), Some(brute)) = (indexed, brute) else {
@@ -274,8 +349,10 @@ pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
             partitions: partitions as usize,
             threads: threads as usize,
             sequential_commit,
+            churn,
             indexed_eps,
             brute_eps,
+            spec_hit_rate,
         });
     }
     rows
@@ -374,6 +451,20 @@ pub fn gate_trajectory(
                 abs_tolerance * 100.0
             ));
         }
+        // The speculation hit rate is **informational**: a collapse
+        // (halved, or gone entirely) warns but never fails — wall-clock
+        // regressions are what the floors above gate.
+        if let (Some(b_hr), Some(c_hr)) = (b.spec_hit_rate, c.spec_hit_rate) {
+            if b_hr > 0.0 && c_hr < b_hr * 0.5 {
+                report.warnings.push(format!(
+                    "{}: speculation hit rate fell {:.0}% → {:.0}% \
+                     (informational, not gated)",
+                    b.describe_key(),
+                    b_hr * 100.0,
+                    c_hr * 100.0
+                ));
+            }
+        }
     }
     for c in current {
         if !baseline.iter().any(|b| b.key() == c.key()) {
@@ -400,20 +491,22 @@ pub fn write_json(path: &Path, results: &[EpochLoopResult]) -> std::io::Result<(
 /// Prints the human-readable comparison table for a sweep.
 pub fn print_table(results: &[EpochLoopResult]) {
     println!(
-        "{:>6} {:>7} {:>8} {:>11} {:>14} {:>14} {:>12} {:>12} {:>8}",
+        "{:>6} {:>7} {:>8} {:>11} {:>8} {:>14} {:>14} {:>12} {:>12} {:>8} {:>8}",
         "M",
         "epochs",
         "threads",
         "commit",
+        "workload",
         "indexed ep/s",
         "brute ep/s",
         "idx ns/dec",
         "brute ns/dec",
-        "speedup"
+        "speedup",
+        "spec hit"
     );
     for r in results {
         println!(
-            "{:>6} {:>7} {:>8} {:>11} {:>14.2} {:>14.2} {:>12.0} {:>12.0} {:>7.2}x",
+            "{:>6} {:>7} {:>8} {:>11} {:>8} {:>14.2} {:>14.2} {:>12.0} {:>12.0} {:>7.2}x {:>8}",
             r.partitions,
             r.epochs,
             r.threads,
@@ -422,11 +515,16 @@ pub fn print_table(results: &[EpochLoopResult]) {
             } else {
                 "parallel"
             },
+            if r.churn { "churn" } else { "steady" },
             r.indexed.epochs_per_sec,
             r.brute_force.epochs_per_sec,
             r.indexed.ns_per_decision,
             r.brute_force.ns_per_decision,
-            r.speedup()
+            r.speedup(),
+            match r.spec_hit_rate() {
+                Some(hr) => format!("{:.0}%", hr * 100.0),
+                None => "n/a".to_string(),
+            },
         );
     }
 }
@@ -473,11 +571,13 @@ mod tests {
         // The scaling rows must chart wall clock only: decision counts (and
         // therefore the simulated trajectory) are identical across thread
         // counts.
-        let t1 = time_pipeline(4, 3, false, 1, false);
-        let t8 = time_pipeline(4, 3, false, 8, false);
+        let t1 = time_pipeline(4, 3, false, 1, false, false);
+        let t8 = time_pipeline(4, 3, false, 8, false, false);
         assert_eq!(t1.decisions, t8.decisions);
+        assert_eq!(t1.spec_hits, t8.spec_hits);
+        assert_eq!(t1.spec_misses, t8.spec_misses);
         // Commit modes replay the same trajectory too.
-        let seq = time_pipeline(4, 3, false, 1, true);
+        let seq = time_pipeline(4, 3, false, 1, true, false);
         assert_eq!(t1.decisions, seq.decisions);
     }
 
@@ -489,17 +589,22 @@ mod tests {
                 epochs: 12,
                 threads: 1,
                 sequential_commit: false,
+                churn: false,
                 indexed: PipelineTiming {
                     seconds: 0.5,
                     epochs_per_sec: 24.0,
                     ns_per_decision: 700.0,
                     decisions: 100,
+                    spec_hits: 30,
+                    spec_misses: 10,
                 },
                 brute_force: PipelineTiming {
                     seconds: 1.0,
                     epochs_per_sec: 12.0,
                     ns_per_decision: 5000.0,
                     decisions: 100,
+                    spec_hits: 30,
+                    spec_misses: 10,
                 },
             },
             EpochLoopResult {
@@ -507,17 +612,22 @@ mod tests {
                 epochs: 12,
                 threads: 4,
                 sequential_commit: true,
+                churn: true,
                 indexed: PipelineTiming {
                     seconds: 0.25,
                     epochs_per_sec: 48.0,
                     ns_per_decision: 350.0,
                     decisions: 100,
+                    spec_hits: 0,
+                    spec_misses: 0,
                 },
                 brute_force: PipelineTiming {
                     seconds: 0.8,
                     epochs_per_sec: 15.0,
                     ns_per_decision: 4000.0,
                     decisions: 100,
+                    spec_hits: 0,
+                    spec_misses: 0,
                 },
             },
         ];
@@ -527,8 +637,15 @@ mod tests {
         assert_eq!(parsed[0].threads, 1);
         assert!(!parsed[0].sequential_commit);
         assert_eq!(parsed[0].indexed_eps, 24.0);
+        assert!(!parsed[0].churn);
+        assert_eq!(parsed[0].spec_hit_rate, Some(0.75));
         assert_eq!(parsed[1].threads, 4);
         assert!(parsed[1].sequential_commit);
+        assert!(parsed[1].churn);
+        assert_eq!(
+            parsed[1].spec_hit_rate, None,
+            "a row with no evaluated speculation omits the spec fields"
+        );
         assert_eq!(parsed[1].brute_eps, 15.0);
         assert_ne!(parsed[0].key(), parsed[1].key());
     }
@@ -549,6 +666,8 @@ mod tests {
             "legacy rows measured the only commit that existed; the default \
              mode reproduces it bit-for-bit, so they match the parallel key"
         );
+        assert!(!rows[0].churn, "legacy rows measured the steady cold start");
+        assert_eq!(rows[0].spec_hit_rate, None);
         assert!((rows[0].indexed_eps - 10995.817).abs() < 1e-9);
     }
 
@@ -559,8 +678,10 @@ mod tests {
             partitions: 200,
             threads: 1,
             sequential_commit: false,
+            churn: false,
             indexed_eps: 100.0,
             brute_eps: 20.0,
+            spec_hit_rate: None,
         }];
         // A uniformly faster machine (both pipelines 3x): ratio unchanged,
         // absolute improved — passes even with a tight absolute tolerance.
@@ -602,13 +723,54 @@ mod tests {
     }
 
     #[test]
+    fn hit_rate_collapse_warns_but_never_fails() {
+        let base = [TrajectoryRow {
+            partitions: 200,
+            threads: 1,
+            sequential_commit: false,
+            churn: true,
+            indexed_eps: 100.0,
+            brute_eps: 20.0,
+            spec_hit_rate: Some(0.8),
+        }];
+        // A collapsed hit rate (here: to an eighth) warns, but the gate
+        // still passes — the rate is informational.
+        let collapsed = [TrajectoryRow {
+            spec_hit_rate: Some(0.1),
+            ..base[0]
+        }];
+        let report = gate_trajectory(&base, &collapsed, 0.3, 0.5);
+        assert!(report.passed());
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+        assert!(report.warnings[0].contains("hit rate"));
+        assert!(report.warnings[0].contains("informational"));
+        // A healthy rate and a document without one produce no warning.
+        let healthy = [TrajectoryRow {
+            spec_hit_rate: Some(0.7),
+            ..base[0]
+        }];
+        assert!(gate_trajectory(&base, &healthy, 0.3, 0.5)
+            .warnings
+            .is_empty());
+        let absent = [TrajectoryRow {
+            spec_hit_rate: None,
+            ..base[0]
+        }];
+        assert!(gate_trajectory(&base, &absent, 0.3, 0.5)
+            .warnings
+            .is_empty());
+    }
+
+    #[test]
     fn gate_skips_unmatched_rows_with_warnings() {
         let base_row = TrajectoryRow {
             partitions: 200,
             threads: 1,
             sequential_commit: false,
+            churn: false,
             indexed_eps: 100.0,
             brute_eps: 20.0,
+            spec_hit_rate: None,
         };
         // With *every* baseline row unmatched nothing was gated at all:
         // that is a failure in its own right (an emptied or renamed fresh
@@ -632,6 +794,10 @@ mod tests {
                 sequential_commit: true,
                 ..base_row
             },
+            TrajectoryRow {
+                churn: true,
+                ..base_row
+            },
         ];
         let baseline = [
             base_row,
@@ -643,7 +809,7 @@ mod tests {
         let report = gate_trajectory(&baseline, &fresh, 0.3, 0.5);
         assert!(report.passed());
         assert_eq!(report.matched, 1);
-        assert_eq!(report.warnings.len(), 3, "{:?}", report.warnings);
+        assert_eq!(report.warnings.len(), 4, "{:?}", report.warnings);
         // A matched row that regressed still fails even when unmatched
         // rows are present.
         let regressed = [

@@ -20,8 +20,12 @@ use crate::config::SkuteConfig;
 use crate::decision::{classify, clears_profit_hurdle, ActionCounts, Intent, VnodeSituation};
 use crate::error::CoreError;
 use crate::metrics::{AntiEntropyReport, EpochReport, RingReport};
-use crate::pipeline::{cached_availability, DecisionItem, DeliveryBatch, EpochPipeline};
-use crate::placement::{economic_target, PlacementContext, PlacementIndex};
+use crate::pipeline::{
+    cached_availability, DecisionItem, DeliveryBatch, EpochPipeline, PreDecision,
+};
+use crate::placement::{
+    economic_target, validate_speculation, PlacementContext, PlacementIndex, SpecWriteSet,
+};
 use crate::vnode::{PartitionState, Replica, VnodeId};
 
 /// Runtime state of one virtual ring.
@@ -96,6 +100,13 @@ pub struct SkuteCloud {
     /// Per-replica `(query_capacity, simulated served)` pairs of the
     /// traffic reconciliation's feasibility peek.
     meter_scratch: Vec<(f64, f64)>,
+    /// Servers mutated by the actions committed so far in the current
+    /// decision commit pass (deduplicated, split by mutation direction) —
+    /// the write set every later speculation is validated against.
+    spec_touched: SpecWriteSet,
+    /// Scratch for the validation's lazily built existing-replica
+    /// location list.
+    spec_locs: Vec<Location>,
 }
 
 /// One ring's query traffic for a batched
@@ -142,6 +153,8 @@ impl SkuteCloud {
             servers_scratch: Vec::new(),
             placed_scratch: Vec::new(),
             meter_scratch: Vec::new(),
+            spec_touched: SpecWriteSet::new(),
+            spec_locs: Vec::new(),
         };
         cloud.post_prices();
         cloud
@@ -1304,15 +1317,23 @@ impl SkuteCloud {
     /// only partition-local state — it records balances, evaluates each
     /// vnode's [`VnodeSituation`] against the phase-start membership, and
     /// runs speculative eq.-(3) target queries through the index's
-    /// read-only snapshot view. The sequential **commit** pass then walks
-    /// the seeded shuffle order: rent/utility totals accumulate from the
-    /// precomputed per-vnode values (same floats, same order as the old
-    /// in-loop accumulation), situations are re-evaluated live only for
-    /// partitions whose membership an earlier committed action changed,
-    /// and speculative targets are honored only while the cluster/board
-    /// version pair still equals the frozen pre-pass snapshot — the first
-    /// committed action invalidates all later speculation, which then
-    /// recomputes exactly as the sequential loop would.
+    /// read-only snapshot view, each walk recording its read set. The
+    /// sequential **commit** pass then walks the seeded shuffle order:
+    /// rent/utility totals accumulate from the precomputed per-vnode
+    /// values (same floats, same order as the old in-loop accumulation),
+    /// situations are re-evaluated live only for partitions whose
+    /// membership an earlier committed action changed, and speculative
+    /// targets are **validated, not discarded**: every executed action
+    /// records the servers it touched, and a later speculation is honored
+    /// whenever `validate_speculation` proves those touches cannot have
+    /// changed its answer (the board is never written mid-pass, so its
+    /// frozen version covers every walk's price reads). Only genuine
+    /// read/write overlap — the winner itself touched, a touched
+    /// candidate re-scoring past the winner, or this partition's own
+    /// membership changing — re-walks the live state, exactly as the
+    /// sequential loop would; `actions.spec_hits`/`spec_misses` count the
+    /// two outcomes, and `SkuteConfig::no_speculation` routes everything
+    /// through the re-walk path as the oracle.
     fn economic_decisions(
         &mut self,
         actions: &mut ActionCounts,
@@ -1322,6 +1343,7 @@ impl SkuteCloud {
         let economy = self.config.economy;
         let window = economy.decision_window;
         let brute_force = self.config.brute_force_placement;
+        let speculation = !self.config.no_speculation;
         let min_rent = self.board.min_price();
         // Snapshot vnode identities into the reusable work list; replicas
         // mutate as we act. The slot indexes the pipeline's precomputation
@@ -1370,6 +1392,7 @@ impl SkuteCloud {
                 economy: &config.economy,
                 index,
                 brute_force,
+                speculation,
                 min_rent,
             };
             pipeline.decisions_prepass_inline(
@@ -1403,6 +1426,7 @@ impl SkuteCloud {
                 self.config.economy,
                 std::mem::take(&mut self.index),
                 brute_force,
+                speculation,
                 min_rent,
                 items,
             );
@@ -1416,7 +1440,12 @@ impl SkuteCloud {
             }
         }
         debug_assert_eq!(self.pipeline.pre.len(), slots, "one slot per vnode");
-        // Commit pass (sequential, seeded shuffle order).
+        // Commit pass (sequential, seeded shuffle order). Every executed
+        // action records its touched servers (the pass's write set);
+        // later speculations are honored as long as read-set validation
+        // proves the touches cannot have changed their answer, and
+        // re-walk on the live state only on genuine read/write overlap.
+        self.spec_touched.clear();
         for &(ri, pid, vid, slot) in &work {
             let threshold = self.rings[ri].level.threshold;
             // The vnode may have been split away or suicided already.
@@ -1466,17 +1495,26 @@ impl SkuteCloud {
                 projected_replica_cost: min_rent.unwrap_or(0.0) + pre.consistency_cost,
                 hurdle: economy.replication_hurdle,
             };
-            let spec_valid =
-                pre.spec_computed && (self.cluster.version(), self.board.version()) == frozen;
+            // A speculation is eligible at all only while the board still
+            // holds its frozen prices (the pass never writes the board)
+            // and this partition's membership — the speculation's
+            // `existing` set and size — is untouched. Touched-server
+            // validation then decides whether it is provably still the
+            // fresh-walk answer.
+            let spec_live = pre.spec_computed
+                && self.board.version() == frozen.1
+                && partition.membership_version == pre.membership_version;
             match classify(&situation) {
                 Intent::Stay => {}
                 Intent::Suicide => {
                     exec_suicide(&mut self.cluster, partition, idx);
                     actions.suicides += 1;
                     self.note_index(&[server]);
+                    self.spec_touched.record(server, false);
                 }
                 Intent::Migrate => {
-                    let target = if spec_valid {
+                    let mut honored = spec_live && self.spec_touched.is_empty();
+                    let target = if honored {
                         pre.spec
                     } else {
                         self.servers_scratch.clear();
@@ -1501,7 +1539,7 @@ impl SkuteCloud {
                             prox_cache,
                             ..
                         } = &mut *partition;
-                        select_target(
+                        let (target, h) = resolve_spec_target(
                             &mut self.index,
                             brute_force,
                             &ctx,
@@ -1510,8 +1548,22 @@ impl SkuteCloud {
                             region_queries,
                             prox_cache,
                             Some(rent_cap),
-                        )
+                            spec_live,
+                            &pre,
+                            spec_reads(&self.pipeline, &pre),
+                            &mut self.spec_touched,
+                            &mut self.spec_locs,
+                        );
+                        honored = h;
+                        target
                     };
+                    if pre.spec_computed {
+                        if honored {
+                            actions.spec_hits += 1;
+                        } else {
+                            actions.spec_misses += 1;
+                        }
+                    }
                     if let Some((target, _)) = target {
                         if target != server {
                             if let Some(bytes) =
@@ -1520,12 +1572,15 @@ impl SkuteCloud {
                                 actions.migrations += 1;
                                 actions.migrated_bytes += bytes;
                                 self.note_index(&[server, target]);
+                                self.spec_touched.record(server, false);
+                                self.spec_touched.record(target, true);
                             }
                         }
                     }
                 }
                 Intent::ReplicateForProfit => {
-                    let target = if spec_valid {
+                    let mut honored = spec_live && self.spec_touched.is_empty();
+                    let target = if honored {
                         pre.spec
                     } else {
                         self.servers_scratch.clear();
@@ -1543,7 +1598,7 @@ impl SkuteCloud {
                             prox_cache,
                             ..
                         } = &mut *partition;
-                        select_target(
+                        let (target, h) = resolve_spec_target(
                             &mut self.index,
                             brute_force,
                             &ctx,
@@ -1552,8 +1607,22 @@ impl SkuteCloud {
                             region_queries,
                             prox_cache,
                             None,
-                        )
+                            spec_live,
+                            &pre,
+                            spec_reads(&self.pipeline, &pre),
+                            &mut self.spec_touched,
+                            &mut self.spec_locs,
+                        );
+                        honored = h;
+                        target
                     };
+                    if pre.spec_computed {
+                        if honored {
+                            actions.spec_hits += 1;
+                        } else {
+                            actions.spec_misses += 1;
+                        }
+                    }
                     if let Some((target, _)) = target {
                         // Re-verify the hurdle with the actual candidate rent.
                         let actual_rent = self.board.price_of(target).unwrap_or(f64::MAX);
@@ -1577,6 +1646,7 @@ impl SkuteCloud {
                                 actions.profit_replications += 1;
                                 actions.replicated_bytes += bytes;
                                 self.note_index(&[target]);
+                                self.spec_touched.record(target, true);
                             } else {
                                 actions.blocked_transfers += 1;
                             }
@@ -1782,6 +1852,66 @@ impl SkuteCloud {
             Err(CoreError::NoPlacement)
         }
     }
+}
+
+/// Resolves one acting vnode's eq.-(3) target at commit time: honor the
+/// speculation when read-set validation proves the committed actions'
+/// write set cannot have changed its answer, else re-walk the live
+/// state. Returns the target and whether the speculation was honored.
+/// One call site per intent arm, so the validation sequence cannot
+/// drift between migrations and profit replications.
+#[allow(clippy::too_many_arguments)]
+fn resolve_spec_target(
+    index: &mut PlacementIndex,
+    brute_force: bool,
+    ctx: &PlacementContext<'_>,
+    existing: &[ServerId],
+    partition_size: u64,
+    region_queries: &[RegionQueries],
+    prox: &mut ProximityCache,
+    rent_below: Option<f64>,
+    spec_live: bool,
+    pre: &PreDecision,
+    reads: &[ServerId],
+    writes: &mut SpecWriteSet,
+    locs: &mut Vec<Location>,
+) -> (Option<(ServerId, f64)>, bool) {
+    if spec_live
+        && validate_speculation(
+            ctx,
+            existing,
+            partition_size,
+            region_queries,
+            rent_below,
+            prox,
+            pre.spec,
+            writes,
+            reads,
+            pre.spec_reads_all,
+            locs,
+        )
+    {
+        (pre.spec, true)
+    } else {
+        let target = select_target(
+            index,
+            brute_force,
+            ctx,
+            existing,
+            partition_size,
+            region_queries,
+            prox,
+            rent_below,
+        );
+        (target, false)
+    }
+}
+
+/// The read set of one slot's speculative walk, sliced out of the
+/// pipeline's flat arena.
+fn spec_reads<'a>(pipeline: &'a EpochPipeline, pre: &PreDecision) -> &'a [ServerId] {
+    let start = pre.spec_reads_start as usize;
+    &pipeline.spec_reads[start..start + pre.spec_reads_len as usize]
 }
 
 /// Routes one eq.-(3) target selection through the rent-sorted index or

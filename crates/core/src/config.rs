@@ -43,6 +43,17 @@ pub struct SkuteConfig {
     /// reconciled commit's only benefit is offloading the accrual pass to
     /// workers, and there are none to offload to.
     pub sequential_traffic_commit: bool,
+    /// Disables speculative eq.-(3) targets entirely: the decision plan
+    /// pass computes none, so the commit pass re-walks every acting vnode
+    /// against the live state — the pre-speculation sequential oracle.
+    /// The default pipeline instead validates each speculation's read set
+    /// against the servers mutated by the preceding committed actions and
+    /// honors it whenever the touches provably cannot have changed the
+    /// answer (see `crate::placement::validate_speculation`), so the two
+    /// modes are **bit-for-bit identical** up to the speculation hit/miss
+    /// counters. This switch exists as the equivalence oracle for tests
+    /// and CI's determinism matrix (`skute-sim --no-speculation`).
+    pub no_speculation: bool,
     /// Worker threads of the epoch pipeline's parallel phases (`0` = the
     /// machine's available parallelism; explicit budgets are honored
     /// exactly — beyond the host's core count that costs wall clock,
@@ -65,8 +76,18 @@ impl SkuteConfig {
             max_repairs_per_partition_per_epoch: 4,
             brute_force_placement: false,
             sequential_traffic_commit: false,
+            no_speculation: false,
             threads: 1,
         }
+    }
+
+    /// Returns a copy with speculative eq.-(3) targets disabled (the
+    /// re-walk-everything oracle; see the field docs). Trajectories stay
+    /// bitwise identical up to the speculation hit/miss counters.
+    #[must_use]
+    pub fn with_no_speculation(mut self) -> Self {
+        self.no_speculation = true;
+        self
     }
 
     /// Returns a copy routed through the sequential traffic-delivery
@@ -164,6 +185,17 @@ mod tests {
         let b = a.with_sequential_traffic_commit();
         assert!(!a.sequential_traffic_commit);
         assert!(b.sequential_traffic_commit);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.threads, b.threads);
+        b.validate();
+    }
+
+    #[test]
+    fn with_no_speculation_flips_only_the_oracle_flag() {
+        let a = SkuteConfig::paper();
+        let b = a.with_no_speculation();
+        assert!(!a.no_speculation);
+        assert!(b.no_speculation);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.threads, b.threads);
         b.validate();

@@ -64,6 +64,15 @@ pub struct ActionCounts {
     pub replicated_bytes: u64,
     /// Bytes moved by migrations this epoch (communication overhead).
     pub migrated_bytes: u64,
+    /// Speculative eq.-(3) targets honored by the decision commit pass
+    /// (read-set validation passed, or no preceding action had touched
+    /// the cluster). Observability only: the commit executes the same
+    /// action a fresh walk would have picked.
+    pub spec_hits: u64,
+    /// Speculations discarded by the commit pass — a preceding committed
+    /// action genuinely overlapped the walk's reads (or changed the
+    /// partition's membership) — and re-walked on the live state.
+    pub spec_misses: u64,
 }
 
 impl ActionCounts {
@@ -77,6 +86,13 @@ impl ActionCounts {
         self.replicated_bytes + self.migrated_bytes
     }
 
+    /// Fraction of speculations honored at commit time, or `None` when
+    /// no speculation was evaluated (e.g. the `no_speculation` oracle).
+    pub fn spec_hit_rate(&self) -> Option<f64> {
+        let total = self.spec_hits + self.spec_misses;
+        (total > 0).then(|| self.spec_hits as f64 / total as f64)
+    }
+
     /// Accumulates another epoch's counts into `self`.
     pub fn merge(&mut self, other: &ActionCounts) {
         self.availability_replications += other.availability_replications;
@@ -87,6 +103,8 @@ impl ActionCounts {
         self.blocked_transfers += other.blocked_transfers;
         self.replicated_bytes += other.replicated_bytes;
         self.migrated_bytes += other.migrated_bytes;
+        self.spec_hits += other.spec_hits;
+        self.spec_misses += other.spec_misses;
     }
 }
 
@@ -329,6 +347,8 @@ mod tests {
             blocked_transfers: 6,
             replicated_bytes: 100,
             migrated_bytes: 50,
+            spec_hits: 9,
+            spec_misses: 1,
         };
         let b = a;
         a.merge(&b);
@@ -336,5 +356,9 @@ mod tests {
         assert_eq!(a.replications(), 6);
         assert_eq!(a.blocked_transfers, 12);
         assert_eq!(a.transferred_bytes(), 300);
+        assert_eq!(a.spec_hits, 18);
+        assert_eq!(a.spec_misses, 2);
+        assert_eq!(a.spec_hit_rate(), Some(0.9));
+        assert_eq!(ActionCounts::default().spec_hit_rate(), None);
     }
 }

@@ -45,11 +45,16 @@
 //!   a plan pass must derive per-shard streams via
 //!   [`skute_exec::stream_seed`] from the cloud seed plus the
 //!   (deterministic) shard id, never from worker identity;
-//! * speculative placement targets computed by the plan pass are only used
-//!   at commit time while the cluster/board version pair still equals the
-//!   frozen pre-pass snapshot; the first committed action invalidates all
-//!   later speculation, which then re-runs on the live state exactly as
-//!   the sequential loop would.
+//! * speculative placement targets computed by the plan pass carry their
+//!   walk's **read set** ([`WalkScratch`] records every candidate entry a
+//!   query examined); the commit pass tracks the servers each committed
+//!   action touches and honors a later speculation only when
+//!   `crate::placement::validate_speculation` proves those touches cannot
+//!   have changed its answer — otherwise it re-runs on the live state
+//!   exactly as the sequential loop would. Honored or re-walked, the
+//!   executed action is bit-identical to a fresh walk (property-tested,
+//!   and asserted end-to-end against the `SkuteConfig::no_speculation`
+//!   oracle that re-walks everything).
 //!
 //! The result: same-seed trajectories are **bitwise identical at every
 //! thread count**, including `threads = 1`, which runs the identical code
@@ -126,10 +131,21 @@ pub(crate) struct PreDecision {
     /// True when the plan pass ran a speculative eq.-(3) target query for
     /// this vnode (its planned intent needed one).
     pub spec_computed: bool,
-    /// The speculative target (`None` = no feasible candidate), valid at
-    /// commit time iff the cluster/board versions still match the frozen
-    /// pre-pass snapshot.
+    /// The speculative target (`None` = no feasible candidate), honored
+    /// at commit time while its read set is untouched by the preceding
+    /// committed actions (see `crate::placement::validate_speculation`).
     pub spec: Option<(ServerId, f64)>,
+    /// Start of this speculation's read set in the pipeline's flat arena
+    /// ([`EpochPipeline::spec_reads`]; empty in release builds, where
+    /// validation rests on the dominance theorem instead of per-server
+    /// read lookups).
+    pub spec_reads_start: u32,
+    /// Length of the read-set slice.
+    pub spec_reads_len: u32,
+    /// The speculative query read every candidate (oracle-scan paths:
+    /// brute-force routing, client-zone region mixes), so the debug
+    /// cross-check re-scores every weakened touched server.
+    pub spec_reads_all: bool,
 }
 
 /// One ring's slice of a batched traffic-delivery plan pass: the batch
@@ -168,6 +184,10 @@ struct DecisionScratch {
     walk: WalkScratch,
     servers: Vec<ServerId>,
     placed: Vec<(Location, f64)>,
+    /// Chunk-local read-set arena: each speculative walk's sorted read
+    /// set, concatenated in slot order. The barrier splices the chunk
+    /// arenas into [`EpochPipeline::spec_reads`], rebasing slot offsets.
+    reads: Vec<ServerId>,
 }
 
 /// Per-ring aggregates of the epoch report, computed by the report plan
@@ -190,6 +210,7 @@ struct DecisionCtx {
     economy: EconomyConfig,
     index: PlacementIndex,
     brute_force: bool,
+    speculation: bool,
     min_rent: Option<f64>,
 }
 
@@ -203,6 +224,11 @@ pub(crate) struct DecisionInputs<'a> {
     pub economy: &'a EconomyConfig,
     pub index: &'a PlacementIndex,
     pub brute_force: bool,
+    /// False routes the `SkuteConfig::no_speculation` oracle: the plan
+    /// pass computes no speculative targets, so the commit pass re-walks
+    /// every acting vnode on the live state. Bitwise-identical
+    /// trajectories either way.
+    pub speculation: bool,
     pub min_rent: Option<f64>,
 }
 
@@ -241,6 +267,10 @@ pub struct EpochPipeline {
     /// Per-chunk slot buffers of the decision plan pass, reused across
     /// epochs (concatenated into `pre` in chunk order at the barrier).
     slot_bufs: Vec<Vec<PreDecision>>,
+    /// Flat arena of every speculative walk's sorted read set, indexed by
+    /// the `spec_reads_start`/`spec_reads_len` of each [`PreDecision`]
+    /// slot. Rebuilt by every decision plan pass.
+    pub(crate) spec_reads: Vec<ServerId>,
     // Report accumulators, reused across epochs.
     avail_acc: ShardAccounts<PartitionId, f64>,
     load_acc: ShardAccounts<ServerId, f64>,
@@ -413,6 +443,7 @@ impl EpochPipeline {
         economy: EconomyConfig,
         index: PlacementIndex,
         brute_force: bool,
+        speculation: bool,
         min_rent: Option<f64>,
         items: Vec<DecisionItem>,
     ) -> (Cluster, Board, PlacementIndex, Vec<DecisionItem>) {
@@ -431,8 +462,9 @@ impl EpochPipeline {
             .into_iter()
             .zip(self.slot_bufs.iter_mut().map(std::mem::take))
             .zip(self.states.iter_mut().map(std::mem::take))
-            .map(|((items, mut slots), scratch)| {
+            .map(|((items, mut slots), mut scratch)| {
                 slots.clear();
+                scratch.reads.clear();
                 (items, slots, scratch)
             })
             .collect();
@@ -443,6 +475,7 @@ impl EpochPipeline {
             economy,
             index,
             brute_force,
+            speculation,
             min_rent,
         });
         let job_ctx = Arc::clone(&ctx);
@@ -456,6 +489,7 @@ impl EpochPipeline {
                     economy: &job_ctx.economy,
                     index: &job_ctx.index,
                     brute_force: job_ctx.brute_force,
+                    speculation: job_ctx.speculation,
                     min_rent: job_ctx.min_rent,
                 };
                 for item in &mut items {
@@ -470,12 +504,22 @@ impl EpochPipeline {
                 (items, slots, scratch)
             });
         // Chunk order = flat enumeration order: concatenating the chunk
-        // slot buffers reproduces the sequential slot layout exactly.
+        // slot buffers (and read-set arenas, rebasing the slot offsets by
+        // the splice point) reproduces the sequential layout exactly.
         self.pre.clear();
+        self.spec_reads.clear();
         let mut items_back: Vec<DecisionItem> = Vec::new();
         for (ci, (items, slots, scratch)) in results.into_iter().enumerate() {
             items_back.extend(items);
+            let base = self.spec_reads.len() as u32;
+            self.spec_reads.extend_from_slice(&scratch.reads);
+            let start = self.pre.len();
             self.pre.extend_from_slice(&slots);
+            if base > 0 {
+                for p in &mut self.pre[start..] {
+                    p.spec_reads_start += base;
+                }
+            }
             self.slot_bufs[ci] = slots;
             self.states[ci] = scratch;
         }
@@ -496,12 +540,22 @@ impl EpochPipeline {
         if self.states.is_empty() {
             self.states.push(DecisionScratch::default());
         }
-        let Self { pre, states, .. } = self;
+        let Self {
+            pre,
+            states,
+            spec_reads,
+            ..
+        } = self;
         let scratch = &mut states[0];
+        scratch.reads.clear();
         pre.clear();
         for (threshold, part) in items {
             plan_one_decision(threshold, part, inputs, pre, scratch);
         }
+        // Single chunk: the chunk-local arena is the whole arena, offsets
+        // already flat.
+        spec_reads.clear();
+        std::mem::swap(spec_reads, &mut scratch.reads);
     }
 
     // ------------------------------------------------------------------
@@ -879,7 +933,7 @@ fn plan_one_decision(
         };
         match classify(&situation) {
             Intent::Stay | Intent::Suicide => {}
-            Intent::Migrate => {
+            Intent::Migrate if ctx.speculation => {
                 scratch.servers.clear();
                 for (i, r) in part.replicas.iter().enumerate() {
                     if i != idx {
@@ -905,8 +959,9 @@ fn plan_one_decision(
                     &mut scratch.walk,
                 );
                 pre.spec_computed = true;
+                record_spec_reads(&mut pre, scratch);
             }
-            Intent::ReplicateForProfit => {
+            Intent::ReplicateForProfit if ctx.speculation => {
                 scratch.servers.clear();
                 scratch
                     .servers
@@ -929,7 +984,11 @@ fn plan_one_decision(
                     &mut scratch.walk,
                 );
                 pre.spec_computed = true;
+                record_spec_reads(&mut pre, scratch);
             }
+            // The `no_speculation` oracle: leave `spec_computed` unset so
+            // the commit pass re-walks on the live state.
+            Intent::Migrate | Intent::ReplicateForProfit => {}
         }
         slots.push(pre);
     }
@@ -957,7 +1016,8 @@ pub(crate) fn cached_availability(cluster: &Cluster, part: &mut PartitionState) 
 /// One speculative eq.-(3) target query of the decision plan pass: the
 /// read-only index walk (or the pure oracle scan when the cloud is routed
 /// brute-force), bit-identical to the owned-access query the commit pass
-/// would run against the same snapshot.
+/// would run against the same snapshot. The walk scratch records the
+/// query's read set (the oracle scan reads everything).
 #[allow(clippy::too_many_arguments)]
 fn speculate(
     index: &PlacementIndex,
@@ -971,6 +1031,7 @@ fn speculate(
     walk: &mut WalkScratch,
 ) -> Option<(ServerId, f64)> {
     if brute_force {
+        walk.mark_reads_all();
         economic_target(ctx, existing, partition_size, region_queries, rent_below)
     } else {
         index.economic_target_in(
@@ -983,4 +1044,25 @@ fn speculate(
             walk,
         )
     }
+}
+
+/// Copies the last speculative walk's read set into the chunk arena and
+/// stamps the slot's offsets, or marks the slot full-scan when the query
+/// read every candidate. Debug-build machinery like the recording itself:
+/// release validation never consults the per-server reads (see
+/// `crate::placement::validate_speculation`), so release arenas stay
+/// empty.
+fn record_spec_reads(pre: &mut PreDecision, scratch: &mut DecisionScratch) {
+    let DecisionScratch { walk, reads, .. } = scratch;
+    if walk.reads_all() {
+        pre.spec_reads_all = true;
+        return;
+    }
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let start = reads.len();
+    reads.extend_from_slice(walk.reads());
+    pre.spec_reads_start = start as u32;
+    pre.spec_reads_len = (reads.len() - start) as u32;
 }

@@ -43,6 +43,28 @@ pub trait PlacementStrategy {
     ) -> Option<ServerId>;
 }
 
+/// Eq. (1) evaluated on a server's live meters (which include storage
+/// reserved by placements earlier in the same decision phase) plus
+/// `partition_size` bytes being placed. **The one copy** of the projected
+/// rent arithmetic: the oracle scan, the speculative-walk validation and
+/// the write-set rent cache all call it, so their floats cannot drift.
+/// `partition_size = 0` yields the base rent that lower-bounds any
+/// placement's projected rent (bit-monotone in the added bytes).
+fn projected_rent(
+    server: &skute_cluster::Server,
+    partition_size: u64,
+    economy: &EconomyConfig,
+) -> f64 {
+    let up = server.marginal_price.price(server.monthly_cost);
+    let added_frac = if server.capacities.storage_bytes == 0 {
+        1.0
+    } else {
+        partition_size as f64 / server.capacities.storage_bytes as f64
+    };
+    let projected_storage = (server.storage_frac() + added_frac).min(1.0);
+    up * (1.0 + economy.alpha * projected_storage + economy.beta * server.query_load_frac())
+}
+
 /// Enumerates feasible candidates: alive, not already hosting the
 /// partition, enough free storage, and (optionally) cheaper than
 /// `rent_below`.
@@ -70,20 +92,7 @@ pub fn feasible_candidates<'a>(
         }
         // A server must be posted on the board to be rentable at all.
         ctx.board.price_of(server.id)?;
-        let up = server.marginal_price.price(server.monthly_cost);
-        let added_frac = if server.capacities.storage_bytes == 0 {
-            1.0
-        } else {
-            partition_size as f64 / server.capacities.storage_bytes as f64
-        };
-        // Eq. (1) evaluated on the live meters (which include storage
-        // reserved by placements earlier in this same decision phase) plus
-        // the replica being placed.
-        let projected_storage = (server.storage_frac() + added_frac).min(1.0);
-        let rent = up
-            * (1.0
-                + ctx.economy.alpha * projected_storage
-                + ctx.economy.beta * server.query_load_frac());
+        let rent = projected_rent(server, partition_size, ctx.economy);
         if let Some(cap) = rent_below {
             if rent >= cap {
                 return None;
@@ -214,12 +223,46 @@ pub struct PlacementIndex {
 /// Reusable scratch buffers of one best-first index walk. The read-only
 /// snapshot path takes them from the caller so concurrent workers can walk
 /// one shared index with per-worker scratch.
+///
+/// Besides the walk buffers, the scratch records the walk's **read set**:
+/// the ids of every candidate entry whose snapshot fields the last query
+/// actually examined (popped heads, including entries rejected for
+/// storage, rent cap or membership — their fields steered the walk). A
+/// query that routes through the full-cluster oracle scan instead marks
+/// [`WalkScratch::reads_all`]. Speculative queries keep the read set so a
+/// later commit can decide whether a mutation to some server could have
+/// changed the answer (see [`validate_speculation`]).
 #[derive(Debug, Clone, Default)]
 pub struct WalkScratch {
     existing_locs: Vec<Location>,
     /// Per-bucket head cursor and gain bound.
     heads: Vec<usize>,
     gains: Vec<f64>,
+    /// Entry ids examined by the last query (unordered).
+    reads: Vec<ServerId>,
+    /// The last query fell back to a full scan: every candidate was read.
+    reads_all: bool,
+}
+
+impl WalkScratch {
+    /// Server entries the last query examined. Meaningless when
+    /// [`WalkScratch::reads_all`] is set.
+    pub fn reads(&self) -> &[ServerId] {
+        &self.reads
+    }
+
+    /// True when the last query read every candidate (oracle scan paths:
+    /// brute-force routing, client-zone region mixes, stale snapshots).
+    pub fn reads_all(&self) -> bool {
+        self.reads_all
+    }
+
+    /// Marks the last query as a full scan (callers that answer through
+    /// the brute-force oracle without running the walk).
+    pub fn mark_reads_all(&mut self) {
+        self.reads.clear();
+        self.reads_all = true;
+    }
 }
 
 impl PlacementIndex {
@@ -469,6 +512,7 @@ impl PlacementIndex {
             "snapshot queries need a refresh at the phase barrier"
         );
         if self.stamp != current {
+            walk.mark_reads_all();
             return economic_target(ctx, existing, partition_size, region_queries, rent_below);
         }
         walk_economic_target(
@@ -594,21 +638,37 @@ fn walk_economic_target(
     rent_below: Option<f64>,
     prox: &mut ProximityCache,
 ) -> Option<(ServerId, f64)> {
+    // The read set is verification machinery: release validation rests
+    // on the argmax-dominance theorem and the improved-server re-scores
+    // (see `validate_speculation`), so only debug builds — every test
+    // run — pay for recording and cross-checking the walk's reads.
+    let record_reads = cfg!(debug_assertions);
+    walk.reads.clear();
+    walk.reads_all = false;
     // The per-continent g_max bound relies on proximity being constant
     // within a server country, which holds only when every client sits
     // in a country zone and no candidate does. Anything else takes the
     // oracle scan so the equivalence contract holds unconditionally.
     if has_client_zone || !region_queries.iter().all(|r| r.location.is_client_zone()) {
+        walk.reads_all = true;
         return economic_target(ctx, existing, partition_size, region_queries, rent_below);
     }
     // Migration queries usually find nothing under their rent cap:
     // when even the cheapest base rent is at or past the cap, no
-    // candidate is feasible — answer without computing any bound.
+    // candidate is feasible — answer without computing any bound. Only
+    // the bucket heads were read, and all were at or past the cap.
     if let Some(cap) = rent_below {
         if !buckets
             .iter()
             .any(|b| b.entries.first().is_some_and(|e| e.base_rent < cap))
         {
+            if record_reads {
+                for b in buckets {
+                    if let Some(e) = b.entries.first() {
+                        walk.reads.push(e.id);
+                    }
+                }
+            }
             return None;
         }
     }
@@ -649,7 +709,12 @@ fn walk_economic_target(
             if let Some(cap) = rent_below {
                 if e.base_rent >= cap {
                     // Rent-sorted: the whole rest of this bucket is
-                    // past the cap too.
+                    // past the cap too. Only the head was read; the
+                    // entries behind it are provably cap-infeasible at
+                    // any higher rent, so they stay out of the read set.
+                    if record_reads {
+                        walk.reads.push(e.id);
+                    }
                     walk.heads[bi] = usize::MAX;
                     continue;
                 }
@@ -670,6 +735,14 @@ fn walk_economic_target(
         }
         let e = buckets[bi].entries[walk.heads[bi]];
         walk.heads[bi] += 1;
+        // Popped: the entry's fields steered the walk (even when the
+        // candidate is then rejected), so it joins the read set. Entries
+        // never popped were pruned by a bound strictly below the winner's
+        // score and stay out — a mutation can only matter there if it
+        // *improves* the candidate, which validation re-scores anyway.
+        if record_reads {
+            walk.reads.push(e.id);
+        }
         if existing.contains(&e.id) {
             continue;
         }
@@ -715,6 +788,337 @@ fn walk_economic_target(
         };
     }
     best
+}
+
+/// The write set of one decision commit pass: every server the committed
+/// actions have mutated so far, split by mutation direction (the split is
+/// what lets [`validate_speculation`] stay O(1)-ish per speculation).
+#[derive(Debug, Clone, Default)]
+pub struct SpecWriteSet {
+    /// Sorted ids whose every touch so far only *reserved* storage
+    /// (replication/migration targets): their eq.-(1) rent can only have
+    /// risen and their free storage only shrunk, so as eq.-(3) candidates
+    /// they strictly weakened.
+    worse: Vec<ServerId>,
+    /// Sorted ids with at least one storage *release* (migration sources,
+    /// suicides): possibly stronger candidates now — validation re-scores
+    /// them exactly.
+    mixed: Vec<ServerId>,
+    /// Servers touched since the rent cache was last refreshed — the only
+    /// entries whose live rent can have moved (nothing else mutates
+    /// between commit-pass actions), so the refresh is incremental.
+    dirty: Vec<ServerId>,
+    /// The mixed servers with their **live base rent** (eq. (1) at zero
+    /// added bytes — a bit-monotone lower bound on any placement's
+    /// projected rent), sorted ascending. Rent-capped validations scan
+    /// only the prefix whose base rent clears the cap: the common
+    /// convergence-epoch validation (a `None` migration speculation
+    /// against dozens of freed sources) touches one float instead of
+    /// running a feasibility check per mixed server.
+    mixed_rents: Vec<(f64, ServerId)>,
+}
+
+impl SpecWriteSet {
+    /// An empty write set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets every touch (a new commit pass begins).
+    pub fn clear(&mut self) {
+        self.worse.clear();
+        self.mixed.clear();
+        self.mixed_rents.clear();
+        self.dirty.clear();
+    }
+
+    /// True when no committed action has touched any server yet — every
+    /// speculation is trivially valid.
+    pub fn is_empty(&self) -> bool {
+        self.worse.is_empty() && self.mixed.is_empty()
+    }
+
+    /// Records one committed action's touch on `id`. `worse` means the
+    /// action only *reserved* storage there; a release demotes the server
+    /// to the mixed set for the rest of the pass.
+    pub fn record(&mut self, id: ServerId, worse: bool) {
+        if !self.dirty.contains(&id) {
+            self.dirty.push(id);
+        }
+        if worse {
+            if self.mixed.binary_search(&id).is_ok() {
+                return;
+            }
+            if let Err(at) = self.worse.binary_search(&id) {
+                self.worse.insert(at, id);
+            }
+        } else {
+            if let Ok(at) = self.worse.binary_search(&id) {
+                self.worse.remove(at);
+            }
+            if let Err(at) = self.mixed.binary_search(&id) {
+                self.mixed.insert(at, id);
+            }
+        }
+    }
+
+    /// Brings the live base-rent cache of the mixed set up to date.
+    /// Incremental: between committed actions only the touched servers'
+    /// meters move, so exactly the dirty ids get their entries recomputed
+    /// (removed, and reinserted in rent order while they stay mixed).
+    fn refresh_mixed_rents(&mut self, ctx: &PlacementContext<'_>) {
+        while let Some(id) = self.dirty.pop() {
+            if let Some(pos) = self.mixed_rents.iter().position(|&(_, i)| i == id) {
+                self.mixed_rents.remove(pos);
+            }
+            if self.mixed.binary_search(&id).is_err() {
+                continue;
+            }
+            let rent = match ctx.cluster.get_alive(id) {
+                Some(s) if ctx.board.price_of(id).is_some() => projected_rent(s, 0, ctx.economy),
+                // Dead or unposted: never feasible; park it past any cap.
+                _ => f64::INFINITY,
+            };
+            let at = self.mixed_rents.partition_point(|&(r, i)| {
+                matches!(
+                    r.total_cmp(&rent).then_with(|| i.cmp(&id)),
+                    std::cmp::Ordering::Less
+                )
+            });
+            self.mixed_rents.insert(at, (rent, id));
+        }
+    }
+
+    /// True when any committed action touched `id`.
+    pub fn contains(&self, id: ServerId) -> bool {
+        self.worse.binary_search(&id).is_ok() || self.mixed.binary_search(&id).is_ok()
+    }
+
+    /// Servers that only got weaker as candidates.
+    pub fn worse(&self) -> &[ServerId] {
+        &self.worse
+    }
+
+    /// Servers that may have gotten stronger as candidates.
+    pub fn mixed(&self) -> &[ServerId] {
+        &self.mixed
+    }
+}
+
+/// Exactly the feasibility filter and projected-rent arithmetic of
+/// [`feasible_candidates`], evaluated for one server against the live
+/// cluster/board. Returns `(location, confidence, rent)` when the server
+/// is a feasible candidate, `None` otherwise. The caller excludes
+/// `existing` membership itself.
+fn live_candidate(
+    ctx: &PlacementContext<'_>,
+    id: ServerId,
+    partition_size: u64,
+    rent_below: Option<f64>,
+) -> Option<(Location, f64, f64)> {
+    let server = ctx.cluster.get_alive(id)?;
+    if server.storage_free() < partition_size {
+        return None;
+    }
+    ctx.board.price_of(server.id)?;
+    let rent = projected_rent(server, partition_size, ctx.economy);
+    if let Some(cap) = rent_below {
+        if rent >= cap {
+            return None;
+        }
+    }
+    Some((server.location, server.confidence, rent))
+}
+
+/// Re-scores one touched server against a speculation's recorded answer:
+/// `true` when the server's live state genuinely conflicts — it would
+/// change what a fresh walk returns. Exact per-candidate arithmetic of
+/// [`feasible_candidates`]; ties break to the lower id, matching the
+/// walk. `existing_locs` fills lazily across calls via `locs_filled`.
+#[allow(clippy::too_many_arguments)]
+fn recheck_conflicts(
+    ctx: &PlacementContext<'_>,
+    existing: &[ServerId],
+    partition_size: u64,
+    region_queries: &[RegionQueries],
+    rent_below: Option<f64>,
+    prox: &mut ProximityCache,
+    spec: Option<(ServerId, f64)>,
+    id: ServerId,
+    existing_locs: &mut Vec<Location>,
+    locs_filled: &mut bool,
+) -> bool {
+    if existing.contains(&id) {
+        // Never a candidate; its meters enter no candidate's score.
+        return false;
+    }
+    let Some((winner, winner_score)) = spec else {
+        // `None` flips to `Some` iff the server became feasible.
+        return live_candidate(ctx, id, partition_size, rent_below).is_some();
+    };
+    if id == winner {
+        return true;
+    }
+    let Some((location, confidence, rent)) = live_candidate(ctx, id, partition_size, rent_below)
+    else {
+        return false;
+    };
+    if !*locs_filled {
+        existing_locs.clear();
+        for e in existing {
+            if let Some(s) = ctx.cluster.get(*e) {
+                existing_locs.push(s.location);
+            }
+        }
+        *locs_filled = true;
+    }
+    let g = prox.g(region_queries, &location, ctx.topology);
+    let score = candidate_score(
+        existing_locs,
+        &location,
+        confidence,
+        rent,
+        g,
+        ctx.economy.diversity_unit_value,
+    );
+    match score.total_cmp(&winner_score) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Equal => id < winner,
+        std::cmp::Ordering::Less => false,
+    }
+}
+
+/// Decides whether a speculative eq.-(3) answer computed against a frozen
+/// snapshot is still **exactly** what a fresh walk over the live state
+/// would return, given the write set of the committed actions since the
+/// freeze. `true` means provably bit-identical; `false` means re-walk.
+///
+/// The argument is the argmax decomposition: the fresh walk returns the
+/// brute-force argmax over the live candidate set (the index/oracle
+/// equivalence contract), and only the write set's servers differ from
+/// the frozen state — every other candidate scores the same bits it did
+/// at plan time. The speculation therefore survives iff
+///
+/// * the frozen winner itself is untouched (its recorded score is still
+///   its live score), and
+/// * no touched candidate now beats it. Candidates that only *weakened*
+///   ([`SpecWriteSet::worse`]: storage reserved, never released) need no
+///   arithmetic at all — **argmax dominance**: every candidate's frozen
+///   score already lost to the winner (or tied and lost the id break),
+///   eq.-(1) rent is bit-monotone in the storage fraction (α/β are
+///   validated non-negative and the marginal price `up` is a share of
+///   the non-negative real cost), and feasibility only shrinks, so a
+///   weakened candidate's live score still loses, read or pruned. Candidates that may have *improved*
+///   ([`SpecWriteSet::mixed`]: some storage released) are re-scored
+///   exactly ([`recheck_conflicts`]) — an unread pruned server can newly
+///   win, so the read set cannot shortcut this direction.
+///
+/// A `None` speculation (no feasible candidate existed) stays `None` iff
+/// no improved server became feasible; weakening cannot create
+/// feasibility.
+///
+/// The read set the speculative walk recorded ([`WalkScratch::reads`],
+/// plus `reads_all` for oracle-scan fallbacks) is the speculation's exact
+/// dependency footprint: board price cells collapse to the frozen board
+/// version the caller gates on (the commit pass never writes the board),
+/// and the per-server dependencies are cross-checked here in debug builds
+/// — every weakened server the walk actually read is re-scored and
+/// asserted to still lose, verifying the dominance theorem on every real
+/// trajectory the tests drive. `prox` must be the cache filled against
+/// the same `region_queries`; `existing_locs` is caller scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_speculation(
+    ctx: &PlacementContext<'_>,
+    existing: &[ServerId],
+    partition_size: u64,
+    region_queries: &[RegionQueries],
+    rent_below: Option<f64>,
+    prox: &mut ProximityCache,
+    spec: Option<(ServerId, f64)>,
+    writes: &mut SpecWriteSet,
+    reads: &[ServerId],
+    reads_all: bool,
+    existing_locs: &mut Vec<Location>,
+) -> bool {
+    let mut locs_filled = false;
+    // Any touch to the winner voids its recorded score.
+    if let Some((winner, _)) = spec {
+        if writes.contains(winner) {
+            return false;
+        }
+    }
+    // Possibly improved candidates: exact re-score, reads cannot help. A
+    // rent-capped query only re-scores the mixed servers whose live base
+    // rent clears the cap (sorted ascending; the projected rent of any
+    // placement is bounded below by the base rent, bit-monotonically), so
+    // the common convergence validation — a capped `None` migration
+    // speculation against dozens of freed sources — reads one float.
+    if let Some(cap) = rent_below {
+        writes.refresh_mixed_rents(ctx);
+        for i in 0..writes.mixed_rents.len() {
+            let (base, id) = writes.mixed_rents[i];
+            if base >= cap {
+                break;
+            }
+            if recheck_conflicts(
+                ctx,
+                existing,
+                partition_size,
+                region_queries,
+                rent_below,
+                prox,
+                spec,
+                id,
+                existing_locs,
+                &mut locs_filled,
+            ) {
+                return false;
+            }
+        }
+    } else {
+        for i in 0..writes.mixed.len() {
+            let id = writes.mixed[i];
+            if recheck_conflicts(
+                ctx,
+                existing,
+                partition_size,
+                region_queries,
+                rent_below,
+                prox,
+                spec,
+                id,
+                existing_locs,
+                &mut locs_filled,
+            ) {
+                return false;
+            }
+        }
+    }
+    // Strictly weakened candidates: argmax dominance, no arithmetic. The
+    // debug cross-check re-scores the ones the walk actually read and
+    // asserts the theorem held.
+    if cfg!(debug_assertions) {
+        for &id in writes.worse() {
+            if reads_all || reads.contains(&id) {
+                debug_assert!(
+                    !recheck_conflicts(
+                        ctx,
+                        existing,
+                        partition_size,
+                        region_queries,
+                        rent_below,
+                        prox,
+                        spec,
+                        id,
+                        existing_locs,
+                        &mut locs_filled,
+                    ),
+                    "a strictly weakened candidate overtook the speculated winner"
+                );
+            }
+        }
+    }
+    true
 }
 
 /// The paper's placement policy (eq. 3) behind the strategy interface.
@@ -1196,6 +1600,217 @@ mod tests {
                     scan_spread,
                     "spread: existing {existing:?} size {size}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn non_conflicting_commit_keeps_speculation_alive() {
+        let (topology, mut cluster, board) = setup();
+        let economy = EconomyConfig::paper();
+        let existing = vec![ServerId(0)];
+        let mut index = PlacementIndex::new();
+        let mut walk = WalkScratch::default();
+        let mut prox = skute_economy::ProximityCache::new();
+        let spec = {
+            let ctx = PlacementContext {
+                cluster: &cluster,
+                board: &board,
+                topology: &topology,
+                economy: &economy,
+            };
+            index.refresh(&ctx);
+            index.economic_target_in(&ctx, &existing, 1 << 20, &[], None, &mut prox, &mut walk)
+        };
+        let (winner, _) = spec.unwrap();
+        assert!(!walk.reads_all());
+        let mut reads: Vec<ServerId> = walk.reads().to_vec();
+        reads.sort_unstable();
+        // A commit lands on a server the walk never read, only reserving
+        // storage there (a replication target): the speculation survives
+        // validation and still equals a fresh walk, bit for bit.
+        let bystander = cluster
+            .alive_ids()
+            .into_iter()
+            .find(|id| reads.binary_search(id).is_err() && *id != winner && !existing.contains(id))
+            .expect("the bounded walk leaves most of 200 servers unread");
+        {
+            let s = cluster.get_mut(bystander).unwrap();
+            let caps = s.capacities;
+            assert!(s.usage.reserve_storage(&caps, 1 << 28));
+        }
+        let mut writes = SpecWriteSet::new();
+        writes.record(bystander, true);
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            board: &board,
+            topology: &topology,
+            economy: &economy,
+        };
+        let mut locs = Vec::new();
+        assert!(validate_speculation(
+            &ctx,
+            &existing,
+            1 << 20,
+            &[],
+            None,
+            &mut prox,
+            spec,
+            &mut writes,
+            &reads,
+            false,
+            &mut locs,
+        ));
+        assert_eq!(spec, economic_target(&ctx, &existing, 1 << 20, &[], None));
+        // A commit on the frozen winner itself always conflicts.
+        let mut writes = SpecWriteSet::new();
+        writes.record(winner, true);
+        assert!(!validate_speculation(
+            &ctx,
+            &existing,
+            1 << 20,
+            &[],
+            None,
+            &mut prox,
+            spec,
+            &mut writes,
+            &reads,
+            false,
+            &mut locs,
+        ));
+        // A released-storage touch on an unread server forces the exact
+        // re-score; the speculation is honored only when the re-score
+        // proves the bystander still loses.
+        let mut writes = SpecWriteSet::new();
+        writes.record(bystander, false);
+        let valid = validate_speculation(
+            &ctx,
+            &existing,
+            1 << 20,
+            &[],
+            None,
+            &mut prox,
+            spec,
+            &mut writes,
+            &reads,
+            false,
+            &mut locs,
+        );
+        if valid {
+            assert_eq!(spec, economic_target(&ctx, &existing, 1 << 20, &[], None));
+        }
+    }
+
+    proptest::proptest! {
+        /// The tentpole contract: under random commit interleavings, a
+        /// speculation that passes read-set validation is **bitwise
+        /// equal** to an immediate re-walk — no stale target can ever be
+        /// honored. Mutations mirror what executed actions do to servers
+        /// (storage reserved on targets, released on sources/suicides).
+        #[test]
+        fn prop_validated_speculation_equals_fresh_walk(
+            server_picks in proptest::collection::vec((0u64..200, 50.0f64..200.0, 0.2f64..1.0), 4..24),
+            existing_picks in proptest::collection::vec(0usize..24, 0..4),
+            region_picks in proptest::collection::vec((0u64..200, 0.0f64..1e4), 0..4),
+            size_exp in 0u32..31,
+            cap_frac in proptest::option::of(0.1f64..3.0),
+            mutations in proptest::collection::vec(
+                (0usize..24, any::<bool>(), 0u64..(1u64 << 29)),
+                0..10,
+            ),
+        ) {
+            use proptest::prelude::*;
+            let topology = Topology::paper();
+            let mut cluster = Cluster::new();
+            for &(loc_idx, cost, conf) in &server_picks {
+                cluster.commission(
+                    ServerSpec {
+                        location: topology.server_at(loc_idx),
+                        capacities: Capacities::paper(1 << 30, 1000.0),
+                        monthly_cost: cost,
+                        confidence: conf,
+                    },
+                    0,
+                );
+            }
+            let n = cluster.len();
+            let mut board = Board::new();
+            board.begin_epoch(1);
+            for s in cluster.alive() {
+                board.post(s.id, s.monthly_cost / 720.0);
+            }
+            let existing: Vec<ServerId> =
+                existing_picks.iter().map(|&i| ServerId((i % n) as u32)).collect();
+            let regions: Vec<RegionQueries> = region_picks
+                .iter()
+                .map(|&(loc_idx, queries)| RegionQueries {
+                    location: {
+                        let l = topology.server_at(loc_idx);
+                        Location::client_in_country(l.continent, l.country)
+                    },
+                    queries,
+                })
+                .collect();
+            let partition_size = 1u64 << size_exp;
+            let rent_below = cap_frac.map(|f| f * 100.0 / 720.0);
+            let economy = EconomyConfig::paper();
+            // The speculative walk against the frozen state, read set kept.
+            let mut index = PlacementIndex::new();
+            let mut walk = WalkScratch::default();
+            let mut prox = skute_economy::ProximityCache::new();
+            let spec = {
+                let ctx = PlacementContext {
+                    cluster: &cluster,
+                    board: &board,
+                    topology: &topology,
+                    economy: &economy,
+                };
+                index.refresh(&ctx);
+                index.economic_target_in(
+                    &ctx, &existing, partition_size, &regions, rent_below, &mut prox, &mut walk,
+                )
+            };
+            let mut reads: Vec<ServerId> = walk.reads().to_vec();
+            reads.sort_unstable();
+            // Random commit interleaving.
+            let mut writes = SpecWriteSet::new();
+            for &(pick, release, bytes) in &mutations {
+                let id = ServerId((pick % n) as u32);
+                let s = cluster.get_mut(id).unwrap();
+                let caps = s.capacities;
+                if release {
+                    s.usage.release_storage(bytes);
+                } else {
+                    let _ = s.usage.reserve_storage(&caps, bytes);
+                }
+                writes.record(id, !release);
+            }
+            let ctx = PlacementContext {
+                cluster: &cluster,
+                board: &board,
+                topology: &topology,
+                economy: &economy,
+            };
+            let mut locs = Vec::new();
+            let valid = validate_speculation(
+                &ctx,
+                &existing,
+                partition_size,
+                &regions,
+                rent_below,
+                &mut prox,
+                spec,
+                &mut writes,
+                &reads,
+                walk.reads_all(),
+                &mut locs,
+            );
+            let fresh = economic_target(&ctx, &existing, partition_size, &regions, rent_below);
+            if valid {
+                prop_assert_eq!(spec, fresh, "validated speculation must equal a fresh walk");
+            }
+            if writes.is_empty() {
+                prop_assert!(valid, "an empty write set conflicts with nothing");
             }
         }
     }

@@ -37,22 +37,27 @@ fn raw_g(regions: &[RegionQueries], server: &Location) -> f64 {
     raw_g_over(regions.iter().map(|r| (r.queries, r.location)), server)
 }
 
-/// Client countries a [`RegionMasses`] aggregate can hold inline. Region
-/// mixes with more distinct client countries (none of the paper scenarios
-/// come close) take the general per-location scan instead; the cap keeps
-/// the aggregation allocation-free on every hot path.
-const MAX_CLIENT_COUNTRIES: usize = 24;
+/// Client countries a [`RegionMasses`] aggregate holds inline. Region
+/// mixes with more distinct client countries — none of the paper scenarios
+/// come close, but large-country workloads do — spill the remainder to
+/// one heap word run per aggregation instead of abandoning the analytic
+/// kernel for the general per-location diversity scan; the common path
+/// stays allocation-free.
+const INLINE_CLIENT_COUNTRIES: usize = 24;
 
 /// Query mass aggregated per client country, in first-appearance order —
 /// the sufficient statistic of eq. (4) when every client sits in a country
 /// zone: the diversity between a country-zone client and a non-client-zone
 /// server is 15, 31 or 63 by country/continent relation alone, so the whole
 /// region mix collapses to one mass per country.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct RegionMasses {
     total: f64,
     len: usize,
-    countries: [((u16, u16), f64); MAX_CLIENT_COUNTRIES],
+    /// The first [`INLINE_CLIENT_COUNTRIES`] distinct countries.
+    inline: [((u16, u16), f64); INLINE_CLIENT_COUNTRIES],
+    /// Countries beyond the inline capacity, in first-appearance order.
+    spill: Vec<((u16, u16), f64)>,
 }
 
 impl Default for RegionMasses {
@@ -60,16 +65,17 @@ impl Default for RegionMasses {
         Self {
             total: 0.0,
             len: 0,
-            countries: [((0, 0), 0.0); MAX_CLIENT_COUNTRIES],
+            inline: [((0, 0), 0.0); INLINE_CLIENT_COUNTRIES],
+            spill: Vec::new(),
         }
     }
 }
 
 impl RegionMasses {
     /// Aggregates `regions`, or `None` when some client is not in a country
-    /// zone or there are more distinct client countries than the inline
-    /// capacity (the analytic kernel would be wrong or would allocate;
-    /// callers fall back to the general diversity scan).
+    /// zone (the per-country collapse would be wrong; callers fall back to
+    /// the general diversity scan). Any number of distinct client
+    /// countries aggregates — the first 24 inline, the rest on the heap.
     fn aggregate(regions: &[RegionQueries]) -> Option<Self> {
         let mut masses = Self::default();
         for r in regions {
@@ -78,16 +84,19 @@ impl RegionMasses {
             }
             masses.total += r.queries;
             let key = r.location.country_key();
-            match masses.countries[..masses.len]
+            let inline_len = masses.len.min(INLINE_CLIENT_COUNTRIES);
+            match masses.inline[..inline_len]
                 .iter_mut()
+                .chain(masses.spill.iter_mut())
                 .find(|(k, _)| *k == key)
             {
                 Some((_, q)) => *q += r.queries,
                 None => {
-                    if masses.len == MAX_CLIENT_COUNTRIES {
-                        return None;
+                    if masses.len < INLINE_CLIENT_COUNTRIES {
+                        masses.inline[masses.len] = (key, r.queries);
+                    } else {
+                        masses.spill.push((key, r.queries));
                     }
-                    masses.countries[masses.len] = (key, r.queries);
                     masses.len += 1;
                 }
             }
@@ -95,8 +104,11 @@ impl RegionMasses {
         Some(masses)
     }
 
-    fn countries(&self) -> &[((u16, u16), f64)] {
-        &self.countries[..self.len]
+    /// All aggregated `(country, mass)` pairs, in first-appearance order.
+    fn countries(&self) -> impl Iterator<Item = &((u16, u16), f64)> {
+        self.inline[..self.len.min(INLINE_CLIENT_COUNTRIES)]
+            .iter()
+            .chain(self.spill.iter())
     }
 }
 
@@ -407,6 +419,61 @@ mod tests {
         assert_eq!(cache.g(&regions, &s, &t), proximity(&regions, &s, &t));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn many_country_mixes_keep_the_analytic_kernel() {
+        // Regression: mixes with more than 24 distinct client countries
+        // used to abandon the analytic per-country kernel for the general
+        // per-location scan (and defeated the per-country memoization).
+        // The aggregate now spills past the inline capacity instead.
+        let t = topo();
+        let regions: Vec<RegionQueries> = (0..30u16)
+            .map(|i| RegionQueries {
+                location: Location::client_in_country(i % 7, i),
+                queries: 100.0 + f64::from(i),
+            })
+            .collect();
+        let masses = RegionMasses::aggregate(&regions).expect("country-zone mix aggregates");
+        assert_eq!(masses.countries().count(), 30);
+        assert_eq!(masses.len, 30);
+        // The cache stays bit-for-bit identical to the direct evaluation
+        // and still collapses to one entry per server country.
+        let mut cache = ProximityCache::new();
+        for i in 0..200u64 {
+            let server = t.server_at(i);
+            let direct = proximity(&regions, &server, &t);
+            let cached = cache.g(&regions, &server, &t);
+            assert_eq!(cached.to_bits(), direct.to_bits(), "server {i}");
+        }
+        // And the analytic value agrees with the general per-location
+        // scan up to summation-order rounding.
+        let server = t.server_at(42);
+        let per = masses.total / t.country_count() as f64;
+        let baseline = {
+            let uniform: Vec<RegionQueries> = t
+                .iter_countries()
+                .map(|(ct, co)| RegionQueries {
+                    location: Location::client_in_country(ct, co),
+                    queries: per,
+                })
+                .collect();
+            raw_g(&uniform, &server)
+        };
+        let general = raw_g(&regions, &server) / baseline;
+        let analytic = proximity(&regions, &server, &t);
+        assert!(
+            (general - analytic).abs() < 1e-9 * general.abs().max(1.0),
+            "general {general} vs analytic {analytic}"
+        );
+        // A duplicated country merges into its spilled slot.
+        let mut dup = regions.clone();
+        dup.push(RegionQueries {
+            location: Location::client_in_country(29 % 7, 29),
+            queries: 50.0,
+        });
+        let merged = RegionMasses::aggregate(&dup).unwrap();
+        assert_eq!(merged.countries().count(), 30);
     }
 
     #[test]

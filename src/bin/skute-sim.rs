@@ -3,7 +3,7 @@
 //! ```text
 //! skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N] [--seed N]
 //!           [--csv PATH] [--print-every N] [--brute-force] [--threads N]
-//!           [--sequential-commit]
+//!           [--sequential-commit] [--no-speculation]
 //! skute-sim --bench-json PATH
 //! ```
 //!
@@ -30,6 +30,7 @@ struct Args {
     print_every: u64,
     brute_force: bool,
     sequential_commit: bool,
+    no_speculation: bool,
     threads: Option<usize>,
     bench_json: Option<String>,
 }
@@ -43,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         print_every: 10,
         brute_force: false,
         sequential_commit: false,
+        no_speculation: false,
         threads: None,
         bench_json: None,
     };
@@ -73,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--brute-force" => args.brute_force = true,
             "--sequential-commit" => args.sequential_commit = true,
+            "--no-speculation" => args.no_speculation = true,
             "--threads" | "-t" => {
                 args.threads = Some(
                     value("--threads")?
@@ -86,12 +89,15 @@ fn parse_args() -> Result<Args, String> {
                     "skute-sim: run a Skute paper scenario\n\n\
                      USAGE: skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N]\n\
                             [--seed N] [--csv PATH] [--print-every N] [--brute-force]\n\
-                            [--sequential-commit] [--threads N] [--bench-json PATH]\n\n\
+                            [--sequential-commit] [--no-speculation] [--threads N]\n\
+                            [--bench-json PATH]\n\n\
                      --threads sets the epoch pipeline's worker budget (0 = all\n\
                      cores); same-seed output is bitwise identical at any value.\n\
                      --sequential-commit routes the traffic commit through the\n\
-                     sequential oracle loop (bitwise-identical output; CI's\n\
-                     determinism matrix compares both modes)."
+                     sequential oracle loop and --no-speculation disables the\n\
+                     decision pass's speculative eq.-(3) targets (both oracles\n\
+                     produce bitwise-identical output; CI's determinism matrix\n\
+                     compares every mode)."
                 );
                 std::process::exit(0);
             }
@@ -150,6 +156,7 @@ fn main() -> ExitCode {
     }
     scenario.config.brute_force_placement = args.brute_force;
     scenario.config.sequential_traffic_commit = args.sequential_commit;
+    scenario.config.no_speculation = args.no_speculation;
     if let Some(threads) = args.threads {
         scenario.config.threads = threads;
     }

@@ -212,6 +212,53 @@ fn sequential_commit_mode_replays_bitwise_across_thread_counts() {
 }
 
 #[test]
+fn speculation_oracle_replays_bitwise_identically() {
+    // The read-set speculation's acceptance bar: disabling speculation
+    // entirely (`SkuteConfig::no_speculation` — every acting vnode
+    // re-walks the live state at commit) must replay the speculative
+    // pipeline's trajectory **bitwise**, across a convergence phase, a
+    // failure burst and steady state, at several thread counts. The only
+    // permitted difference is the hit/miss observability counters
+    // themselves (the oracle never evaluates a speculation).
+    let run = |no_spec: bool, threads: usize| {
+        let mut s = paper::scaled_scenario("spec-oracle", 24, 3_000, 16);
+        s.seed = 0x57EC;
+        s.config.no_speculation = no_spec;
+        s.config.threads = threads;
+        s.schedule = Schedule::new().at(9, CloudEvent::RemoveServers { count: 12 });
+        Simulation::new(s).run()
+    };
+    let spec = run(false, 1);
+    let mut honored = 0u64;
+    let mut re_walked = 0u64;
+    for threads in [1usize, 2, 8] {
+        let oracle = run(true, threads);
+        assert_eq!(spec.len(), oracle.len());
+        for (epoch, (a, b)) in spec.iter().zip(&oracle).enumerate() {
+            let mut a = a.clone();
+            honored += a.report.actions.spec_hits;
+            re_walked += a.report.actions.spec_misses;
+            a.report.actions.spec_hits = 0;
+            a.report.actions.spec_misses = 0;
+            assert_eq!(
+                b.report.actions.spec_hits, 0,
+                "the oracle evaluates no speculation"
+            );
+            assert_eq!(b.report.actions.spec_misses, 0);
+            assert_eq!(
+                &a, b,
+                "speculation on/off diverges at epoch {epoch}, threads {threads}"
+            );
+        }
+    }
+    assert!(
+        honored > 0,
+        "the convergence epochs must honor speculations past the first commit"
+    );
+    let _ = re_walked; // conflicts are workload-dependent; only hits are asserted
+}
+
+#[test]
 fn fig2_shape_scaled() {
     // Convergence: vnodes reach 9·M and stay; cheap servers outnumber
     // expensive in hosted vnodes.
