@@ -21,9 +21,10 @@
 //!   slow both pipelines equally; hardware-sensitive, so its default
 //!   tolerance is generous.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
-use skute_bench::perf::{gate_trajectory, parse_trajectory};
+use skute_bench::perf::{gate_trajectory, parse_host_cpus, parse_trajectory};
 
 struct Args {
     baseline: String,
@@ -75,6 +76,35 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// Warns — on stdout and, when `$GITHUB_STEP_SUMMARY` is set, as a line
+/// in the CI job summary — when the committed baseline was produced on a
+/// machine with a different core count than this runner. The ratio floor
+/// is hardware-neutral, but the absolute epochs/sec backstop and the
+/// scaling rows' shape are only comparable on similar hardware.
+fn warn_on_host_mismatch(baseline_path: &str, baseline_body: &str) {
+    let Some(baseline_cpus) = parse_host_cpus(baseline_body) else {
+        return; // Pre-host_cpus document: nothing to compare.
+    };
+    let runner_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if baseline_cpus == runner_cpus {
+        return;
+    }
+    let msg = format!(
+        "committed baseline {baseline_path} was produced on a {baseline_cpus}-cpu host but \
+         this runner has {runner_cpus} cpus — the absolute epochs/sec floor and the \
+         thread-scaling rows are not hardware-comparable; trust the speedup-ratio floor \
+         and consider recommitting the baseline from this runner class"
+    );
+    println!("bench_gate: warning: {msg}");
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&summary) {
+            let _ = writeln!(f, ":warning: **bench_gate**: {msg}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -93,6 +123,7 @@ fn main() -> ExitCode {
     let (Some(baseline), Some(current)) = (read(&args.baseline), read(&args.current)) else {
         return ExitCode::FAILURE;
     };
+    warn_on_host_mismatch(&args.baseline, &baseline);
     let baseline = parse_trajectory(&baseline);
     let current = parse_trajectory(&current);
     if baseline.is_empty() {

@@ -314,6 +314,19 @@ fn num_after(s: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Parses the `host_cpus` field of a `BENCH_epoch.json` document: the
+/// available parallelism of the machine that produced it. `None` when the
+/// document predates the field. The bench gate compares it against the
+/// runner's own parallelism and warns loudly on a mismatch — the absolute
+/// epochs/sec floor (and the scaling rows' shape) are only meaningful
+/// when baseline and fresh run saw comparable hardware.
+pub fn parse_host_cpus(json: &str) -> Option<usize> {
+    json.lines()
+        .find(|l| l.contains("\"host_cpus\""))
+        .and_then(|l| num_after(l, "\"host_cpus\""))
+        .map(|n| n as usize)
+}
+
 /// Parses the result rows of a `BENCH_epoch.json` document (the format
 /// [`to_json`] writes: one result object per line). Documents written
 /// before the threads/commit fields default those rows to `threads = 1`
@@ -648,6 +661,17 @@ mod tests {
         );
         assert_eq!(parsed[1].brute_eps, 15.0);
         assert_ne!(parsed[0].key(), parsed[1].key());
+    }
+
+    #[test]
+    fn host_cpus_roundtrips_and_legacy_documents_yield_none() {
+        let r = run_epoch_loop(4, 2, 1);
+        let json = to_json(&[r]);
+        let own = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(parse_host_cpus(&json), Some(own));
+        assert_eq!(parse_host_cpus("{\n  \"results\": []\n}\n"), None);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use skute_cluster::{Board, Cluster, ServerId, ServerSpec};
 use skute_economy::{ProximityCache, RegionQueries, RentModel};
 use skute_geo::{Location, RegionWeight, Topology};
 use skute_ring::{PartitionId, RingId, VirtualRing};
-use skute_store::{CowPartitionStore, QuorumConfig, Record, StoreError, Version};
+use skute_store::{AntiEntropyUnion, QuorumConfig, Record, ReplicaStore, StoreError, Version};
 
 use crate::app::{AppId, AppSpec, Application, AvailabilityLevel};
 use crate::availability::{availability_of, threshold_for_replicas};
@@ -251,12 +251,13 @@ impl SkuteCloud {
                 let mut state = PartitionState::new(p.id, 1.0);
                 state.synthetic_bytes = level_spec.initial_partition_bytes;
                 let server = self.seed_server(level_spec.initial_partition_bytes)?;
-                let replica = Replica::new(
+                let mut replica = Replica::new(
                     self.alloc_vnode(),
                     server,
                     self.config.economy.decision_window,
                     self.epoch,
                 );
+                replica.store = ReplicaStore::open(self.config.backend);
                 state.replicas.push(replica);
                 partitions.insert(p.id, state);
             }
@@ -437,9 +438,12 @@ impl SkuteCloud {
             // keeps covering its key range.
             if let Ok(server) = self.seed_server(0) {
                 let vid = self.alloc_vnode();
+                let backend = self.config.backend;
                 if let Some(p) = self.rings[ri].partitions.get_mut(&pid) {
                     p.synthetic_bytes = 0;
-                    p.replicas.push(Replica::new(vid, server, window, epoch));
+                    let mut replica = Replica::new(vid, server, window, epoch);
+                    replica.store = ReplicaStore::open(backend);
+                    p.replicas.push(replica);
                     p.note_membership_changed();
                 }
             }
@@ -485,7 +489,7 @@ impl SkuteCloud {
             .replicas
             .iter()
             .take(r_eff)
-            .map(|replica| replica.store.get(key).cloned())
+            .map(|replica| replica.store.get(key))
             .collect();
         let merged = Record::merge_all(responses.into_iter().flatten());
         Ok(merged.and_then(|r| r.value))
@@ -563,9 +567,11 @@ impl SkuteCloud {
     /// rejects a write) and repairs them by installing the LWW union on
     /// every replica, with exact storage re-accounting.
     ///
-    /// The union is built once per divergent partition and written back as
-    /// a copy-on-write handle — every repaired replica shares one
-    /// allocation until it next diverges. Partitions whose replicas are
+    /// The union is built once per divergent partition and distributed to
+    /// the divergent replicas: under the mem backend as a copy-on-write
+    /// handle (every repaired replica shares one allocation until it next
+    /// diverges), under the LSM backend by merging the union's entries
+    /// into each replica's durable store. Partitions whose replicas are
     /// already identical (shared allocations, or all Merkle roots equal)
     /// are skipped outright and contribute to no counter; within a
     /// *divergent* partition, replicas that already hold the union are
@@ -586,8 +592,10 @@ impl SkuteCloud {
                 Some(p) if p.replicas.len() >= 2 => p,
                 _ => continue,
             };
-            // Replicas sharing one copy-on-write allocation are trivially
-            // in sync: skip the Merkle pass entirely.
+            // Replicas sharing one storage allocation are trivially in
+            // sync: skip the Merkle pass entirely. (Mem replicas converge
+            // to shared COW allocations; LSM replicas always own their
+            // files and converge to equal Merkle roots instead.)
             if partition
                 .replicas
                 .windows(2)
@@ -598,21 +606,22 @@ impl SkuteCloud {
             let roots: Vec<u64> = partition
                 .replicas
                 .iter()
-                .map(|r| skute_store::MerkleSummary::build(&r.store, hasher, range, 32).root())
+                .map(|r| r.store.merkle_summary(hasher, range, 32).root())
                 .collect();
             if roots.windows(2).all(|w| w[0] == w[1]) {
                 continue;
             }
             // Build the LWW union of all replica stores, once.
             let union = {
-                let mut union = (*partition.replicas[0].store).clone();
+                let mut union = partition.replicas[0].store.snapshot();
                 for r in &partition.replicas[1..] {
-                    union.merge_from(&r.store);
+                    r.store.merge_into(&mut union);
                 }
-                CowPartitionStore::from_store(union)
+                union
             };
             let union_bytes = union.logical_bytes();
             let union_root = skute_store::MerkleSummary::build(&union, hasher, range, 32).root();
+            let union = AntiEntropyUnion::new(self.config.backend, union);
             let mut any_updated = false;
             for (idx, &root) in roots.iter().enumerate() {
                 if root == union_root {
@@ -639,7 +648,7 @@ impl SkuteCloud {
                 };
                 if ok {
                     let p = self.rings[ring_idx].partitions.get_mut(&pid).unwrap();
-                    p.replicas[idx].store = union.clone();
+                    p.replicas[idx].store.install_union(&union);
                     report.replicas_updated += 1;
                     any_updated = true;
                 } else {
@@ -704,22 +713,24 @@ impl SkuteCloud {
             let vid = VnodeId(self.next_vnode);
             let partition = self.rings[ring_idx].partitions.get_mut(&pid).unwrap();
             let source = partition.replicas[idx].server;
-            if let Some(bytes) = exec_migration(&mut self.cluster, partition, idx, target) {
+            if let Some(t) = exec_migration(&mut self.cluster, partition, idx, target) {
                 self.epoch_actions.migrations += 1;
-                self.epoch_actions.migrated_bytes += bytes;
+                self.epoch_actions.migrated_bytes += t.logical;
+                self.epoch_actions.measured_migrated_bytes += t.measured;
                 self.note_index(&[source, target]);
                 return;
             }
             // Migration budget exhausted: fall back to the (3× larger)
             // replication budget — copy the replica to the target, then
             // drop the blocked copy.
-            if let Some(bytes) =
+            if let Some(t) =
                 exec_replication(&mut self.cluster, partition, target, vid, window, epoch)
             {
                 self.next_vnode += 1;
                 exec_suicide(&mut self.cluster, partition, idx);
                 self.epoch_actions.migrations += 1;
-                self.epoch_actions.migrated_bytes += bytes;
+                self.epoch_actions.migrated_bytes += t.logical;
+                self.epoch_actions.measured_migrated_bytes += t.measured;
                 self.note_index(&[source, target]);
             }
         }
@@ -766,21 +777,21 @@ impl SkuteCloud {
             match old_entry {
                 Some(old) if new_entry <= old => {
                     // Shrinking update always fits.
-                    if replica.store.make_mut().apply(key.to_vec(), record.clone()) {
+                    if replica.store.apply(key.to_vec(), record.clone()) {
                         server.usage.release_storage(old - new_entry);
                     }
                     acks += 1;
                 }
                 Some(old) => {
                     if server.usage.reserve_storage(&caps, new_entry - old) {
-                        let applied = replica.store.make_mut().apply(key.to_vec(), record.clone());
+                        let applied = replica.store.apply(key.to_vec(), record.clone());
                         debug_assert!(applied, "fresh versions always dominate");
                         acks += 1;
                     }
                 }
                 None => {
                     if server.usage.reserve_storage(&caps, new_entry) {
-                        let applied = replica.store.make_mut().apply(key.to_vec(), record.clone());
+                        let applied = replica.store.apply(key.to_vec(), record.clone());
                         debug_assert!(applied, "fresh versions always dominate");
                         acks += 1;
                     }
@@ -1294,12 +1305,13 @@ impl SkuteCloud {
                     let epoch = self.epoch;
                     let vid = VnodeId(self.next_vnode);
                     let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
-                    if let Some(bytes) =
+                    if let Some(t) =
                         exec_replication(&mut self.cluster, partition, target, vid, window, epoch)
                     {
                         self.next_vnode += 1;
                         actions.availability_replications += 1;
-                        actions.replicated_bytes += bytes;
+                        actions.replicated_bytes += t.logical;
+                        actions.measured_replicated_bytes += t.measured;
                         self.note_index(&[target]);
                     } else {
                         actions.blocked_transfers += 1;
@@ -1566,11 +1578,12 @@ impl SkuteCloud {
                     }
                     if let Some((target, _)) = target {
                         if target != server {
-                            if let Some(bytes) =
+                            if let Some(t) =
                                 exec_migration(&mut self.cluster, partition, idx, target)
                             {
                                 actions.migrations += 1;
-                                actions.migrated_bytes += bytes;
+                                actions.migrated_bytes += t.logical;
+                                actions.measured_migrated_bytes += t.measured;
                                 self.note_index(&[server, target]);
                                 self.spec_touched.record(server, false);
                                 self.spec_touched.record(target, true);
@@ -1634,7 +1647,7 @@ impl SkuteCloud {
                             let epoch = self.epoch;
                             let vid = VnodeId(self.next_vnode);
                             let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
-                            if let Some(bytes) = exec_replication(
+                            if let Some(t) = exec_replication(
                                 &mut self.cluster,
                                 partition,
                                 target,
@@ -1644,7 +1657,8 @@ impl SkuteCloud {
                             ) {
                                 self.next_vnode += 1;
                                 actions.profit_replications += 1;
-                                actions.replicated_bytes += bytes;
+                                actions.replicated_bytes += t.logical;
+                                actions.measured_replicated_bytes += t.measured;
                                 self.note_index(&[target]);
                                 self.spec_touched.record(target, true);
                             } else {
@@ -1682,9 +1696,7 @@ impl SkuteCloud {
                 high_state.synthetic_bytes = parent.synthetic_bytes - low_state.synthetic_bytes;
                 for replica in parent.replicas {
                     let mut low_store = replica.store;
-                    let high_store = CowPartitionStore::from_store(
-                        low_store.make_mut().split_off(hasher, high.range),
-                    );
+                    let high_store = low_store.split_off(hasher, high.range);
                     let mut low_replica =
                         Replica::new(VnodeId(self.next_vnode), replica.server, window, self.epoch);
                     self.next_vnode += 1;
@@ -1943,10 +1955,21 @@ fn select_target(
     }
 }
 
+/// Outcome of an executed transfer: `logical` is the size the economy
+/// prices and the capacity meters debit (identical across backends);
+/// `measured` is what the storage backend physically streamed (equal to
+/// `logical` for the mem oracle, real WAL + SSTable bytes for LSM).
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    logical: u64,
+    measured: u64,
+}
+
 /// Adds a replica of `partition` on `target`: consumes replication
 /// bandwidth on a source replica's server and on the target, reserves
-/// storage at the target, and clones the source's store. All-or-nothing;
-/// returns the bytes transferred on success.
+/// storage at the target, and forks the source's store (a shared COW
+/// handle under the mem backend, a physical file copy under LSM).
+/// All-or-nothing; returns the transfer on success.
 fn exec_replication(
     cluster: &mut Cluster,
     partition: &mut PartitionState,
@@ -1954,7 +1977,7 @@ fn exec_replication(
     vnode: VnodeId,
     window: usize,
     epoch: u64,
-) -> Option<u64> {
+) -> Option<Transfer> {
     if partition.has_replica_on(target) {
         return None;
     }
@@ -1993,23 +2016,33 @@ fn exec_replication(
             dst.usage.reserve_replication_bw(&caps, size) && dst.usage.reserve_storage(&caps, size);
         debug_assert!(ok);
     }
-    let store = partition.replicas[src_idx].store.clone();
+    let (store, physical) = partition.replicas[src_idx].store.fork();
+    // The synthetic portion has no materialized bytes on any backend;
+    // only the store's physical footprint is measured. The mem oracle
+    // reports no measurement and prices the transfer at logical size.
+    let measured = match physical {
+        Some(store_bytes) => partition.synthetic_bytes + store_bytes,
+        None => size,
+    };
     let mut replica = Replica::new(vnode, target, window, epoch);
     replica.store = store;
     partition.replicas.push(replica);
     partition.note_membership_changed();
-    Some(size)
+    Some(Transfer {
+        logical: size,
+        measured,
+    })
 }
 
 /// Moves replica `idx` of `partition` to `target`: consumes migration
 /// bandwidth on both ends, moves the storage charge, resets the balance
-/// window. All-or-nothing; returns the bytes transferred on success.
+/// window. All-or-nothing; returns the transfer on success.
 fn exec_migration(
     cluster: &mut Cluster,
     partition: &mut PartitionState,
     idx: usize,
     target: ServerId,
-) -> Option<u64> {
+) -> Option<Transfer> {
     if partition.has_replica_on(target) {
         return None;
     }
@@ -2038,10 +2071,17 @@ fn exec_migration(
             dst.usage.reserve_migration_bw(&caps, size) && dst.usage.reserve_storage(&caps, size);
         debug_assert!(ok);
     }
+    let measured = match partition.replicas[idx].store.measured_transfer() {
+        Some(store_bytes) => partition.synthetic_bytes + store_bytes,
+        None => size,
+    };
     partition.replicas[idx].server = target;
     partition.replicas[idx].balance.reset_window();
     partition.note_membership_changed();
-    Some(size)
+    Some(Transfer {
+        logical: size,
+        measured,
+    })
 }
 
 /// Deletes replica `idx` of `partition`, releasing its storage.
@@ -2301,7 +2341,7 @@ mod tests {
             let record = Record::put(&b"ghost-value"[..], Version::new(99, 0, 0));
             let old = p.replicas[0].store.get(b"base").unwrap().logical_size;
             let grow = record.logical_size - old;
-            assert!(p.replicas[0].store.make_mut().apply(&b"base"[..], record));
+            assert!(p.replicas[0].store.apply(&b"base"[..], record));
             let server = p.replicas[0].server;
             let s = cloud.cluster.get_mut(server).unwrap();
             let caps = s.capacities;

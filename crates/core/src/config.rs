@@ -1,6 +1,7 @@
 //! Cloud-wide configuration.
 
 use skute_economy::EconomyConfig;
+use skute_store::BackendKind;
 
 /// Number of bytes in a mebibyte.
 const MIB: u64 = 1024 * 1024;
@@ -54,6 +55,14 @@ pub struct SkuteConfig {
     /// counters. This switch exists as the equivalence oracle for tests
     /// and CI's determinism matrix (`skute-sim --no-speculation`).
     pub no_speculation: bool,
+    /// Storage engine replica stores run on. [`BackendKind::Mem`] is the
+    /// fast in-memory default and bit-exact oracle; [`BackendKind::Lsm`]
+    /// gives every replica a durable WAL + SSTable store. Same-seed
+    /// trajectories are **bitwise identical across backends** — decisions
+    /// and the CSV consume only logical byte accounting, which the engines
+    /// share; only durability and the measured transfer counters differ
+    /// (CI's determinism matrix compares the two).
+    pub backend: BackendKind,
     /// Worker threads of the epoch pipeline's parallel phases (`0` = the
     /// machine's available parallelism; explicit budgets are honored
     /// exactly — beyond the host's core count that costs wall clock,
@@ -77,8 +86,18 @@ impl SkuteConfig {
             brute_force_placement: false,
             sequential_traffic_commit: false,
             no_speculation: false,
+            backend: BackendKind::Mem,
             threads: 1,
         }
+    }
+
+    /// Returns a copy with replica stores on the given storage backend.
+    /// The trajectory stays bitwise identical; only durability and the
+    /// measured transfer counters change.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Returns a copy with speculative eq.-(3) targets disabled (the
@@ -196,6 +215,17 @@ mod tests {
         let b = a.with_no_speculation();
         assert!(!a.no_speculation);
         assert!(b.no_speculation);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.threads, b.threads);
+        b.validate();
+    }
+
+    #[test]
+    fn with_backend_flips_only_the_engine() {
+        let a = SkuteConfig::paper();
+        let b = a.with_backend(BackendKind::Lsm);
+        assert_eq!(a.backend, BackendKind::Mem);
+        assert_eq!(b.backend, BackendKind::Lsm);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.threads, b.threads);
         b.validate();

@@ -60,10 +60,22 @@ pub struct ActionCounts {
     pub splits: u64,
     /// Transfers blocked by bandwidth or storage limits this epoch.
     pub blocked_transfers: u64,
-    /// Bytes moved by replications this epoch (communication overhead).
+    /// Bytes moved by replications this epoch (communication overhead),
+    /// priced at the replicas' *logical* size — the quantity the economic
+    /// model and the CSV consume, identical across storage backends.
     pub replicated_bytes: u64,
-    /// Bytes moved by migrations this epoch (communication overhead).
+    /// Bytes moved by migrations this epoch (communication overhead),
+    /// priced at the replicas' *logical* size.
     pub migrated_bytes: u64,
+    /// Bytes replications *physically* streamed this epoch, as measured by
+    /// the storage backend (WAL + SSTable file bytes under the LSM engine;
+    /// equal to `replicated_bytes` under the in-memory oracle).
+    /// Observability only — decisions and the CSV never read it, which is
+    /// what keeps trajectories bitwise identical across backends.
+    pub measured_replicated_bytes: u64,
+    /// Bytes migrations *physically* streamed this epoch (see
+    /// [`ActionCounts::measured_replicated_bytes`]).
+    pub measured_migrated_bytes: u64,
     /// Speculative eq.-(3) targets honored by the decision commit pass
     /// (read-set validation passed, or no preceding action had touched
     /// the cluster). Observability only: the commit executes the same
@@ -81,9 +93,26 @@ impl ActionCounts {
         self.availability_replications + self.profit_replications
     }
 
-    /// Total bytes moved between servers this epoch.
+    /// Total bytes moved between servers this epoch, at logical size.
     pub fn transferred_bytes(&self) -> u64 {
         self.replicated_bytes + self.migrated_bytes
+    }
+
+    /// Total bytes *physically* streamed between servers this epoch, as
+    /// measured by the storage backend.
+    pub fn measured_transferred_bytes(&self) -> u64 {
+        self.measured_replicated_bytes + self.measured_migrated_bytes
+    }
+
+    /// The epoch's data-transfer cost, priced from the **measured** bytes
+    /// the backend actually streamed (`per_mib` is
+    /// `EconomyConfig::transfer_cost_per_mib`). Under the in-memory oracle
+    /// measured equals logical, so this reproduces the logical-size
+    /// pricing exactly; under the LSM engine it prices real WAL + SSTable
+    /// bytes.
+    pub fn transfer_cost(&self, per_mib: f64) -> f64 {
+        const MIB: f64 = (1024 * 1024) as f64;
+        per_mib * self.measured_transferred_bytes() as f64 / MIB
     }
 
     /// Fraction of speculations honored at commit time, or `None` when
@@ -103,6 +132,8 @@ impl ActionCounts {
         self.blocked_transfers += other.blocked_transfers;
         self.replicated_bytes += other.replicated_bytes;
         self.migrated_bytes += other.migrated_bytes;
+        self.measured_replicated_bytes += other.measured_replicated_bytes;
+        self.measured_migrated_bytes += other.measured_migrated_bytes;
         self.spec_hits += other.spec_hits;
         self.spec_misses += other.spec_misses;
     }
@@ -347,6 +378,8 @@ mod tests {
             blocked_transfers: 6,
             replicated_bytes: 100,
             migrated_bytes: 50,
+            measured_replicated_bytes: 130,
+            measured_migrated_bytes: 70,
             spec_hits: 9,
             spec_misses: 1,
         };
@@ -356,9 +389,21 @@ mod tests {
         assert_eq!(a.replications(), 6);
         assert_eq!(a.blocked_transfers, 12);
         assert_eq!(a.transferred_bytes(), 300);
+        assert_eq!(a.measured_transferred_bytes(), 400);
         assert_eq!(a.spec_hits, 18);
         assert_eq!(a.spec_misses, 2);
         assert_eq!(a.spec_hit_rate(), Some(0.9));
         assert_eq!(ActionCounts::default().spec_hit_rate(), None);
+    }
+
+    #[test]
+    fn transfer_cost_prices_measured_bytes() {
+        let counts = ActionCounts {
+            measured_replicated_bytes: 3 * 1024 * 1024,
+            measured_migrated_bytes: 1024 * 1024,
+            ..ActionCounts::default()
+        };
+        assert_eq!(counts.transfer_cost(0.001), 0.004);
+        assert_eq!(ActionCounts::default().transfer_cost(0.001), 0.0);
     }
 }

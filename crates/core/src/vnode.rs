@@ -5,7 +5,7 @@ use std::fmt;
 use skute_cluster::ServerId;
 use skute_economy::{BalanceHistory, ProximityCache, RegionQueries};
 use skute_ring::PartitionId;
-use skute_store::CowPartitionStore;
+use skute_store::ReplicaStore;
 
 /// Identifier of a virtual node (one replica of one partition), unique for
 /// the lifetime of a cloud.
@@ -32,10 +32,13 @@ pub struct Replica {
     pub server: ServerId,
     /// Per-epoch balance history (window f).
     pub balance: BalanceHistory,
-    /// This replica's copy of the partition's explicitly stored records.
-    /// Copy-on-write: replicas synchronized by anti-entropy or replication
-    /// share one allocation until one of them diverges.
-    pub store: CowPartitionStore,
+    /// This replica's copy of the partition's explicitly stored records,
+    /// on the cloud's configured storage backend. The in-memory variant is
+    /// copy-on-write: replicas synchronized by anti-entropy or replication
+    /// share one allocation until one of them diverges. The LSM variant
+    /// owns a durable store; independent copies go through
+    /// [`ReplicaStore::fork`], which reports the bytes physically moved.
+    pub store: ReplicaStore,
     /// Utility accrued in the current epoch (reset by `begin_epoch`).
     pub utility_epoch: f64,
     /// Queries served by this replica in the current epoch.
@@ -51,7 +54,7 @@ impl Replica {
             id,
             server,
             balance: BalanceHistory::new(window),
-            store: CowPartitionStore::new(),
+            store: ReplicaStore::default(),
             utility_epoch: 0.0,
             queries_epoch: 0.0,
             created_epoch: epoch,
@@ -237,7 +240,7 @@ mod tests {
         p.synthetic_bytes = 1000;
         assert_eq!(p.size_bytes(), 1000);
         let mut r = Replica::new(VnodeId(1), ServerId(0), 3, 0);
-        assert!(r.store.make_mut().apply(
+        assert!(r.store.apply(
             &b"key"[..],
             Record::put(&b"0123456789"[..], Version::new(1, 0, 0))
         ));

@@ -37,27 +37,52 @@ fn raw_g(regions: &[RegionQueries], server: &Location) -> f64 {
     raw_g_over(regions.iter().map(|r| (r.queries, r.location)), server)
 }
 
-/// Client countries a [`RegionMasses`] aggregate holds inline. Region
-/// mixes with more distinct client countries — none of the paper scenarios
-/// come close, but large-country workloads do — spill the remainder to
-/// one heap word run per aggregation instead of abandoning the analytic
+/// Client regions a [`RegionMasses`] aggregate holds inline. Region
+/// mixes with more distinct regions — none of the paper scenarios come
+/// close, but large-country workloads do — spill the remainder to one
+/// heap word run per aggregation instead of abandoning the analytic
 /// kernel for the general per-location diversity scan; the common path
 /// stays allocation-free.
-const INLINE_CLIENT_COUNTRIES: usize = 24;
+const INLINE_CLIENT_REGIONS: usize = 24;
 
-/// Query mass aggregated per client country, in first-appearance order —
-/// the sufficient statistic of eq. (4) when every client sits in a country
-/// zone: the diversity between a country-zone client and a non-client-zone
-/// server is 15, 31 or 63 by country/continent relation alone, so the whole
-/// region mix collapses to one mass per country.
+/// The identity a client region aggregates under.
+///
+/// Country-zone clients ([`Location::client_in_country`]) collapse to
+/// their `(continent, country)` prefix: their diversity to any
+/// non-client-zone server is 15, 31 or 63 by country/continent relation
+/// alone. Clients at arbitrary locations keep their full location — their
+/// diversity to a same-country server depends on the finer levels — but
+/// still flow through the same kernel instead of the general scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MassKey {
+    /// A country-zone client: only the `(continent, country)` prefix
+    /// matters against non-client-zone servers.
+    Country((u16, u16)),
+    /// A client at an arbitrary (non-country-zone) location.
+    Deep(Location),
+}
+
+impl MassKey {
+    /// The aggregation key of one client location.
+    fn of(location: &Location) -> Self {
+        if location.is_client_zone() {
+            MassKey::Country(location.country_key())
+        } else {
+            MassKey::Deep(*location)
+        }
+    }
+}
+
+/// Query mass aggregated per client region, in first-appearance order —
+/// the sufficient statistic of eq. (4) against any non-client-zone server.
 #[derive(Debug, Clone)]
 struct RegionMasses {
     total: f64,
     len: usize,
-    /// The first [`INLINE_CLIENT_COUNTRIES`] distinct countries.
-    inline: [((u16, u16), f64); INLINE_CLIENT_COUNTRIES],
-    /// Countries beyond the inline capacity, in first-appearance order.
-    spill: Vec<((u16, u16), f64)>,
+    /// The first [`INLINE_CLIENT_REGIONS`] distinct regions.
+    inline: [(MassKey, f64); INLINE_CLIENT_REGIONS],
+    /// Regions beyond the inline capacity, in first-appearance order.
+    spill: Vec<(MassKey, f64)>,
 }
 
 impl Default for RegionMasses {
@@ -65,26 +90,23 @@ impl Default for RegionMasses {
         Self {
             total: 0.0,
             len: 0,
-            inline: [((0, 0), 0.0); INLINE_CLIENT_COUNTRIES],
+            inline: [(MassKey::Country((0, 0)), 0.0); INLINE_CLIENT_REGIONS],
             spill: Vec::new(),
         }
     }
 }
 
 impl RegionMasses {
-    /// Aggregates `regions`, or `None` when some client is not in a country
-    /// zone (the per-country collapse would be wrong; callers fall back to
-    /// the general diversity scan). Any number of distinct client
-    /// countries aggregates — the first 24 inline, the rest on the heap.
-    fn aggregate(regions: &[RegionQueries]) -> Option<Self> {
+    /// Aggregates `regions`. Infallible: country-zone clients collapse to
+    /// per-country masses, arbitrary client locations keep their full
+    /// location as the key. Any number of distinct regions aggregates —
+    /// the first 24 inline, the rest on the heap.
+    fn aggregate(regions: &[RegionQueries]) -> Self {
         let mut masses = Self::default();
         for r in regions {
-            if !r.location.is_client_zone() {
-                return None;
-            }
             masses.total += r.queries;
-            let key = r.location.country_key();
-            let inline_len = masses.len.min(INLINE_CLIENT_COUNTRIES);
+            let key = MassKey::of(&r.location);
+            let inline_len = masses.len.min(INLINE_CLIENT_REGIONS);
             match masses.inline[..inline_len]
                 .iter_mut()
                 .chain(masses.spill.iter_mut())
@@ -92,7 +114,7 @@ impl RegionMasses {
             {
                 Some((_, q)) => *q += r.queries,
                 None => {
-                    if masses.len < INLINE_CLIENT_COUNTRIES {
+                    if masses.len < INLINE_CLIENT_REGIONS {
                         masses.inline[masses.len] = (key, r.queries);
                     } else {
                         masses.spill.push((key, r.queries));
@@ -101,14 +123,22 @@ impl RegionMasses {
                 }
             }
         }
-        Some(masses)
+        masses
     }
 
-    /// All aggregated `(country, mass)` pairs, in first-appearance order.
-    fn countries(&self) -> impl Iterator<Item = &((u16, u16), f64)> {
-        self.inline[..self.len.min(INLINE_CLIENT_COUNTRIES)]
+    /// All aggregated `(region, mass)` pairs, in first-appearance order.
+    fn regions(&self) -> impl Iterator<Item = &(MassKey, f64)> {
+        self.inline[..self.len.min(INLINE_CLIENT_REGIONS)]
             .iter()
             .chain(self.spill.iter())
+    }
+
+    /// True when some [`MassKey::Deep`] client shares `country` — the one
+    /// case where same-country servers can have different weights and
+    /// per-country memoization would be unsound.
+    fn has_deep_in(&self, country: (u16, u16)) -> bool {
+        self.regions()
+            .any(|(k, _)| matches!(k, MassKey::Deep(l) if l.country_key() == country))
     }
 }
 
@@ -126,24 +156,33 @@ fn zone_diversity(client: (u16, u16), server: (u16, u16)) -> f64 {
     }
 }
 
-/// The analytic eq.-(4) proximity of a non-client-zone server against
-/// aggregated country masses: O(client countries + topology countries) of
-/// plain arithmetic, no per-location diversity scans.
-fn analytic_g(masses: &RegionMasses, server_key: (u16, u16), topology: &Topology) -> f64 {
+/// The analytic eq.-(4) proximity of a non-client-zone `server` against
+/// aggregated region masses: O(client regions + topology countries) of
+/// plain arithmetic. Bit-for-bit identical to the general per-location
+/// scan for duplicate-free region mixes (the mixes the workload layer
+/// produces): both sides accumulate the same summands in the same order.
+fn analytic_g(masses: &RegionMasses, server: &Location, topology: &Topology) -> f64 {
+    let server_key = server.country_key();
     let mut weighted = 0.0;
-    for &(client, mass) in masses.countries() {
-        weighted += mass * zone_diversity(client, server_key);
+    for &(key, mass) in masses.regions() {
+        let d = match key {
+            MassKey::Country(client) => zone_diversity(client, server_key),
+            MassKey::Deep(client) => f64::from(diversity(&client, server)),
+        };
+        weighted += mass * d;
     }
     let raw = masses.total / (1.0 + weighted);
     // Baseline: the same total spread uniformly over the topology's
-    // countries (the paper's uniform client geography).
-    let count = topology.country_count() as f64;
-    let per = masses.total / count;
+    // countries (the paper's uniform client geography). Accumulated
+    // per-summand, mirroring the general scan's summation exactly.
+    let per = masses.total / topology.country_count() as f64;
+    let mut total_uniform = 0.0;
     let mut weighted_uniform = 0.0;
     for client in topology.iter_countries() {
+        total_uniform += per;
         weighted_uniform += per * zone_diversity(client, server_key);
     }
-    let baseline = (per * count) / (1.0 + weighted_uniform);
+    let baseline = total_uniform / (1.0 + weighted_uniform);
     if baseline <= 0.0 {
         return 1.0;
     }
@@ -159,19 +198,18 @@ fn analytic_g(masses: &RegionMasses, server_key: (u16, u16), topology: &Topology
 /// paper stipulates (§III-A), and regionally skewed traffic scales servers
 /// near the traffic above 1 and far servers below 1.
 ///
-/// The common case — every client in a country zone, the server not —
-/// evaluates through the analytic per-country kernel ([`analytic_g`]);
-/// arbitrary client or server locations take the general per-location
-/// diversity scan. With no queries at all the weight is neutral (1).
+/// Every non-client-zone server evaluates through the analytic region
+/// kernel ([`analytic_g`]) — country-zone clients as per-country masses,
+/// arbitrary client locations as full-location masses. Only a server that
+/// itself sits in a client zone takes the general per-location diversity
+/// scan. With no queries at all the weight is neutral (1).
 pub fn proximity(regions: &[RegionQueries], server: &Location, topology: &Topology) -> f64 {
     let total: f64 = regions.iter().map(|r| r.queries).sum();
     if total <= 0.0 {
         return 1.0;
     }
     if !server.is_client_zone() {
-        if let Some(masses) = RegionMasses::aggregate(regions) {
-            return analytic_g(&masses, server.country_key(), topology);
-        }
+        return analytic_g(&RegionMasses::aggregate(regions), server, topology);
     }
     let per = total / topology.country_count() as f64;
     let baseline = raw_g_over(
@@ -193,18 +231,18 @@ pub fn proximity(regions: &[RegionQueries], server: &Location, topology: &Topolo
 /// One partition's decision phase evaluates proximity for every feasible
 /// candidate server; this cache collapses that to one evaluation per
 /// country. Servers that themselves sit in a client zone (a synthetic
-/// datacenter index) bypass the cache, preserving exactness for arbitrary
-/// locations.
+/// datacenter index) bypass the cache, and so does a server whose country
+/// also hosts a non-country-zone client (its same-country siblings can
+/// have different weights); both stay bit-exact for arbitrary locations.
 ///
 /// The caller owns invalidation: [`ProximityCache::clear`] must run
 /// whenever the region mix it was filled from changes (`SkuteCloud` clears
 /// per-partition caches at epoch start and on every query delivery).
 #[derive(Debug, Clone, Default)]
 pub struct ProximityCache {
-    /// Aggregated country masses, computed once per region mix.
-    /// `None` before first use; `Some(None)` when the mix is not
-    /// country-zone-shaped and caching would be unsound.
-    masses: Option<Option<RegionMasses>>,
+    /// Aggregated region masses, computed once per region mix (`None`
+    /// before first use).
+    masses: Option<RegionMasses>,
     entries: Vec<((u16, u16), f64)>,
     /// Memoized maximum weights over caller-identified location sets
     /// (see [`ProximityCache::g_max`]).
@@ -265,19 +303,20 @@ impl ProximityCache {
         let masses = self
             .masses
             .get_or_insert_with(|| RegionMasses::aggregate(regions));
-        let Some(masses) = masses else {
-            // Clients outside country zones: same-country servers can have
-            // different weights, so per-country memoization is unsound.
-            return proximity(regions, server, topology);
-        };
         if masses.total <= 0.0 {
             return 1.0;
         }
         let key = server.country_key();
+        if masses.has_deep_in(key) {
+            // A non-country-zone client shares this server's country: the
+            // weight depends on the finer location levels, so same-country
+            // servers can differ. Evaluate through the kernel, unmemoized.
+            return analytic_g(masses, server, topology);
+        }
         if let Some(&(_, g)) = self.entries.iter().find(|(k, _)| *k == key) {
             return g;
         }
-        let g = analytic_g(masses, key, topology);
+        let g = analytic_g(masses, server, topology);
         self.entries.push((key, g));
         g
     }
@@ -315,6 +354,23 @@ mod tests {
 
     fn topo() -> Topology {
         Topology::paper()
+    }
+
+    /// The pre-kernel reference: eq. (4) by per-location diversity scan,
+    /// normalized by the uniform baseline — what [`proximity`] computed
+    /// before every non-client-zone server was routed through
+    /// [`analytic_g`].
+    fn general_scan(regions: &[RegionQueries], server: &Location, t: &Topology) -> f64 {
+        let total: f64 = regions.iter().map(|r| r.queries).sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let per = total / t.country_count() as f64;
+        let baseline = raw_g_over(t.iter_client_locations().map(move |l| (per, l)), server);
+        if baseline <= 0.0 {
+            return 1.0;
+        }
+        raw_g(regions, server) / baseline
     }
 
     #[test]
@@ -434,8 +490,8 @@ mod tests {
                 queries: 100.0 + f64::from(i),
             })
             .collect();
-        let masses = RegionMasses::aggregate(&regions).expect("country-zone mix aggregates");
-        assert_eq!(masses.countries().count(), 30);
+        let masses = RegionMasses::aggregate(&regions);
+        assert_eq!(masses.regions().count(), 30);
         assert_eq!(masses.len, 30);
         // The cache stays bit-for-bit identical to the direct evaluation
         // and still collapses to one entry per server country.
@@ -446,25 +502,12 @@ mod tests {
             let cached = cache.g(&regions, &server, &t);
             assert_eq!(cached.to_bits(), direct.to_bits(), "server {i}");
         }
-        // And the analytic value agrees with the general per-location
-        // scan up to summation-order rounding.
+        // And on a duplicate-free mix the analytic value agrees with the
+        // general per-location scan bit for bit.
         let server = t.server_at(42);
-        let per = masses.total / t.country_count() as f64;
-        let baseline = {
-            let uniform: Vec<RegionQueries> = t
-                .iter_countries()
-                .map(|(ct, co)| RegionQueries {
-                    location: Location::client_in_country(ct, co),
-                    queries: per,
-                })
-                .collect();
-            raw_g(&uniform, &server)
-        };
-        let general = raw_g(&regions, &server) / baseline;
-        let analytic = proximity(&regions, &server, &t);
-        assert!(
-            (general - analytic).abs() < 1e-9 * general.abs().max(1.0),
-            "general {general} vs analytic {analytic}"
+        assert_eq!(
+            proximity(&regions, &server, &t).to_bits(),
+            general_scan(&regions, &server, &t).to_bits()
         );
         // A duplicated country merges into its spilled slot.
         let mut dup = regions.clone();
@@ -472,8 +515,53 @@ mod tests {
             location: Location::client_in_country(29 % 7, 29),
             queries: 50.0,
         });
-        let merged = RegionMasses::aggregate(&dup).unwrap();
-        assert_eq!(merged.countries().count(), 30);
+        let merged = RegionMasses::aggregate(&dup);
+        assert_eq!(merged.regions().count(), 30);
+    }
+
+    #[test]
+    fn deep_clients_route_through_the_kernel() {
+        // Regression: clients outside country zones used to abandon the
+        // analytic kernel for the general scan (and defeated the
+        // per-country memoization entirely). They now aggregate under
+        // their full location and flow through the same kernel,
+        // bit-identical to the scan.
+        let t = topo();
+        let regions = [
+            RegionQueries {
+                location: Location::client_in_country(0, 0),
+                queries: 700.0,
+            },
+            // A client pinned to a rack of continent 2, country 1.
+            RegionQueries {
+                location: Location::new(2, 1, 0, 0, 1, 0),
+                queries: 200.0,
+            },
+            RegionQueries {
+                location: Location::client_in_country(4, 0),
+                queries: 100.0,
+            },
+        ];
+        let mut cache = ProximityCache::new();
+        for i in 0..200u64 {
+            let server = t.server_at(i);
+            let direct = proximity(&regions, &server, &t);
+            let scan = general_scan(&regions, &server, &t);
+            let cached = cache.g(&regions, &server, &t);
+            assert_eq!(direct.to_bits(), scan.to_bits(), "server {i}");
+            assert_eq!(cached.to_bits(), direct.to_bits(), "server {i}");
+        }
+        // Within the deep client's country, servers differ by finer
+        // levels: the colocated server outweighs its country siblings,
+        // and neither weight is memoized per country.
+        let colocated = Location::new(2, 1, 0, 0, 1, 0);
+        let sibling = Location::new(2, 1, 1, 0, 0, 0);
+        let g_colocated = cache.g(&regions, &colocated, &t);
+        let g_sibling = cache.g(&regions, &sibling, &t);
+        assert!(g_colocated > g_sibling, "{g_colocated} vs {g_sibling}");
+        let masses = RegionMasses::aggregate(&regions);
+        assert!(masses.has_deep_in((2, 1)));
+        assert!(!masses.has_deep_in((0, 0)));
     }
 
     #[test]
@@ -513,6 +601,49 @@ mod tests {
             let g = proximity(&regions, &t.server_at(server_idx), &t);
             prop_assert!(g.is_finite());
             prop_assert!(g > 0.0);
+        }
+
+        #[test]
+        fn prop_kernel_matches_general_scan_bit_for_bit(
+            qs in proptest::collection::vec(0.001f64..1e5, 1..9),
+            deep in proptest::collection::vec(
+                (0u16..5, 0u16..2, 0u16..2, 0u16..1, 0u16..2, 0u16..4),
+                0..4,
+            ),
+            server_idx in 0u64..200,
+        ) {
+            // A duplicate-free mix of country-zone and arbitrary deep
+            // client locations: the analytic kernel must reproduce the
+            // general per-location scan bit for bit on every
+            // non-client-zone server.
+            let t = topo();
+            let countries: Vec<(u16, u16)> = t.iter_countries().collect();
+            let mut regions: Vec<RegionQueries> = qs
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| {
+                    let (ct, co) = countries[i % countries.len()];
+                    RegionQueries { location: Location::client_in_country(ct, co), queries: q }
+                })
+                .collect();
+            let mut deep_locs: Vec<Location> = deep
+                .into_iter()
+                .map(|(ct, co, dc, rm, rk, sv)| Location::new(ct, co, dc, rm, rk, sv))
+                .collect();
+            deep_locs.sort();
+            deep_locs.dedup();
+            regions.extend(deep_locs.into_iter().map(|l| RegionQueries {
+                location: l,
+                queries: 10.0,
+            }));
+            let server = t.server_at(server_idx);
+            let kernel = proximity(&regions, &server, &t);
+            let scan = general_scan(&regions, &server, &t);
+            prop_assert_eq!(kernel.to_bits(), scan.to_bits());
+            // And the cache agrees with the direct evaluation.
+            let mut cache = ProximityCache::new();
+            prop_assert_eq!(cache.g(&regions, &server, &t).to_bits(), kernel.to_bits());
+            prop_assert_eq!(cache.g(&regions, &server, &t).to_bits(), kernel.to_bits());
         }
 
         #[test]

@@ -1,0 +1,657 @@
+//! The pluggable storage boundary: the [`StorageBackend`] trait, the
+//! [`BackendKind`] selector, and [`ReplicaStore`] — the enum-dispatched
+//! store every replica actually carries.
+//!
+//! Two engines implement the trait:
+//!
+//! * [`PartitionStore`] — the in-memory `BTreeMap` engine: the fast default
+//!   and the bit-exact oracle. Its "physical" footprint *is* its logical
+//!   footprint, which is exactly the oracle-parity contract: under the mem
+//!   backend, measured transfer bytes equal the logical sizes the economic
+//!   model always priced.
+//! * [`LsmStore`](crate::LsmStore) — the durable WAL + memtable + SSTable
+//!   engine. Its physical footprint is real file bytes, and replica
+//!   transfers stream those bytes.
+//!
+//! Everything the simulation *decides* on — apply gating, logical byte
+//! accounting, Merkle summaries — is bit-identical across backends, which
+//! is what keeps `--backend lsm` runs byte-identical to the in-memory
+//! default (CI compares them). Only durability and the *measured* transfer
+//! counters differ.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use skute_ring::{KeyHasher, KeyRange};
+
+use crate::engine::PartitionStore;
+use crate::lsm::LsmStore;
+use crate::merkle::{MerkleBuilder, MerkleSummary};
+use crate::shared::CowPartitionStore;
+use crate::value::Record;
+
+/// Which storage engine a cloud's replicas run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// In-memory `BTreeMap` engine — fast default and bit-exact oracle.
+    #[default]
+    Mem,
+    /// Durable log-structured engine (WAL + memtable + SSTables).
+    Lsm,
+}
+
+impl BackendKind {
+    /// Stable lowercase name (`mem` / `lsm`), as accepted by
+    /// `skute-sim --backend`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Mem => "mem",
+            BackendKind::Lsm => "lsm",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mem" => Ok(BackendKind::Mem),
+            "lsm" => Ok(BackendKind::Lsm),
+            other => Err(format!("unknown backend {other:?} (expected mem|lsm)")),
+        }
+    }
+}
+
+/// The contract a per-replica storage engine fulfils.
+///
+/// The logical side (apply gating, [`logical_bytes`], iteration order,
+/// [`split_off`] arithmetic) must match [`PartitionStore`] bit-for-bit —
+/// it feeds the economic model and the determinism matrix. The physical
+/// side ([`physical_bytes`], [`flush`]) is each engine's own truth and
+/// prices the real data-transfer term.
+///
+/// [`logical_bytes`]: StorageBackend::logical_bytes
+/// [`split_off`]: StorageBackend::split_off
+/// [`physical_bytes`]: StorageBackend::physical_bytes
+/// [`flush`]: StorageBackend::flush
+pub trait StorageBackend: Sized + Send + fmt::Debug {
+    /// A fresh, empty store.
+    fn open() -> Self;
+
+    /// Applies `record` under `key` if its version dominates the stored
+    /// one; returns `true` when the store changed.
+    fn apply(&mut self, key: Bytes, record: Record) -> bool;
+
+    /// The record stored under `key`, tombstones included.
+    fn get(&self, key: &[u8]) -> Option<Record>;
+
+    /// The live value under `key` (`None` for absent keys and tombstones).
+    fn get_value(&self, key: &[u8]) -> Option<Bytes> {
+        self.get(key).and_then(|r| r.value)
+    }
+
+    /// Number of keys (including tombstones).
+    fn len(&self) -> usize;
+
+    /// True when no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical bytes stored: `Σ (key length + logical record size)`.
+    fn logical_bytes(&self) -> u64;
+
+    /// Bytes a replica transfer physically moves. For the in-memory oracle
+    /// this equals [`logical_bytes`](StorageBackend::logical_bytes); for
+    /// durable engines it is real file bytes.
+    fn physical_bytes(&self) -> u64;
+
+    /// Visits every entry in key order.
+    fn for_each(&self, f: &mut dyn FnMut(&Bytes, &Record));
+
+    /// Moves every key whose ring token falls in `high` into a returned
+    /// sibling store, conserving `logical_bytes` across the pair.
+    fn split_off(&mut self, hasher: KeyHasher, high: KeyRange) -> Self;
+
+    /// Merges `other` into `self`; version-dominant records win.
+    fn absorb(&mut self, other: Self);
+
+    /// Makes all accepted writes durable (no-op for volatile engines).
+    fn flush(&mut self);
+
+    /// Merkle summary of the stored entries over `range`.
+    fn merkle_summary(&self, hasher: KeyHasher, range: KeyRange, buckets: usize) -> MerkleSummary {
+        let mut builder = MerkleBuilder::new(hasher, range, buckets);
+        self.for_each(&mut |key, record| builder.add(key, record));
+        builder.finish()
+    }
+
+    /// Materializes the contents as an in-memory [`PartitionStore`].
+    fn snapshot(&self) -> PartitionStore {
+        let mut snap = PartitionStore::new();
+        self.for_each(&mut |key, record| {
+            let _ = snap.apply(key.clone(), record.clone());
+        });
+        snap
+    }
+}
+
+impl StorageBackend for PartitionStore {
+    fn open() -> Self {
+        PartitionStore::new()
+    }
+
+    fn apply(&mut self, key: Bytes, record: Record) -> bool {
+        PartitionStore::apply(self, key, record)
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Record> {
+        PartitionStore::get(self, key).cloned()
+    }
+
+    fn len(&self) -> usize {
+        PartitionStore::len(self)
+    }
+
+    fn logical_bytes(&self) -> u64 {
+        PartitionStore::logical_bytes(self)
+    }
+
+    /// Oracle parity: the in-memory engine "transfers" exactly its logical
+    /// footprint, so measured and logical transfer bytes coincide.
+    fn physical_bytes(&self) -> u64 {
+        PartitionStore::logical_bytes(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Bytes, &Record)) {
+        for (key, record) in self.iter() {
+            f(key, record);
+        }
+    }
+
+    fn split_off(&mut self, hasher: KeyHasher, high: KeyRange) -> Self {
+        PartitionStore::split_off(self, hasher, high)
+    }
+
+    fn absorb(&mut self, other: Self) {
+        PartitionStore::absorb(self, other);
+    }
+
+    fn flush(&mut self) {}
+
+    fn snapshot(&self) -> PartitionStore {
+        self.clone()
+    }
+}
+
+impl StorageBackend for LsmStore {
+    fn open() -> Self {
+        LsmStore::create()
+    }
+
+    fn apply(&mut self, key: Bytes, record: Record) -> bool {
+        LsmStore::apply(self, key, record)
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Record> {
+        LsmStore::get(self, key)
+    }
+
+    fn len(&self) -> usize {
+        LsmStore::len(self)
+    }
+
+    fn logical_bytes(&self) -> u64 {
+        LsmStore::logical_bytes(self)
+    }
+
+    fn physical_bytes(&self) -> u64 {
+        LsmStore::physical_bytes(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Bytes, &Record)) {
+        LsmStore::for_each(self, f);
+    }
+
+    fn split_off(&mut self, hasher: KeyHasher, high: KeyRange) -> Self {
+        LsmStore::split_off(self, hasher, high)
+    }
+
+    fn absorb(&mut self, other: Self) {
+        LsmStore::absorb(self, other);
+    }
+
+    fn flush(&mut self) {
+        LsmStore::flush(self);
+    }
+
+    fn snapshot(&self) -> PartitionStore {
+        LsmStore::snapshot(self)
+    }
+}
+
+/// The store a replica actually carries: enum dispatch over the two
+/// engines, so `Replica` stays object-safe, `Clone`able, and free of viral
+/// generics.
+///
+/// `Clone` is cheap for both variants (an `Arc` bump) and **shares**
+/// storage with the original — that is intentional and used only by
+/// anti-entropy's converged fast path. Replication must go through
+/// [`ReplicaStore::fork`], which produces an independent copy and reports
+/// the bytes physically moved.
+#[derive(Debug, Clone)]
+pub enum ReplicaStore {
+    /// Copy-on-write in-memory engine.
+    Mem(CowPartitionStore),
+    /// Durable LSM engine behind a mutex (point reads need file seeks).
+    Lsm(Arc<Mutex<LsmStore>>),
+}
+
+impl Default for ReplicaStore {
+    fn default() -> Self {
+        ReplicaStore::Mem(CowPartitionStore::new())
+    }
+}
+
+impl ReplicaStore {
+    /// A fresh, empty store of the requested kind.
+    pub fn open(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::Mem => ReplicaStore::Mem(CowPartitionStore::new()),
+            BackendKind::Lsm => ReplicaStore::Lsm(Arc::new(Mutex::new(LsmStore::create()))),
+        }
+    }
+
+    /// Which engine this store runs on.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            ReplicaStore::Mem(_) => BackendKind::Mem,
+            ReplicaStore::Lsm(_) => BackendKind::Lsm,
+        }
+    }
+
+    /// Version-gated write; returns `true` when the store changed.
+    pub fn apply(&mut self, key: impl Into<Bytes>, record: Record) -> bool {
+        match self {
+            ReplicaStore::Mem(s) => s.make_mut().apply(key, record),
+            ReplicaStore::Lsm(s) => s.lock().apply(key, record),
+        }
+    }
+
+    /// The record stored under `key`, tombstones included.
+    pub fn get(&self, key: &[u8]) -> Option<Record> {
+        match self {
+            ReplicaStore::Mem(s) => s.get(key).cloned(),
+            ReplicaStore::Lsm(s) => s.lock().get(key),
+        }
+    }
+
+    /// The live value under `key` (`None` for absent keys and tombstones).
+    pub fn get_value(&self, key: &[u8]) -> Option<Bytes> {
+        match self {
+            ReplicaStore::Mem(s) => s.get_value(key).cloned(),
+            ReplicaStore::Lsm(s) => s.lock().get_value(key),
+        }
+    }
+
+    /// Number of keys (including tombstones).
+    pub fn len(&self) -> usize {
+        match self {
+            ReplicaStore::Mem(s) => s.len(),
+            ReplicaStore::Lsm(s) => s.lock().len(),
+        }
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical bytes stored — identical across backends for the same
+    /// write history; this is what the economic model prices and the CSV
+    /// reports.
+    pub fn logical_bytes(&self) -> u64 {
+        match self {
+            ReplicaStore::Mem(s) => s.logical_bytes(),
+            ReplicaStore::Lsm(s) => s.lock().logical_bytes(),
+        }
+    }
+
+    /// Bytes a transfer of this replica physically moves (logical bytes
+    /// for the mem oracle, WAL + SSTable file bytes for the LSM engine).
+    pub fn physical_bytes(&self) -> u64 {
+        match self {
+            ReplicaStore::Mem(s) => s.logical_bytes(),
+            ReplicaStore::Lsm(s) => s.lock().physical_bytes(),
+        }
+    }
+
+    /// True when both handles share the same underlying storage (the
+    /// anti-entropy converged fast path).
+    pub fn shares_storage_with(&self, other: &ReplicaStore) -> bool {
+        match (self, other) {
+            (ReplicaStore::Mem(a), ReplicaStore::Mem(b)) => a.shares_storage_with(b),
+            (ReplicaStore::Lsm(a), ReplicaStore::Lsm(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Merkle summary of the stored entries over `range`.
+    pub fn merkle_summary(
+        &self,
+        hasher: KeyHasher,
+        range: KeyRange,
+        buckets: usize,
+    ) -> MerkleSummary {
+        match self {
+            ReplicaStore::Mem(s) => MerkleSummary::build(s, hasher, range, buckets),
+            ReplicaStore::Lsm(s) => s.lock().merkle_summary(hasher, range, buckets),
+        }
+    }
+
+    /// Materializes the contents as an in-memory [`PartitionStore`].
+    pub fn snapshot(&self) -> PartitionStore {
+        match self {
+            ReplicaStore::Mem(s) => (**s).clone(),
+            ReplicaStore::Lsm(s) => s.lock().snapshot(),
+        }
+    }
+
+    /// Merges clones of this store's entries into `dst`.
+    pub fn merge_into(&self, dst: &mut PartitionStore) {
+        match self {
+            ReplicaStore::Mem(s) => dst.merge_from(s),
+            ReplicaStore::Lsm(s) => {
+                s.lock().for_each(&mut |key, record| {
+                    let _ = dst.apply(key.clone(), record.clone());
+                });
+            }
+        }
+    }
+
+    /// Merges clones of an in-memory store's entries into `self`.
+    pub fn merge_from(&mut self, src: &PartitionStore) {
+        match self {
+            ReplicaStore::Mem(s) => s.make_mut().merge_from(src),
+            ReplicaStore::Lsm(s) => s.lock().merge_from(src),
+        }
+    }
+
+    /// Merges `other` into `self`; version-dominant records win.
+    pub fn absorb(&mut self, other: ReplicaStore) {
+        match self {
+            ReplicaStore::Mem(s) => other.merge_into(s.make_mut()),
+            ReplicaStore::Lsm(s) => match other {
+                ReplicaStore::Lsm(o) => match Arc::try_unwrap(o) {
+                    Ok(m) => s.lock().absorb(m.into_inner()),
+                    Err(shared) => {
+                        let snap = shared.lock().snapshot();
+                        s.lock().merge_from(&snap);
+                    }
+                },
+                ReplicaStore::Mem(o) => s.lock().merge_from(&o),
+            },
+        }
+    }
+
+    /// Moves every key whose ring token falls in `high` into a returned
+    /// sibling store of the same kind.
+    pub fn split_off(&mut self, hasher: KeyHasher, high: KeyRange) -> ReplicaStore {
+        match self {
+            ReplicaStore::Mem(s) => {
+                let high_store = s.make_mut().split_off(hasher, high);
+                ReplicaStore::Mem(CowPartitionStore::from_store(high_store))
+            }
+            ReplicaStore::Lsm(s) => {
+                let high_store = s.lock().split_off(hasher, high);
+                ReplicaStore::Lsm(Arc::new(Mutex::new(high_store)))
+            }
+        }
+    }
+
+    /// An independent copy for replication, plus the physically measured
+    /// bytes the copy moved — `None` for the mem oracle (the caller prices
+    /// the transfer at the logical size, which is the same number).
+    pub fn fork(&self) -> (ReplicaStore, Option<u64>) {
+        match self {
+            ReplicaStore::Mem(s) => (ReplicaStore::Mem(s.clone()), None),
+            ReplicaStore::Lsm(s) => {
+                let (forked, copied) = s.lock().fork();
+                (
+                    ReplicaStore::Lsm(Arc::new(Mutex::new(forked))),
+                    Some(copied),
+                )
+            }
+        }
+    }
+
+    /// Physically measured bytes a migration of this replica moves —
+    /// `None` for the mem oracle (logical size applies).
+    pub fn measured_transfer(&self) -> Option<u64> {
+        match self {
+            ReplicaStore::Mem(_) => None,
+            ReplicaStore::Lsm(s) => Some(s.lock().physical_bytes()),
+        }
+    }
+
+    /// Makes all accepted writes durable (no-op for the mem engine).
+    pub fn flush(&mut self) {
+        if let ReplicaStore::Lsm(s) = self {
+            s.lock().flush();
+        }
+    }
+}
+
+/// The converged union anti-entropy distributes back to divergent
+/// replicas. For the mem backend it carries a shared COW handle, so all
+/// repaired replicas end up sharing one allocation (the fast-path
+/// invariant the next epoch's scan relies on); for the LSM backend each
+/// replica merges the union's entries into its own durable state, and
+/// convergence shows up as equal Merkle roots instead.
+#[derive(Debug)]
+pub enum AntiEntropyUnion {
+    /// Shared COW handle, installed wholesale into mem replicas.
+    Mem(CowPartitionStore),
+    /// Materialized union, merged entry-wise into LSM replicas.
+    Lsm(PartitionStore),
+}
+
+impl AntiEntropyUnion {
+    /// Wraps a materialized union for distribution under `kind`.
+    pub fn new(kind: BackendKind, union: PartitionStore) -> Self {
+        match kind {
+            BackendKind::Mem => AntiEntropyUnion::Mem(CowPartitionStore::from_store(union)),
+            BackendKind::Lsm => AntiEntropyUnion::Lsm(union),
+        }
+    }
+}
+
+impl ReplicaStore {
+    /// Repairs this replica from the anti-entropy union. Mem-to-mem
+    /// installs the shared handle; every other pairing merges entries
+    /// (version gating makes the content converge identically).
+    pub fn install_union(&mut self, union: &AntiEntropyUnion) {
+        match (&mut *self, union) {
+            (ReplicaStore::Mem(s), AntiEntropyUnion::Mem(u)) => *s = u.clone(),
+            (ReplicaStore::Mem(s), AntiEntropyUnion::Lsm(u)) => s.make_mut().merge_from(u),
+            (ReplicaStore::Lsm(s), AntiEntropyUnion::Mem(u)) => s.lock().merge_from(u),
+            (ReplicaStore::Lsm(s), AntiEntropyUnion::Lsm(u)) => s.lock().merge_from(u),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Version;
+    use skute_ring::Token;
+
+    fn seeded(kind: BackendKind) -> ReplicaStore {
+        let mut store = ReplicaStore::open(kind);
+        for i in 0..100u32 {
+            let key = format!("key-{i:04}").into_bytes();
+            let record = Record::put(
+                format!("value-{i}").into_bytes(),
+                Version::new(1 + u64::from(i % 4), 0, 0),
+            );
+            assert!(store.apply(key, record));
+        }
+        store
+    }
+
+    /// Satellite: ring split followed by absorb restores identical
+    /// contents, sizes, and Merkle summary — under both backends.
+    #[test]
+    fn split_then_absorb_round_trips_both_backends() {
+        let hasher = KeyHasher::default();
+        let full = KeyRange::full();
+        for kind in [BackendKind::Mem, BackendKind::Lsm] {
+            let mut store = seeded(kind);
+            let before_len = store.len();
+            let before_bytes = store.logical_bytes();
+            let before_summary = store.merkle_summary(hasher, full, 32);
+            let before_snapshot = store.snapshot();
+
+            let high = KeyRange::new(Token(0), Token(u64::MAX / 2));
+            let high_store = store.split_off(hasher, high);
+            assert_eq!(high_store.kind(), kind, "split preserves the backend");
+            assert!(
+                !high_store.is_empty() && !store.is_empty(),
+                "100 hashed keys land on both sides of a half-ring cut"
+            );
+            assert_eq!(
+                store.len() + high_store.len(),
+                before_len,
+                "{kind}: split conserves key count"
+            );
+            assert_eq!(
+                store.logical_bytes() + high_store.logical_bytes(),
+                before_bytes,
+                "{kind}: split conserves logical bytes"
+            );
+
+            store.absorb(high_store);
+            assert_eq!(store.len(), before_len, "{kind}: absorb restores count");
+            assert_eq!(
+                store.logical_bytes(),
+                before_bytes,
+                "{kind}: absorb restores bytes"
+            );
+            let after_summary = store.merkle_summary(hasher, full, 32);
+            assert_eq!(
+                before_summary, after_summary,
+                "{kind}: absorb restores the Merkle summary"
+            );
+            let after = store.snapshot();
+            for (key, record) in before_snapshot.iter() {
+                assert_eq!(after.get(key), Some(record), "{kind}: key {key:?}");
+            }
+        }
+    }
+
+    /// Satellite: `merge_from` an in-memory store round-trips under both
+    /// backends and converges to the same Merkle summary.
+    #[test]
+    fn merge_from_converges_both_backends() {
+        let hasher = KeyHasher::default();
+        let full = KeyRange::full();
+        let mut source = PartitionStore::new();
+        for i in 0..40u32 {
+            source.apply(
+                format!("m-{i}").into_bytes(),
+                Record::put(&b"merged"[..], Version::new(7, u64::from(i), 1)),
+            );
+        }
+        let reference = MerkleSummary::build(&source, hasher, full, 16);
+        for kind in [BackendKind::Mem, BackendKind::Lsm] {
+            let mut store = seeded(kind);
+            store.merge_from(&source);
+            let mut expected = store.snapshot();
+            expected.merge_from(&source); // idempotent: already merged
+            assert_eq!(expected.len(), store.len(), "{kind}");
+            // A store holding exactly the source's keys summarizes equally.
+            let mut only_source = ReplicaStore::open(kind);
+            only_source.merge_from(&source);
+            assert_eq!(
+                only_source.merkle_summary(hasher, full, 16),
+                reference,
+                "{kind}: merge_from reproduces the source summary"
+            );
+        }
+    }
+
+    #[test]
+    fn backends_agree_bit_for_bit_on_same_history() {
+        let hasher = KeyHasher::default();
+        let full = KeyRange::full();
+        let mem = seeded(BackendKind::Mem);
+        let lsm = seeded(BackendKind::Lsm);
+        assert_eq!(mem.len(), lsm.len());
+        assert_eq!(mem.logical_bytes(), lsm.logical_bytes());
+        assert_eq!(
+            mem.merkle_summary(hasher, full, 32),
+            lsm.merkle_summary(hasher, full, 32)
+        );
+        // Oracle parity: mem measures transfers at exactly logical size.
+        assert_eq!(mem.physical_bytes(), mem.logical_bytes());
+        let (fork, measured) = mem.fork();
+        assert!(measured.is_none());
+        assert!(fork.shares_storage_with(&mem), "mem fork is a COW share");
+        let (lsm_fork, lsm_measured) = lsm.fork();
+        assert_eq!(lsm_measured, Some(lsm.physical_bytes()));
+        assert!(!lsm_fork.shares_storage_with(&lsm), "lsm fork is a copy");
+        assert_eq!(lsm_fork.logical_bytes(), lsm.logical_bytes());
+    }
+
+    #[test]
+    fn install_union_converges_all_pairings() {
+        let hasher = KeyHasher::default();
+        let full = KeyRange::full();
+        let mut union = PartitionStore::new();
+        for i in 0..30u32 {
+            union.apply(
+                format!("u-{i}").into_bytes(),
+                Record::put(&b"u"[..], Version::new(3, u64::from(i), 0)),
+            );
+        }
+        let reference = MerkleSummary::build(&union, hasher, full, 16);
+        for kind in [BackendKind::Mem, BackendKind::Lsm] {
+            let wrapped = AntiEntropyUnion::new(kind, union.clone());
+            for replica_kind in [BackendKind::Mem, BackendKind::Lsm] {
+                let mut replica = ReplicaStore::open(replica_kind);
+                replica.install_union(&wrapped);
+                assert_eq!(
+                    replica.merkle_summary(hasher, full, 16),
+                    reference,
+                    "union {kind} into replica {replica_kind}"
+                );
+            }
+        }
+        // Mem-to-mem install shares the union's allocation (fast path).
+        let wrapped = AntiEntropyUnion::new(BackendKind::Mem, union.clone());
+        let mut a = ReplicaStore::open(BackendKind::Mem);
+        let mut b = ReplicaStore::open(BackendKind::Mem);
+        a.install_union(&wrapped);
+        b.install_union(&wrapped);
+        assert!(a.shares_storage_with(&b));
+    }
+
+    #[test]
+    fn backend_kind_parses_round_trip() {
+        for kind in [BackendKind::Mem, BackendKind::Lsm] {
+            assert_eq!(kind.as_str().parse::<BackendKind>(), Ok(kind));
+        }
+        assert!("rocksdb".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::Mem);
+    }
+}

@@ -1,7 +1,7 @@
 //! # skute-store
 //!
-//! The key-value storage substrate of Skute: versioned records, a
-//! per-partition in-memory engine with byte accounting, and Dynamo-style
+//! The key-value storage substrate of Skute: versioned records, pluggable
+//! per-replica storage engines with byte accounting, and Dynamo-style
 //! quorum read/write helpers.
 //!
 //! The paper builds on a Dynamo-like design (§I, ref. \[5\]): data is
@@ -16,24 +16,42 @@
 //!   (simulated payloads can weigh 500 KB for capacity accounting while
 //!   carrying no actual bytes, which is how the saturation experiment of
 //!   Fig. 5 scales on a laptop),
-//! * [`PartitionStore`] — an ordered in-memory store for one replica of one
-//!   partition with precise size accounting and ring-aware splitting,
+//! * [`StorageBackend`] — the trait boundary every per-replica engine
+//!   fulfils: version-gated `apply`, point `get`, ordered iteration,
+//!   ring-aware `split_off`/`absorb`, `flush`, and *two* byte-accounting
+//!   hooks — `logical_bytes` (what the economic model prices; bit-identical
+//!   across engines) and `physical_bytes` (what a transfer really moves),
+//! * [`PartitionStore`] — the in-memory engine: the fast default and the
+//!   bit-exact oracle (its physical footprint *is* its logical footprint),
+//! * [`LsmStore`] — the durable engine: WAL append + replay, `BTreeMap`
+//!   memtable, size-triggered SSTable flushes with sparse indexes, a
+//!   newest-first leveled read path, and size-tiered compaction,
+//! * [`ReplicaStore`] — the enum-dispatched store a replica carries
+//!   ([`BackendKind::Mem`] or [`BackendKind::Lsm`]), with explicit
+//!   [`ReplicaStore::fork`] for replication that reports measured bytes,
 //! * [`quorum`] — N/R/W arithmetic and response merging,
-//! * [`SharedPartitionStore`] — a thread-safe wrapper for concurrent use.
+//! * [`SharedStore`] — a thread-safe wrapper generic over the backend
+//!   ([`SharedPartitionStore`] is the in-memory alias),
+//! * [`merkle`] — bucketed Merkle summaries for anti-entropy, buildable
+//!   incrementally from any backend via [`MerkleBuilder`].
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod engine;
 pub mod error;
+pub mod lsm;
 pub mod merkle;
 pub mod quorum;
 pub mod value;
 
 mod shared;
 
+pub use backend::{AntiEntropyUnion, BackendKind, ReplicaStore, StorageBackend};
 pub use engine::PartitionStore;
 pub use error::StoreError;
-pub use merkle::{diff_buckets, MerkleSummary};
+pub use lsm::LsmStore;
+pub use merkle::{diff_buckets, MerkleBuilder, MerkleSummary};
 pub use quorum::QuorumConfig;
-pub use shared::{CowPartitionStore, SharedPartitionStore};
+pub use shared::{CowPartitionStore, SharedPartitionStore, SharedStore};
 pub use value::{Record, Version};

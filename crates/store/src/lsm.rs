@@ -1,0 +1,780 @@
+//! `LsmStore`: a durable log-structured merge engine for one replica of
+//! one partition.
+//!
+//! The in-memory [`PartitionStore`](crate::PartitionStore) is the fast
+//! default and bit-exact oracle of the simulation; this engine is the
+//! second implementation behind the [`StorageBackend`](crate::StorageBackend)
+//! trait, and the one that makes the paper's data-transfer costs real:
+//! replicating or migrating a replica moves the engine's actual on-disk
+//! bytes, not a logical-size constant.
+//!
+//! # Layout
+//!
+//! Each store owns one directory:
+//!
+//! * `wal.log` — the write-ahead log. Every accepted
+//!   [`apply`](LsmStore::apply) appends one encoded entry and flushes it,
+//!   so a crash after the append is recoverable by replay.
+//! * `NNNNNNNN.sst` — immutable sorted runs (SSTables), numbered in
+//!   creation order. Each holds the entries of one memtable flush (or one
+//!   compaction), in key order, with an in-memory sparse index (one
+//!   `(key, offset)` pin every [`INDEX_EVERY`] entries) rebuilt on open.
+//!
+//! # Write and read paths
+//!
+//! Writes are version-gated exactly like the in-memory engine: the current
+//! record is looked up first, a dominated version is rejected, an accepted
+//! record is WAL-appended and inserted into the `BTreeMap` memtable. When
+//! the memtable's encoded size crosses the flush threshold it is written
+//! out as a fresh SSTable and the WAL is truncated (its entries are now
+//! durable in the run). Reads are leveled: memtable first, then SSTables
+//! newest-to-oldest — the first hit wins, because an entry only ever lands
+//! in the store if its version dominated everything older at write time.
+//! Once more than [`MAX_TABLES`] runs of the tier accumulate, a size-tiered
+//! compaction collapses them into a single run.
+//!
+//! The directory is created lazily on the first accepted write, so the
+//! thousands of empty replica stores of a cold simulation cost no
+//! filesystem traffic at all. I/O failures are simulation-fatal and panic;
+//! [`crate::StoreError`] stays `Clone + Eq` and carries no I/O variants.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use skute_ring::{KeyHasher, KeyRange};
+
+use crate::engine::PartitionStore;
+use crate::value::{Record, Version};
+
+/// WAL file name within a store directory.
+const WAL_NAME: &str = "wal.log";
+
+/// One sparse-index pin per this many SSTable entries.
+const INDEX_EVERY: usize = 16;
+
+/// Size-tiered compaction trigger: more than this many runs collapse into
+/// one.
+const MAX_TABLES: usize = 4;
+
+/// Default memtable flush threshold (encoded bytes).
+pub const DEFAULT_FLUSH_THRESHOLD: u64 = 64 * 1024;
+
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, process-unique store directory under the system temp dir.
+pub fn fresh_store_dir() -> PathBuf {
+    let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join(format!("skute-lsm-{}", std::process::id()))
+        .join(format!("store-{seq:08}"))
+}
+
+/// Logical weight of one entry — identical arithmetic to the in-memory
+/// engine's accounting, so the two backends agree bit-for-bit.
+fn entry_size(key: &[u8], record: &Record) -> u64 {
+    key.len() as u64 + record.logical_size
+}
+
+/// Encoded length of one WAL/SSTable entry.
+fn encoded_len(key: &[u8], record: &Record) -> u64 {
+    let value_len = record.value.as_ref().map_or(0, |v| v.len());
+    (4 + key.len() + 1 + 4 + value_len + 8 + 8 + 4 + 8) as u64
+}
+
+/// Appends one encoded entry to `buf`:
+/// `key_len u32 | key | live u8 | value_len u32 | value | epoch u64 |
+/// seq u64 | writer u32 | logical_size u64` (all little-endian).
+fn encode_entry(buf: &mut Vec<u8>, key: &[u8], record: &Record) {
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key);
+    match &record.value {
+        Some(v) => {
+            buf.push(1);
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            buf.extend_from_slice(v);
+        }
+        None => {
+            buf.push(0);
+            buf.extend_from_slice(&0u32.to_le_bytes());
+        }
+    }
+    buf.extend_from_slice(&record.version.epoch.to_le_bytes());
+    buf.extend_from_slice(&record.version.seq.to_le_bytes());
+    buf.extend_from_slice(&record.version.writer.to_le_bytes());
+    buf.extend_from_slice(&record.logical_size.to_le_bytes());
+}
+
+/// Reads the 4-byte entry header, distinguishing clean EOF (`None`) from a
+/// truncated file (panic).
+fn read_header(r: &mut impl Read) -> Option<u32> {
+    let mut buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut buf[got..]) {
+            Ok(0) if got == 0 => return None,
+            Ok(0) => panic!("lsm: truncated entry header"),
+            Ok(n) => got += n,
+            Err(e) => panic!("lsm: read failed: {e}"),
+        }
+    }
+    Some(u32::from_le_bytes(buf))
+}
+
+fn read_exact_buf(r: &mut impl Read, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).expect("lsm: truncated entry body");
+    buf
+}
+
+fn read_u32(r: &mut impl Read) -> u32 {
+    u32::from_le_bytes(read_exact_buf(r, 4).try_into().unwrap())
+}
+
+fn read_u64(r: &mut impl Read) -> u64 {
+    u64::from_le_bytes(read_exact_buf(r, 8).try_into().unwrap())
+}
+
+/// Decodes one entry, or `None` at clean EOF.
+fn read_entry(r: &mut impl Read) -> Option<(Bytes, Record)> {
+    let key_len = read_header(r)? as usize;
+    let key = Bytes::from(read_exact_buf(r, key_len));
+    let live = read_exact_buf(r, 1)[0] != 0;
+    let value_len = read_u32(r) as usize;
+    let value = live.then(|| Bytes::from(read_exact_buf(r, value_len)));
+    let epoch = read_u64(r);
+    let seq = read_u64(r);
+    let writer = read_u32(r);
+    let logical_size = read_u64(r);
+    Some((
+        key,
+        Record {
+            value,
+            version: Version::new(epoch, seq, writer),
+            logical_size,
+        },
+    ))
+}
+
+/// One immutable sorted run on disk plus its in-memory sparse index.
+#[derive(Debug)]
+struct SsTable {
+    path: PathBuf,
+    file: File,
+    /// `(first key of block, byte offset)` every [`INDEX_EVERY`] entries;
+    /// always pins the run's first entry.
+    index: Vec<(Bytes, u64)>,
+    bytes: u64,
+}
+
+impl SsTable {
+    /// Opens a run, scanning it once to rebuild the sparse index.
+    fn open(path: PathBuf) -> Self {
+        let file = File::open(&path).expect("lsm: open sstable");
+        let bytes = file.metadata().expect("lsm: stat sstable").len();
+        let mut index = Vec::new();
+        let mut reader = BufReader::new(&file);
+        let mut offset = 0u64;
+        let mut n = 0usize;
+        while let Some((key, record)) = read_entry(&mut reader) {
+            if n % INDEX_EVERY == 0 {
+                index.push((key.clone(), offset));
+            }
+            offset += encoded_len(&key, &record);
+            n += 1;
+        }
+        Self {
+            path,
+            file,
+            index,
+            bytes,
+        }
+    }
+
+    /// Point lookup: seek to the sparse-index floor and scan the block.
+    fn get(&self, key: &[u8]) -> Option<Record> {
+        let at = self.index.partition_point(|(k, _)| k.as_ref() <= key);
+        if at == 0 {
+            return None; // key sorts before the run's smallest key
+        }
+        let start = self.index[at - 1].1;
+        let mut reader = BufReader::new(&self.file);
+        reader
+            .seek(SeekFrom::Start(start))
+            .expect("lsm: seek sstable");
+        while let Some((k, record)) = read_entry(&mut reader) {
+            match k.as_ref().cmp(key) {
+                std::cmp::Ordering::Equal => return Some(record),
+                std::cmp::Ordering::Greater => return None,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        None
+    }
+
+    /// Full scan in key order.
+    fn for_each(&self, f: &mut dyn FnMut(Bytes, Record)) {
+        let mut reader = BufReader::new(&self.file);
+        reader.seek(SeekFrom::Start(0)).expect("lsm: seek sstable");
+        while let Some((k, record)) = read_entry(&mut reader) {
+            f(k, record);
+        }
+    }
+}
+
+/// A durable log-structured store for one replica of one partition: WAL +
+/// `BTreeMap` memtable + sorted runs with sparse indexes. See the module
+/// docs for the file layout and the read/write paths.
+///
+/// Accounting ([`LsmStore::logical_bytes`], [`LsmStore::len`]) follows the
+/// in-memory engine's arithmetic exactly; [`LsmStore::physical_bytes`]
+/// additionally reports the real on-disk footprint (WAL plus runs) that
+/// replication and migration actually move.
+#[derive(Debug)]
+pub struct LsmStore {
+    dir: PathBuf,
+    /// False until the first accepted write touches the filesystem.
+    initialized: bool,
+    wal: Option<File>,
+    wal_bytes: u64,
+    memtable: BTreeMap<Bytes, Record>,
+    /// Encoded size of the memtable (flush trigger).
+    memtable_bytes: u64,
+    /// Sorted runs, oldest to newest.
+    tables: Vec<SsTable>,
+    next_table_seq: u64,
+    logical_bytes: u64,
+    key_count: usize,
+    flush_threshold: u64,
+}
+
+impl LsmStore {
+    /// A fresh, empty store in a process-unique temp directory. No
+    /// filesystem state exists until the first accepted write.
+    pub fn create() -> Self {
+        Self::create_at(fresh_store_dir())
+    }
+
+    /// A fresh, empty store rooted at `dir` (created lazily).
+    pub fn create_at(dir: PathBuf) -> Self {
+        Self {
+            dir,
+            initialized: false,
+            wal: None,
+            wal_bytes: 0,
+            memtable: BTreeMap::new(),
+            memtable_bytes: 0,
+            tables: Vec::new(),
+            next_table_seq: 0,
+            logical_bytes: 0,
+            key_count: 0,
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+        }
+    }
+
+    /// Opens the store persisted at `dir`: loads every sorted run, replays
+    /// the WAL into the memtable, and recomputes exact accounting. A
+    /// missing directory opens as a fresh empty store — crash recovery and
+    /// cold creation share one entry point.
+    pub fn open(dir: PathBuf) -> Self {
+        if !dir.is_dir() {
+            return Self::create_at(dir);
+        }
+        let mut seqs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir).expect("lsm: read store directory") {
+            let name = entry.expect("lsm: read dir entry").file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".sst") {
+                if let Ok(seq) = stem.parse::<u64>() {
+                    seqs.push(seq);
+                }
+            }
+        }
+        seqs.sort_unstable();
+        let tables: Vec<SsTable> = seqs
+            .iter()
+            .map(|seq| SsTable::open(dir.join(format!("{seq:08}.sst"))))
+            .collect();
+        let next_table_seq = seqs.last().map_or(0, |s| s + 1);
+        let mut memtable = BTreeMap::new();
+        let mut wal_bytes = 0u64;
+        let wal_path = dir.join(WAL_NAME);
+        if wal_path.is_file() {
+            wal_bytes = fs::metadata(&wal_path).expect("lsm: stat WAL").len();
+            let mut reader =
+                BufReader::new(File::open(&wal_path).expect("lsm: open WAL for replay"));
+            while let Some((key, record)) = read_entry(&mut reader) {
+                // Entries were version-gated when first written, so later
+                // WAL entries for a key always dominate earlier ones.
+                memtable.insert(key, record);
+            }
+        }
+        let memtable_bytes = memtable.iter().map(|(k, r)| encoded_len(k, r)).sum();
+        let mut store = Self {
+            dir,
+            initialized: true,
+            wal: None,
+            wal_bytes,
+            memtable,
+            memtable_bytes,
+            tables,
+            next_table_seq,
+            logical_bytes: 0,
+            key_count: 0,
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+        };
+        let merged = store.merged();
+        store.key_count = merged.len();
+        store.logical_bytes = merged.iter().map(|(k, r)| entry_size(k, r)).sum();
+        store
+    }
+
+    /// Overrides the memtable flush threshold (tests exercise the SSTable
+    /// and compaction paths with tiny thresholds).
+    pub fn set_flush_threshold(&mut self, bytes: u64) {
+        self.flush_threshold = bytes.max(1);
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Number of keys (including tombstones).
+    pub fn len(&self) -> usize {
+        self.key_count
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.key_count == 0
+    }
+
+    /// Logical bytes stored (keys + logical record sizes) — identical
+    /// arithmetic to [`PartitionStore::logical_bytes`].
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Real on-disk bytes: the WAL plus every sorted run. This is the
+    /// quantity a replica transfer physically streams.
+    pub fn physical_bytes(&self) -> u64 {
+        self.wal_bytes + self.tables.iter().map(|t| t.bytes).sum::<u64>()
+    }
+
+    /// Number of sorted runs currently on disk.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn ensure_dir(&mut self) {
+        if !self.initialized {
+            fs::create_dir_all(&self.dir).expect("lsm: create store directory");
+            self.initialized = true;
+        }
+    }
+
+    fn wal_handle(&mut self) -> &mut File {
+        self.ensure_dir();
+        if self.wal.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(WAL_NAME))
+                .expect("lsm: open WAL");
+            self.wal = Some(file);
+        }
+        self.wal.as_mut().expect("just opened")
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<Record> {
+        if let Some(r) = self.memtable.get(key) {
+            return Some(r.clone());
+        }
+        // Newest run first; the first hit dominates everything older.
+        for table in self.tables.iter().rev() {
+            if let Some(r) = table.get(key) {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Applies `record` under `key` if its version dominates the stored
+    /// one; an accepted write is WAL-durable before this returns. Returns
+    /// `true` when the store changed.
+    pub fn apply(&mut self, key: impl Into<Bytes>, record: Record) -> bool {
+        let key = key.into();
+        match self.lookup(&key) {
+            Some(existing) => {
+                if record.version <= existing.version {
+                    return false;
+                }
+                self.logical_bytes -= entry_size(&key, &existing);
+            }
+            None => self.key_count += 1,
+        }
+        self.logical_bytes += entry_size(&key, &record);
+        let mut buf = Vec::with_capacity(encoded_len(&key, &record) as usize);
+        encode_entry(&mut buf, &key, &record);
+        let wal = self.wal_handle();
+        wal.write_all(&buf).expect("lsm: WAL append");
+        wal.flush().expect("lsm: WAL flush");
+        self.wal_bytes += buf.len() as u64;
+        if let Some(prev) = self.memtable.get(&key) {
+            self.memtable_bytes -= encoded_len(&key, prev);
+        }
+        self.memtable_bytes += buf.len() as u64;
+        self.memtable.insert(key, record);
+        if self.memtable_bytes >= self.flush_threshold {
+            self.flush_memtable();
+        }
+        true
+    }
+
+    /// The record stored under `key`, tombstones included.
+    pub fn get(&self, key: &[u8]) -> Option<Record> {
+        self.lookup(key)
+    }
+
+    /// The live value under `key` (`None` for absent keys *and* tombstones).
+    pub fn get_value(&self, key: &[u8]) -> Option<Bytes> {
+        self.lookup(key).and_then(|r| r.value)
+    }
+
+    /// Flushes the memtable to a fresh sorted run and truncates the WAL.
+    pub fn flush(&mut self) {
+        self.flush_memtable();
+    }
+
+    fn flush_memtable(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        self.ensure_dir();
+        let seq = self.next_table_seq;
+        self.next_table_seq += 1;
+        let path = self.dir.join(format!("{seq:08}.sst"));
+        Self::write_run(&path, self.memtable.iter());
+        self.tables.push(SsTable::open(path));
+        self.memtable.clear();
+        self.memtable_bytes = 0;
+        // The flushed entries are durable in the run: truncate the WAL.
+        self.wal = None;
+        let _ = File::create(self.dir.join(WAL_NAME)).expect("lsm: truncate WAL");
+        self.wal_bytes = 0;
+        self.maybe_compact();
+    }
+
+    fn write_run<'a>(path: &PathBuf, entries: impl Iterator<Item = (&'a Bytes, &'a Record)>) {
+        let mut writer = BufWriter::new(File::create(path).expect("lsm: create sstable"));
+        let mut buf = Vec::new();
+        for (key, record) in entries {
+            buf.clear();
+            encode_entry(&mut buf, key, record);
+            writer.write_all(&buf).expect("lsm: write sstable");
+        }
+        writer.flush().expect("lsm: flush sstable");
+    }
+
+    /// Size-tiered compaction: once more than [`MAX_TABLES`] runs
+    /// accumulate, the whole tier collapses into a single run (newest
+    /// occurrence of a key wins — which is the version-dominant one, since
+    /// every write was gated on entry).
+    fn maybe_compact(&mut self) {
+        if self.tables.len() <= MAX_TABLES {
+            return;
+        }
+        let mut merged: BTreeMap<Bytes, Record> = BTreeMap::new();
+        for table in &self.tables {
+            table.for_each(&mut |k, r| {
+                merged.insert(k, r);
+            });
+        }
+        let seq = self.next_table_seq;
+        self.next_table_seq += 1;
+        let path = self.dir.join(format!("{seq:08}.sst"));
+        Self::write_run(&path, merged.iter());
+        for table in self.tables.drain(..) {
+            let _ = fs::remove_file(&table.path);
+        }
+        self.tables.push(SsTable::open(path));
+    }
+
+    /// The merged view of all levels, in key order.
+    fn merged(&self) -> BTreeMap<Bytes, Record> {
+        let mut merged = BTreeMap::new();
+        for table in &self.tables {
+            table.for_each(&mut |k, r| {
+                merged.insert(k, r);
+            });
+        }
+        for (k, r) in &self.memtable {
+            merged.insert(k.clone(), r.clone());
+        }
+        merged
+    }
+
+    /// Visits every entry in key order.
+    pub fn for_each(&self, f: &mut dyn FnMut(&Bytes, &Record)) {
+        for (k, r) in self.merged().iter() {
+            f(k, r);
+        }
+    }
+
+    /// Materializes the store's contents as an in-memory
+    /// [`PartitionStore`] (anti-entropy unions, oracle comparisons).
+    pub fn snapshot(&self) -> PartitionStore {
+        let mut snap = PartitionStore::new();
+        for (k, r) in self.merged() {
+            let applied = snap.apply(k, r);
+            debug_assert!(applied, "merged view holds one record per key");
+        }
+        snap
+    }
+
+    /// Splits off every key whose ring token falls inside `high` into a
+    /// fresh store, compaction-style: both halves are rewritten from the
+    /// merged view, so each ends up with one clean run's worth of state.
+    pub fn split_off(&mut self, hasher: KeyHasher, high: KeyRange) -> LsmStore {
+        let merged = self.merged();
+        self.reset_storage();
+        let mut high_store = LsmStore::create();
+        high_store.set_flush_threshold(self.flush_threshold);
+        for (key, record) in merged {
+            if high.contains(hasher.token(&key)) {
+                high_store.apply(key, record);
+            } else {
+                self.apply(key, record);
+            }
+        }
+        high_store
+    }
+
+    /// Deletes all on-disk state and zeroes the accounting (the rewrite
+    /// half of [`LsmStore::split_off`]).
+    fn reset_storage(&mut self) {
+        for table in self.tables.drain(..) {
+            let _ = fs::remove_file(&table.path);
+        }
+        self.wal = None;
+        if self.initialized {
+            let _ = fs::remove_file(self.dir.join(WAL_NAME));
+        }
+        self.wal_bytes = 0;
+        self.memtable.clear();
+        self.memtable_bytes = 0;
+        self.logical_bytes = 0;
+        self.key_count = 0;
+    }
+
+    /// Merges every entry of `other` into `self`; version-dominant records
+    /// win.
+    pub fn absorb(&mut self, other: LsmStore) {
+        for (key, record) in other.merged() {
+            self.apply(key, record);
+        }
+    }
+
+    /// Merges clones of an in-memory store's entries into `self`.
+    pub fn merge_from(&mut self, other: &PartitionStore) {
+        for (key, record) in other.iter() {
+            self.apply(key.clone(), record.clone());
+        }
+    }
+
+    /// Replicates this store into a fresh directory by physically copying
+    /// the WAL and every sorted run, then opening the copy (which replays
+    /// the WAL — the same code path crash recovery takes). Returns the new
+    /// store and the **measured** bytes actually copied; this is the real
+    /// data-transfer volume of a replication.
+    pub fn fork(&self) -> (LsmStore, u64) {
+        let dst_dir = fresh_store_dir();
+        if !self.initialized {
+            return (LsmStore::create_at(dst_dir), 0);
+        }
+        fs::create_dir_all(&dst_dir).expect("lsm: create fork directory");
+        let mut copied = 0u64;
+        for table in &self.tables {
+            let name = table.path.file_name().expect("sstable has a file name");
+            copied += fs::copy(&table.path, dst_dir.join(name)).expect("lsm: copy sstable");
+        }
+        let wal_path = self.dir.join(WAL_NAME);
+        if wal_path.is_file() {
+            copied += fs::copy(&wal_path, dst_dir.join(WAL_NAME)).expect("lsm: copy WAL");
+        }
+        let mut fork = LsmStore::open(dst_dir);
+        fork.set_flush_threshold(self.flush_threshold);
+        (fork, copied)
+    }
+}
+
+impl Drop for LsmStore {
+    fn drop(&mut self) {
+        if self.initialized {
+            // Best-effort cleanup; a leaked temp dir is harmless.
+            let _ = fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skute_ring::Token;
+
+    fn rec(v: &[u8], version: u64) -> Record {
+        Record::put(v.to_vec(), Version::new(version, 0, 0))
+    }
+
+    /// Applies the same operation stream to both engines and asserts the
+    /// observable state matches bit-for-bit.
+    fn assert_matches_oracle(ops: &[(&[u8], Record)]) {
+        let mut mem = PartitionStore::new();
+        let mut lsm = LsmStore::create();
+        lsm.set_flush_threshold(64); // force frequent flushes + compactions
+        for (key, record) in ops {
+            let a = mem.apply(key.to_vec(), record.clone());
+            let b = lsm.apply(key.to_vec(), record.clone());
+            assert_eq!(a, b, "apply gating diverged on key {key:?}");
+        }
+        assert_eq!(mem.len(), lsm.len());
+        assert_eq!(mem.logical_bytes(), lsm.logical_bytes());
+        for (key, record) in mem.iter() {
+            assert_eq!(lsm.get(key).as_ref(), Some(record));
+        }
+        let snap = lsm.snapshot();
+        assert_eq!(snap.len(), mem.len());
+        assert_eq!(snap.logical_bytes(), mem.logical_bytes());
+    }
+
+    #[test]
+    fn apply_get_matches_memory_engine() {
+        let ops: Vec<(&[u8], Record)> = vec![
+            (b"a", rec(b"1", 1)),
+            (b"b", rec(b"22", 1)),
+            (b"a", rec(b"333", 2)),
+            (b"a", rec(b"stale", 1)),                         // rejected
+            (b"c", Record::tombstone(Version::new(1, 0, 0))), // tombstone
+            (b"b", Record::tombstone(Version::new(2, 0, 0))),
+        ];
+        assert_matches_oracle(&ops);
+    }
+
+    #[test]
+    fn many_keys_cross_flush_and_compaction() {
+        let mut ops = Vec::new();
+        let keys: Vec<Vec<u8>> = (0..300u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            ops.push((k.as_slice(), rec(b"payload-bytes", 1 + (i % 3) as u64)));
+        }
+        // Re-writes with higher versions land on top of flushed runs.
+        for k in keys.iter().step_by(7) {
+            ops.push((k.as_slice(), rec(b"rewritten", 9)));
+        }
+        let mut mem = PartitionStore::new();
+        let mut lsm = LsmStore::create();
+        lsm.set_flush_threshold(256);
+        for (key, record) in &ops {
+            assert_eq!(
+                mem.apply(key.to_vec(), record.clone()),
+                lsm.apply(key.to_vec(), record.clone())
+            );
+        }
+        assert!(lsm.table_count() >= 1, "flushes produced sorted runs");
+        assert!(
+            lsm.table_count() <= MAX_TABLES + 1,
+            "compaction bounds the tier"
+        );
+        assert_eq!(mem.logical_bytes(), lsm.logical_bytes());
+        for (key, record) in mem.iter() {
+            assert_eq!(lsm.get(key).as_ref(), Some(record), "key {key:?}");
+        }
+        assert!(lsm.physical_bytes() > 0);
+    }
+
+    #[test]
+    fn split_off_matches_memory_engine() {
+        let hasher = KeyHasher::default();
+        let mut mem = PartitionStore::new();
+        let mut lsm = LsmStore::create();
+        lsm.set_flush_threshold(128);
+        for i in 0..120u32 {
+            let key = i.to_le_bytes().to_vec();
+            mem.apply(key.clone(), rec(b"v", 1));
+            lsm.apply(key, rec(b"v", 1));
+        }
+        let high = KeyRange::new(Token(1 << 62), Token(u64::MAX / 2));
+        let mem_high = mem.split_off(hasher, high);
+        let lsm_high = lsm.split_off(hasher, high);
+        assert_eq!(mem.len(), lsm.len());
+        assert_eq!(mem_high.len(), lsm_high.len());
+        assert_eq!(mem.logical_bytes(), lsm.logical_bytes());
+        assert_eq!(mem_high.logical_bytes(), lsm_high.logical_bytes());
+        for (key, record) in mem_high.iter() {
+            assert_eq!(lsm_high.get(key).as_ref(), Some(record));
+        }
+    }
+
+    #[test]
+    fn wal_replay_recovers_after_kill() {
+        let dir = fresh_store_dir();
+        let mut store = LsmStore::create_at(dir.clone());
+        store.set_flush_threshold(128);
+        let mut oracle = PartitionStore::new();
+        for i in 0..40u32 {
+            let key = i.to_le_bytes().to_vec();
+            let record = rec(b"crash-me", 1);
+            oracle.apply(key.clone(), record.clone());
+            store.apply(key, record);
+        }
+        // Newer versions sit in the WAL on top of flushed runs.
+        for i in 0..10u32 {
+            let key = i.to_le_bytes().to_vec();
+            let record = rec(b"wal-only", 5);
+            oracle.apply(key.clone(), record.clone());
+            store.apply(key, record);
+        }
+        let expected_bytes = store.logical_bytes();
+        // Simulate kill -9: no graceful close, no Drop cleanup — the only
+        // durable state is what apply() already flushed.
+        std::mem::forget(store);
+        let recovered = LsmStore::open(dir);
+        assert_eq!(recovered.len(), oracle.len());
+        assert_eq!(recovered.logical_bytes(), expected_bytes);
+        for (key, record) in oracle.iter() {
+            assert_eq!(recovered.get(key).as_ref(), Some(record), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn fork_copies_real_bytes_and_matches_source() {
+        let mut store = LsmStore::create();
+        store.set_flush_threshold(128);
+        for i in 0..60u32 {
+            store.apply(i.to_le_bytes().to_vec(), rec(b"forked-payload", 1));
+        }
+        let (fork, copied) = store.fork();
+        assert_eq!(copied, store.physical_bytes(), "fork streams every byte");
+        assert!(copied > 0);
+        assert_eq!(fork.len(), store.len());
+        assert_eq!(fork.logical_bytes(), store.logical_bytes());
+        for (key, record) in store.snapshot().iter() {
+            assert_eq!(fork.get(key).as_ref(), Some(record));
+        }
+    }
+
+    #[test]
+    fn empty_store_touches_no_filesystem() {
+        let dir = fresh_store_dir();
+        let store = LsmStore::create_at(dir.clone());
+        assert!(!dir.exists(), "lazy init: no write, no directory");
+        assert_eq!(store.physical_bytes(), 0);
+        let (fork, copied) = store.fork();
+        assert_eq!(copied, 0);
+        assert!(fork.is_empty());
+    }
+}

@@ -10,10 +10,14 @@
 //! token-range buckets (leaves) plus a root digest; [`diff_buckets`] finds
 //! the buckets two summaries disagree on, and
 //! [`PartitionStore::absorb`](crate::PartitionStore::absorb) repairs them.
+//! [`MerkleBuilder`] is the incremental form: any storage backend feeds it
+//! one entry at a time, so a summary never requires materializing an
+//! in-memory store first.
 
 use skute_ring::{KeyHasher, KeyRange, Token};
 
 use crate::engine::PartitionStore;
+use crate::value::Record;
 
 /// A bucketed Merkle summary of a partition store over a key range.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +51,57 @@ fn entry_digest(key: &[u8], version: (u64, u64, u32), logical_size: u64) -> u64 
     h ^ (h >> 33)
 }
 
+/// Incremental [`MerkleSummary`] construction: feed entries one at a time
+/// (in any order — bucket accumulation is order-independent) and
+/// [`finish`](MerkleBuilder::finish). This is how non-in-memory backends
+/// summarize themselves without building a [`PartitionStore`] copy.
+#[derive(Debug, Clone)]
+pub struct MerkleBuilder {
+    hasher: KeyHasher,
+    range: KeyRange,
+    acc: Vec<u64>,
+}
+
+impl MerkleBuilder {
+    /// A builder over `range` with `buckets` equal token slices.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn new(hasher: KeyHasher, range: KeyRange, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            hasher,
+            range,
+            acc: vec![0u64; buckets],
+        }
+    }
+
+    /// Folds one entry into its bucket; entries outside the range are
+    /// ignored.
+    pub fn add(&mut self, key: &[u8], record: &Record) {
+        let token = self.hasher.token(key);
+        if !self.range.contains(token) {
+            return;
+        }
+        let buckets = self.acc.len();
+        let offset = u128::from(token.0.wrapping_sub(self.range.start.0).wrapping_sub(1));
+        let idx = ((offset * buckets as u128) / self.range.width()) as usize;
+        let idx = idx.min(buckets - 1);
+        let v = record.version;
+        self.acc[idx] ^= entry_digest(key, (v.epoch, v.seq, v.writer), record.logical_size);
+    }
+
+    /// Seals the buckets into a summary.
+    pub fn finish(self) -> MerkleSummary {
+        let root = self.acc.iter().fold(0xdead_beefu64, |a, &b| mix(a, b));
+        MerkleSummary {
+            range: self.range,
+            buckets: self.acc,
+            root,
+        }
+    }
+}
+
 impl MerkleSummary {
     /// Summarizes `store` over `range` into `buckets` equal token slices.
     ///
@@ -58,26 +113,11 @@ impl MerkleSummary {
         range: KeyRange,
         buckets: usize,
     ) -> Self {
-        assert!(buckets > 0, "need at least one bucket");
-        let mut acc = vec![0u64; buckets];
-        let width = range.width();
+        let mut builder = MerkleBuilder::new(hasher, range, buckets);
         for (key, record) in store.iter() {
-            let token = hasher.token(key);
-            if !range.contains(token) {
-                continue;
-            }
-            let offset = u128::from(token.0.wrapping_sub(range.start.0).wrapping_sub(1));
-            let idx = ((offset * buckets as u128) / width) as usize;
-            let idx = idx.min(buckets - 1);
-            let v = record.version;
-            acc[idx] ^= entry_digest(key, (v.epoch, v.seq, v.writer), record.logical_size);
+            builder.add(key, record);
         }
-        let root = acc.iter().fold(0xdead_beefu64, |a, &b| mix(a, b));
-        Self {
-            range,
-            buckets: acc,
-            root,
-        }
+        builder.finish()
     }
 
     /// The summarized key range.

@@ -1,4 +1,4 @@
-//! Shared and copy-on-write wrappers around [`PartitionStore`].
+//! Shared and copy-on-write wrappers around storage backends.
 
 use std::ops::Deref;
 use std::sync::Arc;
@@ -6,6 +6,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::RwLock;
 
+use crate::backend::StorageBackend;
 use crate::engine::PartitionStore;
 use crate::value::Record;
 
@@ -60,42 +61,64 @@ impl Deref for CowPartitionStore {
     }
 }
 
-/// A cheaply clonable, thread-safe handle to one replica's partition store.
+/// A cheaply clonable, thread-safe handle to one replica's store, generic
+/// over the [`StorageBackend`] it wraps.
 ///
 /// Readers take a shared lock; writers an exclusive one. The handle exists
 /// so that embedding applications can serve concurrent reads against the
-/// same replica the simulation mutates between epochs.
-#[derive(Debug, Clone, Default)]
-pub struct SharedPartitionStore {
-    inner: Arc<RwLock<PartitionStore>>,
+/// same replica the simulation mutates between epochs — regardless of
+/// whether the replica runs on the in-memory oracle or the durable LSM
+/// engine.
+#[derive(Debug)]
+pub struct SharedStore<B: StorageBackend> {
+    inner: Arc<RwLock<B>>,
 }
 
-impl SharedPartitionStore {
+// Manual impl: cloning bumps the Arc and must not require `B: Clone`
+// (the LSM engine deliberately has no `Clone` — copies go through `fork`).
+impl<B: StorageBackend> Clone for SharedStore<B> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// The historical name: a thread-safe handle over the in-memory engine.
+pub type SharedPartitionStore = SharedStore<PartitionStore>;
+
+impl<B: StorageBackend> Default for SharedStore<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: StorageBackend> SharedStore<B> {
     /// A handle over an empty store.
     pub fn new() -> Self {
-        Self::default()
+        Self::from_store(B::open())
     }
 
     /// Wraps an existing store.
-    pub fn from_store(store: PartitionStore) -> Self {
+    pub fn from_store(store: B) -> Self {
         Self {
             inner: Arc::new(RwLock::new(store)),
         }
     }
 
-    /// Applies a record (see [`PartitionStore::apply`]).
+    /// Applies a record (see [`StorageBackend::apply`]).
     pub fn apply(&self, key: impl Into<Bytes>, record: Record) -> bool {
-        self.inner.write().apply(key, record)
+        self.inner.write().apply(key.into(), record)
     }
 
     /// Clone of the record under `key`.
     pub fn get(&self, key: &[u8]) -> Option<Record> {
-        self.inner.read().get(key).cloned()
+        self.inner.read().get(key)
     }
 
     /// Clone of the live value under `key`.
     pub fn get_value(&self, key: &[u8]) -> Option<Bytes> {
-        self.inner.read().get_value(key).cloned()
+        self.inner.read().get_value(key)
     }
 
     /// Logical bytes stored.
@@ -114,12 +137,12 @@ impl SharedPartitionStore {
     }
 
     /// Runs `f` with shared access to the underlying store.
-    pub fn read_with<T>(&self, f: impl FnOnce(&PartitionStore) -> T) -> T {
+    pub fn read_with<T>(&self, f: impl FnOnce(&B) -> T) -> T {
         f(&self.inner.read())
     }
 
     /// Runs `f` with exclusive access to the underlying store.
-    pub fn write_with<T>(&self, f: impl FnOnce(&mut PartitionStore) -> T) -> T {
+    pub fn write_with<T>(&self, f: impl FnOnce(&mut B) -> T) -> T {
         f(&mut self.inner.write())
     }
 }
@@ -194,6 +217,17 @@ mod tests {
         let winner = store.get(b"contended").unwrap();
         assert_eq!(winner.version, Version::new(1, 99, 7));
         assert_eq!(winner.value.unwrap().as_ref(), &[7u8]);
+    }
+
+    #[test]
+    fn shared_wrapper_is_backend_generic() {
+        let s: SharedStore<crate::LsmStore> = SharedStore::new();
+        assert!(s.apply(&b"k"[..], Record::put(&b"v"[..], Version::new(1, 0, 0))));
+        assert_eq!(s.get_value(b"k").unwrap().as_ref(), b"v");
+        assert_eq!(s.len(), 1);
+        let b = s.clone();
+        assert!(b.apply(&b"k2"[..], Record::put(&b"w"[..], Version::new(1, 1, 0))));
+        assert_eq!(s.len(), 2, "clones share the same durable store");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N] [--seed N]
 //!           [--csv PATH] [--print-every N] [--brute-force] [--threads N]
-//!           [--sequential-commit] [--no-speculation]
+//!           [--sequential-commit] [--no-speculation] [--backend mem|lsm]
 //! skute-sim --bench-json PATH
 //! ```
 //!
@@ -32,6 +32,7 @@ struct Args {
     sequential_commit: bool,
     no_speculation: bool,
     threads: Option<usize>,
+    backend: BackendKind,
     bench_json: Option<String>,
 }
 
@@ -46,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         sequential_commit: false,
         no_speculation: false,
         threads: None,
+        backend: BackendKind::default(),
         bench_json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -83,6 +85,11 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--threads: {e}"))?,
                 )
             }
+            "--backend" | "-b" => {
+                args.backend = value("--backend")?
+                    .parse()
+                    .map_err(|e| format!("--backend: {e}"))?
+            }
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--help" | "-h" => {
                 println!(
@@ -90,9 +97,12 @@ fn parse_args() -> Result<Args, String> {
                      USAGE: skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N]\n\
                             [--seed N] [--csv PATH] [--print-every N] [--brute-force]\n\
                             [--sequential-commit] [--no-speculation] [--threads N]\n\
-                            [--bench-json PATH]\n\n\
+                            [--backend mem|lsm] [--bench-json PATH]\n\n\
                      --threads sets the epoch pipeline's worker budget (0 = all\n\
                      cores); same-seed output is bitwise identical at any value.\n\
+                     --backend selects the replica storage engine: mem (default,\n\
+                     in-memory oracle) or lsm (durable WAL + SSTable stores);\n\
+                     same-seed output is bitwise identical on either engine.\n\
                      --sequential-commit routes the traffic commit through the\n\
                      sequential oracle loop and --no-speculation disables the\n\
                      decision pass's speculative eq.-(3) targets (both oracles\n\
@@ -157,6 +167,7 @@ fn main() -> ExitCode {
     scenario.config.brute_force_placement = args.brute_force;
     scenario.config.sequential_traffic_commit = args.sequential_commit;
     scenario.config.no_speculation = args.no_speculation;
+    scenario.config.backend = args.backend;
     if let Some(threads) = args.threads {
         scenario.config.threads = threads;
     }

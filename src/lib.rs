@@ -93,7 +93,7 @@ pub mod prelude {
     pub use skute_sim::{
         CloudEvent, Observation, Recorder, Scenario, ScenarioApp, Schedule, Simulation, TraceKind,
     };
-    pub use skute_store::QuorumConfig;
+    pub use skute_store::{BackendKind, QuorumConfig};
     pub use skute_workload::{
         ConstantTrace, InsertGenerator, LoadTrace, Pareto, Poisson, QueryGenerator, SlashdotTrace,
         Zipf,
