@@ -5,9 +5,11 @@
 //! threads ∈ {1, 2, 4, 8}, a pool-overhead row (M = 16 at 8 threads:
 //! dispatch handoff dominates, charting the persistent pool's fixed cost),
 //! the commit-mode rows (sequential traffic-commit oracle vs the default
-//! reconciled commit) and a convergence/churn row (M = 200 under a
+//! reconciled commit), a convergence/churn row (M = 200 under a
 //! failure burst plus a capacity upgrade — many actions per epoch) that
-//! also charts the decision commit pass's speculation hit rate. Rows
+//! also charts the decision commit pass's speculation hit rate, and an
+//! outage-burst row (M = 200 under a whole-country failure) gating the
+//! repair pass's throughput under correlated failures. Rows
 //! sharing a workload replay the same bitwise trajectory; only wall clock
 //! differs. Prints the comparison table and writes the machine-readable
 //! perf trajectory to `BENCH_epoch.json` at the workspace root; CI's
@@ -29,10 +31,12 @@ fn main() {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => println!("\n(could not write {}: {e})", path.display()),
     }
-    if let Some(r) = results
-        .iter()
-        .find(|r| r.partitions == 200 && r.threads == 1 && !r.sequential_commit && !r.churn)
-    {
+    if let Some(r) = results.iter().find(|r| {
+        r.partitions == 200
+            && r.threads == 1
+            && !r.sequential_commit
+            && r.workload == perf::Workload::Steady
+    }) {
         println!(
             "M = 200 speedup: {:.2}x ({:.2} → {:.2} epochs/sec)",
             r.speedup(),
@@ -40,16 +44,19 @@ fn main() {
             r.indexed.epochs_per_sec
         );
     }
-    if let Some(r) = results.iter().find(|r| r.churn) {
-        println!(
-            "M = {} churn speculation hit rate: {} ({} hits / {} misses)",
-            r.partitions,
-            match r.spec_hit_rate() {
-                Some(hr) => format!("{:.0}%", hr * 100.0),
-                None => "n/a".to_string(),
-            },
-            r.indexed.spec_hits,
-            r.indexed.spec_misses
-        );
+    for workload in [perf::Workload::Churn, perf::Workload::Outage] {
+        if let Some(r) = results.iter().find(|r| r.workload == workload) {
+            println!(
+                "M = {} {} speculation hit rate: {} ({} hits / {} misses)",
+                r.partitions,
+                workload.label(),
+                match r.spec_hit_rate() {
+                    Some(hr) => format!("{:.0}%", hr * 100.0),
+                    None => "n/a".to_string(),
+                },
+                r.indexed.spec_hits,
+                r.indexed.spec_misses
+            );
+        }
     }
 }

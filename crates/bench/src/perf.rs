@@ -10,6 +10,35 @@ use std::time::Instant;
 
 use skute_sim::{paper, CloudEvent, Schedule, Simulation};
 
+/// Workload shape layered on the cold start: every row replays the scaled
+/// paper scenario, optionally with a mid-run stress schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Pure cold start: the decision-heavy convergence ramp, then steady
+    /// state.
+    Steady,
+    /// Server churn: a scattered failure burst plus a capacity upgrade
+    /// keep many actions executing per epoch — the workload whose commit
+    /// pass the read-set speculation turns from re-walks into validations.
+    Churn,
+    /// Correlated outage: every server of one country fails in the same
+    /// epoch, so the availability-repair pass absorbs a concentrated
+    /// backlog under its per-epoch cap — the workload the speculative
+    /// repair prepass is measured on.
+    Outage,
+}
+
+impl Workload {
+    /// The JSON/table label (`"steady"` / `"churn"` / `"outage"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Steady => "steady",
+            Workload::Churn => "churn",
+            Workload::Outage => "outage",
+        }
+    }
+}
+
 /// Timing of one pipeline over one scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineTiming {
@@ -49,11 +78,8 @@ pub struct EpochLoopResult {
     /// trajectory is bitwise identical either way; the row pair charts
     /// the commit-mode cost.
     pub sequential_commit: bool,
-    /// True when the run layered a server-churn schedule (a failure burst
-    /// plus a capacity upgrade) on the cold start, so every epoch keeps
-    /// executing many actions — the convergence workload the speculation
-    /// hit rate is measured on.
-    pub churn: bool,
+    /// The workload shape layered on the cold start.
+    pub workload: Workload,
     /// The rent-indexed pipeline (the default).
     pub indexed: PipelineTiming,
     /// The brute-force full-scan pipeline (the pre-optimization oracle).
@@ -91,7 +117,7 @@ pub fn time_pipeline(
     brute_force: bool,
     threads: usize,
     sequential_commit: bool,
-    churn: bool,
+    workload: Workload,
 ) -> PipelineTiming {
     let mut best: Option<PipelineTiming> = None;
     for _ in 0..2 {
@@ -105,13 +131,29 @@ pub fn time_pipeline(
         scenario.config.brute_force_placement = brute_force;
         scenario.config.threads = threads;
         scenario.config.sequential_traffic_commit = sequential_commit;
-        if churn {
-            // Keep the decision phase busy past the cold-start ramp: a
-            // failure burst forces repairs/migrations mid-run, then a
-            // capacity upgrade re-opens cheap placements.
-            scenario.schedule = Schedule::new()
-                .at(epochs / 3 + 1, CloudEvent::RemoveServers { count: 20 })
-                .at(2 * epochs / 3 + 1, CloudEvent::AddServers { count: 20 });
+        match workload {
+            Workload::Steady => {}
+            Workload::Churn => {
+                // Keep the decision phase busy past the cold-start ramp: a
+                // failure burst forces repairs/migrations mid-run, then a
+                // capacity upgrade re-opens cheap placements.
+                scenario.schedule = Schedule::new()
+                    .at(epochs / 3 + 1, CloudEvent::RemoveServers { count: 20 })
+                    .at(2 * epochs / 3 + 1, CloudEvent::AddServers { count: 20 });
+            }
+            Workload::Outage => {
+                // A whole country fails at once: the repair pass drains
+                // the concentrated backlog over the following epochs.
+                let (continent, country) = scenario
+                    .topology
+                    .iter_countries()
+                    .next()
+                    .expect("the paper topology has countries");
+                scenario.schedule = Schedule::new().at(
+                    epochs / 3 + 1,
+                    CloudEvent::CountryOutage { continent, country },
+                );
+            }
         }
         let mut sim = Simulation::new(scenario);
         let mut decisions = 0u64;
@@ -143,7 +185,7 @@ pub fn time_pipeline(
 /// Runs both pipelines at one partition count and thread count, in the
 /// default (parallel) traffic-commit mode on the steady cold start.
 pub fn run_epoch_loop(partitions: usize, epochs: u64, threads: usize) -> EpochLoopResult {
-    run_epoch_loop_mode(partitions, epochs, threads, false, false)
+    run_epoch_loop_mode(partitions, epochs, threads, false, Workload::Steady)
 }
 
 /// Runs both pipelines at one partition count, thread count,
@@ -153,16 +195,30 @@ pub fn run_epoch_loop_mode(
     epochs: u64,
     threads: usize,
     sequential_commit: bool,
-    churn: bool,
+    workload: Workload,
 ) -> EpochLoopResult {
     EpochLoopResult {
         partitions,
         epochs,
         threads,
         sequential_commit,
-        churn,
-        indexed: time_pipeline(partitions, epochs, false, threads, sequential_commit, churn),
-        brute_force: time_pipeline(partitions, epochs, true, threads, sequential_commit, churn),
+        workload,
+        indexed: time_pipeline(
+            partitions,
+            epochs,
+            false,
+            threads,
+            sequential_commit,
+            workload,
+        ),
+        brute_force: time_pipeline(
+            partitions,
+            epochs,
+            true,
+            threads,
+            sequential_commit,
+            workload,
+        ),
     }
 }
 
@@ -176,31 +232,38 @@ pub fn run_epoch_loop_mode(
 /// **convergence/churn** row (M = 200 with a failure burst and a
 /// capacity upgrade) where dozens of actions execute per epoch — the
 /// workload whose commit pass the read-set speculation turns from
-/// re-walks into validations (its hit rate lands in the JSON). Epoch
-/// counts shrink as M grows so the whole sweep stays a smoke-test-sized
-/// run while still covering the decision-heavy convergence phase. Rows
+/// re-walks into validations (its hit rate lands in the JSON) — and an
+/// **outage-burst** row (M = 200 with a whole-country failure) where the
+/// availability-repair pass drains a concentrated backlog, so the gate
+/// guards repair throughput under correlated failures. Epoch counts
+/// shrink as M grows so the whole sweep stays a smoke-test-sized run
+/// while still covering the decision-heavy convergence phase. Rows
 /// sharing a workload replay the same bitwise trajectory; only wall
 /// clock differs.
 pub fn standard_sweep() -> Vec<EpochLoopResult> {
+    use Workload::{Churn, Outage, Steady};
     [
-        (16usize, 40u64, 1usize, false, false),
-        (50, 25, 1, false, false),
-        (200, 12, 1, false, false),
-        (200, 12, 2, false, false),
-        (200, 12, 4, false, false),
-        (200, 12, 8, false, false),
+        (16usize, 40u64, 1usize, false, Steady),
+        (50, 25, 1, false, Steady),
+        (200, 12, 1, false, Steady),
+        (200, 12, 2, false, Steady),
+        (200, 12, 4, false, Steady),
+        (200, 12, 8, false, Steady),
         // Pool-overhead row.
-        (16, 40, 8, false, false),
+        (16, 40, 8, false, Steady),
         // Commit-mode rows (sequential oracle).
-        (200, 12, 1, true, false),
-        (200, 12, 8, true, false),
+        (200, 12, 1, true, Steady),
+        (200, 12, 8, true, Steady),
         // Convergence/churn row: a failure burst and a capacity upgrade
         // keep many actions executing per epoch, charting the
         // speculation hit rate of the decision commit pass.
-        (200, 18, 1, false, true),
+        (200, 18, 1, false, Churn),
+        // Outage-burst row: repair throughput under a correlated
+        // whole-country failure.
+        (200, 18, 1, false, Outage),
     ]
     .into_iter()
-    .map(|(m, epochs, threads, seq, churn)| run_epoch_loop_mode(m, epochs, threads, seq, churn))
+    .map(|(m, epochs, threads, seq, w)| run_epoch_loop_mode(m, epochs, threads, seq, w))
     .collect()
 }
 
@@ -240,7 +303,7 @@ pub fn to_json(results: &[EpochLoopResult]) -> String {
             r.epochs,
             r.threads,
             if r.sequential_commit { "sequential" } else { "parallel" },
-            if r.churn { "churn" } else { "steady" },
+            r.workload.label(),
             spec,
             timing_json(&r.indexed),
             timing_json(&r.brute_force),
@@ -265,9 +328,9 @@ pub struct TrajectoryRow {
     /// the field — older documents measured the only commit that existed,
     /// which the default mode reproduces bit-for-bit).
     pub sequential_commit: bool,
-    /// Server-churn workload (false when the document predates the field
-    /// — older documents only measured the steady cold start).
-    pub churn: bool,
+    /// Workload shape ([`Workload::Steady`] when the document predates
+    /// the field — older documents only measured the steady cold start).
+    pub workload: Workload,
     /// Indexed-pipeline epochs per second.
     pub indexed_eps: f64,
     /// Brute-force-pipeline epochs per second.
@@ -280,12 +343,12 @@ pub struct TrajectoryRow {
 impl TrajectoryRow {
     /// The row-matching key: rows are compared across documents only when
     /// partitions, thread budget, commit mode and workload all agree.
-    pub fn key(&self) -> (usize, usize, bool, bool) {
+    pub fn key(&self) -> (usize, usize, bool, Workload) {
         (
             self.partitions,
             self.threads,
             self.sequential_commit,
-            self.churn,
+            self.workload,
         )
     }
 
@@ -300,7 +363,7 @@ impl TrajectoryRow {
             } else {
                 "parallel"
             },
-            if self.churn { "churn" } else { "steady" }
+            self.workload.label()
         )
     }
 }
@@ -342,10 +405,11 @@ pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
             .find("\"commit\"")
             .map(|i| line[i..].starts_with("\"commit\": \"sequential\""))
             .unwrap_or(false);
-        let churn = line
-            .find("\"workload\"")
-            .map(|i| line[i..].starts_with("\"workload\": \"churn\""))
-            .unwrap_or(false);
+        let workload = match line.find("\"workload\"").map(|i| &line[i..]) {
+            Some(rest) if rest.starts_with("\"workload\": \"churn\"") => Workload::Churn,
+            Some(rest) if rest.starts_with("\"workload\": \"outage\"") => Workload::Outage,
+            _ => Workload::Steady,
+        };
         let spec_hit_rate = num_after(line, "\"spec_hit_rate\"");
         let indexed = line.find("\"indexed\"").map(|i| &line[i..]);
         let brute = line.find("\"brute_force\"").map(|i| &line[i..]);
@@ -362,7 +426,7 @@ pub fn parse_trajectory(json: &str) -> Vec<TrajectoryRow> {
             partitions: partitions as usize,
             threads: threads as usize,
             sequential_commit,
-            churn,
+            workload,
             indexed_eps,
             brute_eps,
             spec_hit_rate,
@@ -528,7 +592,7 @@ pub fn print_table(results: &[EpochLoopResult]) {
             } else {
                 "parallel"
             },
-            if r.churn { "churn" } else { "steady" },
+            r.workload.label(),
             r.indexed.epochs_per_sec,
             r.brute_force.epochs_per_sec,
             r.indexed.ns_per_decision,
@@ -584,14 +648,20 @@ mod tests {
         // The scaling rows must chart wall clock only: decision counts (and
         // therefore the simulated trajectory) are identical across thread
         // counts.
-        let t1 = time_pipeline(4, 3, false, 1, false, false);
-        let t8 = time_pipeline(4, 3, false, 8, false, false);
+        let t1 = time_pipeline(4, 3, false, 1, false, Workload::Steady);
+        let t8 = time_pipeline(4, 3, false, 8, false, Workload::Steady);
         assert_eq!(t1.decisions, t8.decisions);
         assert_eq!(t1.spec_hits, t8.spec_hits);
         assert_eq!(t1.spec_misses, t8.spec_misses);
         // Commit modes replay the same trajectory too.
-        let seq = time_pipeline(4, 3, false, 1, true, false);
+        let seq = time_pipeline(4, 3, false, 1, true, Workload::Steady);
         assert_eq!(t1.decisions, seq.decisions);
+        // And so do repair modes under the outage workload.
+        let o1 = time_pipeline(4, 6, false, 1, false, Workload::Outage);
+        let o8 = time_pipeline(4, 6, false, 8, false, Workload::Outage);
+        assert_eq!(o1.decisions, o8.decisions);
+        assert_eq!(o1.spec_hits, o8.spec_hits);
+        assert_eq!(o1.spec_misses, o8.spec_misses);
     }
 
     #[test]
@@ -602,7 +672,7 @@ mod tests {
                 epochs: 12,
                 threads: 1,
                 sequential_commit: false,
-                churn: false,
+                workload: Workload::Steady,
                 indexed: PipelineTiming {
                     seconds: 0.5,
                     epochs_per_sec: 24.0,
@@ -625,7 +695,7 @@ mod tests {
                 epochs: 12,
                 threads: 4,
                 sequential_commit: true,
-                churn: true,
+                workload: Workload::Outage,
                 indexed: PipelineTiming {
                     seconds: 0.25,
                     epochs_per_sec: 48.0,
@@ -650,11 +720,11 @@ mod tests {
         assert_eq!(parsed[0].threads, 1);
         assert!(!parsed[0].sequential_commit);
         assert_eq!(parsed[0].indexed_eps, 24.0);
-        assert!(!parsed[0].churn);
+        assert_eq!(parsed[0].workload, Workload::Steady);
         assert_eq!(parsed[0].spec_hit_rate, Some(0.75));
         assert_eq!(parsed[1].threads, 4);
         assert!(parsed[1].sequential_commit);
-        assert!(parsed[1].churn);
+        assert_eq!(parsed[1].workload, Workload::Outage);
         assert_eq!(
             parsed[1].spec_hit_rate, None,
             "a row with no evaluated speculation omits the spec fields"
@@ -690,7 +760,11 @@ mod tests {
             "legacy rows measured the only commit that existed; the default \
              mode reproduces it bit-for-bit, so they match the parallel key"
         );
-        assert!(!rows[0].churn, "legacy rows measured the steady cold start");
+        assert_eq!(
+            rows[0].workload,
+            Workload::Steady,
+            "legacy rows measured the steady cold start"
+        );
         assert_eq!(rows[0].spec_hit_rate, None);
         assert!((rows[0].indexed_eps - 10995.817).abs() < 1e-9);
     }
@@ -702,7 +776,7 @@ mod tests {
             partitions: 200,
             threads: 1,
             sequential_commit: false,
-            churn: false,
+            workload: Workload::Steady,
             indexed_eps: 100.0,
             brute_eps: 20.0,
             spec_hit_rate: None,
@@ -752,7 +826,7 @@ mod tests {
             partitions: 200,
             threads: 1,
             sequential_commit: false,
-            churn: true,
+            workload: Workload::Churn,
             indexed_eps: 100.0,
             brute_eps: 20.0,
             spec_hit_rate: Some(0.8),
@@ -791,7 +865,7 @@ mod tests {
             partitions: 200,
             threads: 1,
             sequential_commit: false,
-            churn: false,
+            workload: Workload::Steady,
             indexed_eps: 100.0,
             brute_eps: 20.0,
             spec_hit_rate: None,
@@ -819,7 +893,7 @@ mod tests {
                 ..base_row
             },
             TrajectoryRow {
-                churn: true,
+                workload: Workload::Outage,
                 ..base_row
             },
         ];

@@ -12,14 +12,16 @@ use skute_cluster::{Board, Cluster, ServerId, ServerSpec};
 use skute_economy::{ProximityCache, RegionQueries, RentModel};
 use skute_geo::{Location, RegionWeight, Topology};
 use skute_ring::{PartitionId, RingId, VirtualRing};
-use skute_store::{AntiEntropyUnion, QuorumConfig, Record, ReplicaStore, StoreError, Version};
+use skute_store::{
+    AntiEntropyUnion, FaultStats, QuorumConfig, Record, ReplicaStore, StoreError, Version,
+};
 
 use crate::app::{AppId, AppSpec, Application, AvailabilityLevel};
 use crate::availability::{availability_of, threshold_for_replicas};
 use crate::config::SkuteConfig;
 use crate::decision::{classify, clears_profit_hurdle, ActionCounts, Intent, VnodeSituation};
 use crate::error::CoreError;
-use crate::metrics::{AntiEntropyReport, EpochReport, RingReport};
+use crate::metrics::{AntiEntropyReport, EpochReport, RingReport, ScrubReport};
 use crate::pipeline::{
     cached_availability, DecisionItem, DeliveryBatch, EpochPipeline, PreDecision,
 };
@@ -257,7 +259,8 @@ impl SkuteCloud {
                     self.config.economy.decision_window,
                     self.epoch,
                 );
-                replica.store = ReplicaStore::open(self.config.backend);
+                replica.store =
+                    ReplicaStore::open_with(self.config.backend, self.config.fault_plan);
                 state.replicas.push(replica);
                 partitions.insert(p.id, state);
             }
@@ -358,6 +361,45 @@ impl SkuteCloud {
             .collect())
     }
 
+    /// Deliberately corrupts the on-disk state of one replica of a
+    /// partition (fault-injection hook: forges persistent corruption for
+    /// [`SkuteCloud::scrub_quarantined`] to detect). Flushes the replica's
+    /// memtable first so a durable run exists to damage. Returns `true`
+    /// when bytes were actually flipped — `false` for the mem oracle or an
+    /// empty replica.
+    pub fn corrupt_replica(
+        &mut self,
+        app: AppId,
+        level: u32,
+        pid: PartitionId,
+        replica: usize,
+    ) -> Result<bool, CoreError> {
+        let ring_idx = self.ring_index(app, level)?;
+        let p = self.rings[ring_idx]
+            .partitions
+            .get_mut(&pid)
+            .ok_or(CoreError::NoPlacement)?;
+        let r = p.replicas.get_mut(replica).ok_or(CoreError::NoPlacement)?;
+        r.store.flush();
+        Ok(r.store.corrupt_newest_run())
+    }
+
+    /// Fleet-wide injected-fault counters of one ring: the sum of every
+    /// replica store's [`FaultStats`]. Observability only — under the mem
+    /// oracle (no IO path to fault) all counters are zero.
+    pub fn fault_stats(&self, app: AppId, level: u32) -> Result<FaultStats, CoreError> {
+        let ring = &self.rings[self.ring_index(app, level)?];
+        let mut total = FaultStats::default();
+        for p in ring.partitions.values() {
+            for r in &p.replicas {
+                if let Some(stats) = r.store.fault_stats() {
+                    total.absorb(&stats);
+                }
+            }
+        }
+        Ok(total)
+    }
+
     // ------------------------------------------------------------------
     // Epoch lifecycle
     // ------------------------------------------------------------------
@@ -439,10 +481,11 @@ impl SkuteCloud {
             if let Ok(server) = self.seed_server(0) {
                 let vid = self.alloc_vnode();
                 let backend = self.config.backend;
+                let plan = self.config.fault_plan;
                 if let Some(p) = self.rings[ri].partitions.get_mut(&pid) {
                     p.synthetic_bytes = 0;
                     let mut replica = Replica::new(vid, server, window, epoch);
-                    replica.store = ReplicaStore::open(backend);
+                    replica.store = ReplicaStore::open_with(backend, plan);
                     p.replicas.push(replica);
                     p.note_membership_changed();
                 }
@@ -657,6 +700,99 @@ impl SkuteCloud {
             }
             if any_updated {
                 report.partitions_repaired += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Storage scrub over one ring: verifies every replica store's on-disk
+    /// checksums (a real re-read of every SSTable run under the LSM
+    /// backend; the mem oracle is trivially healthy), quarantines replicas
+    /// whose corruption survived the store's bounded read retries, and
+    /// re-seeds each quarantined replica from the LWW union of its
+    /// partition's **healthy** peers — a fresh store built through the
+    /// same union installation the anti-entropy pass uses, with exact
+    /// storage re-accounting. Rebuild copies are priced in **measured**
+    /// bytes ([`ActionCounts::scrub_rebuilds`] /
+    /// [`ActionCounts::measured_scrub_bytes`], observability-only —
+    /// decisions and the trajectory never read them, so scrubbing cannot
+    /// perturb determinism). A quarantined replica whose server cannot
+    /// absorb the union's extra bytes is deferred; a partition whose every
+    /// replica is quarantined has no healthy peer and is counted
+    /// unrecoverable (its stores are left in place).
+    pub fn scrub_quarantined(&mut self, app: AppId, level: u32) -> Result<ScrubReport, CoreError> {
+        let ring_idx = self.ring_index(app, level)?;
+        let pids = self.rings[ring_idx].ring.partition_ids();
+        let mut report = ScrubReport::default();
+        for pid in pids {
+            let suspects: Vec<usize> = {
+                let Some(partition) = self.rings[ring_idx].partitions.get_mut(&pid) else {
+                    continue;
+                };
+                let mut suspects = Vec::new();
+                for (idx, r) in partition.replicas.iter_mut().enumerate() {
+                    report.replicas_scanned += 1;
+                    if !r.store.verify() {
+                        suspects.push(idx);
+                    }
+                }
+                suspects
+            };
+            if suspects.is_empty() {
+                continue;
+            }
+            report.replicas_quarantined += suspects.len();
+            let partition = &self.rings[ring_idx].partitions[&pid];
+            let healthy: Vec<usize> = (0..partition.replicas.len())
+                .filter(|i| !suspects.contains(i))
+                .collect();
+            let Some((&first, rest)) = healthy.split_first() else {
+                report.partitions_unrecoverable += 1;
+                continue;
+            };
+            // LWW union of the healthy peers only — the corrupt stores
+            // contribute nothing to the rebuild.
+            let union = {
+                let mut union = partition.replicas[first].store.snapshot();
+                for &i in rest {
+                    partition.replicas[i].store.merge_into(&mut union);
+                }
+                union
+            };
+            let union_bytes = union.logical_bytes();
+            let union = AntiEntropyUnion::new(self.config.backend, union);
+            for idx in suspects {
+                let (server, old_bytes) = {
+                    let r = &self.rings[ring_idx].partitions[&pid].replicas[idx];
+                    (r.server, r.store.logical_bytes())
+                };
+                let ok = if union_bytes >= old_bytes {
+                    self.cluster
+                        .get_mut(server)
+                        .map(|s| {
+                            let caps = s.capacities;
+                            s.usage.reserve_storage(&caps, union_bytes - old_bytes)
+                        })
+                        .unwrap_or(false)
+                } else {
+                    if let Some(s) = self.cluster.get_mut(server) {
+                        s.usage.release_storage(old_bytes - union_bytes);
+                    }
+                    true
+                };
+                if !ok {
+                    report.replicas_deferred += 1;
+                    continue;
+                }
+                let mut fresh =
+                    ReplicaStore::open_with(self.config.backend, self.config.fault_plan);
+                fresh.install_union(&union);
+                let measured = fresh.measured_transfer().unwrap_or(union_bytes);
+                let p = self.rings[ring_idx].partitions.get_mut(&pid).unwrap();
+                p.replicas[idx].store = fresh;
+                report.replicas_rebuilt += 1;
+                self.epoch_actions.scrub_rebuilds += 1;
+                self.epoch_actions.measured_scrub_bytes += measured;
             }
         }
         Ok(report)
@@ -1216,6 +1352,22 @@ impl SkuteCloud {
     /// work. Repairs invalidate their partition's cache (membership
     /// changed), so follow-up iterations re-evaluate, exactly like the
     /// sequential loop always did.
+    ///
+    /// The pass then runs the same plan/validate protocol as the economic
+    /// phase: a parallel **plan** pass computes one speculative eq.-(3)
+    /// replication target per below-threshold candidate against the frozen
+    /// index snapshot (each walk recording its read set), and the
+    /// sequential shuffled commit honors a candidate's speculation on its
+    /// **first** repair iteration whenever read-set validation proves the
+    /// previously committed repairs cannot have changed its answer —
+    /// otherwise (and on every follow-up iteration, whose membership the
+    /// first repair changed) it re-walks the live state, exactly as the
+    /// sequential loop would. This matters precisely under failure
+    /// bursts: a correlated outage floods this pass with repair work, and
+    /// the speculative prepass moves the placement walks onto the worker
+    /// pool. `SkuteConfig::sequential_repair` routes everything through
+    /// the sequential walk as the bitwise oracle (trajectories are
+    /// identical up to the speculation hit/miss counters).
     fn repair_availability(&mut self, actions: &mut ActionCounts) {
         let window = self.config.economy.decision_window;
         let max_repairs = self.config.max_repairs_per_partition_per_epoch;
@@ -1256,12 +1408,117 @@ impl SkuteCloud {
                 }
             }
         }
+        // Plan pass: speculative targets for every candidate (below
+        // threshold with headroom for another replica), slotted in flat
+        // (ring, partition) order. Skipped entirely by the sequential
+        // oracle and by the brute-force / no-speculation oracles (their
+        // walks re-run sequentially either way, bit-for-bit identical).
+        let speculative = !self.config.sequential_repair
+            && !self.config.brute_force_placement
+            && !self.config.no_speculation;
+        let mut repair_slots: BTreeMap<(usize, PartitionId), usize> = BTreeMap::new();
+        if speculative {
+            for (ri, ring) in self.rings.iter().enumerate() {
+                let threshold = ring.level.threshold;
+                for (pid, p) in &ring.partitions {
+                    if p.replica_count() < max_replicas
+                        && p.cached_availability.is_some_and(|a| a < threshold)
+                    {
+                        let slot = repair_slots.len();
+                        repair_slots.insert((ri, *pid), slot);
+                    }
+                }
+            }
+        }
+        if !repair_slots.is_empty() {
+            let ctx = PlacementContext {
+                cluster: &self.cluster,
+                board: &self.board,
+                topology: &self.topology,
+                economy: &self.config.economy,
+            };
+            self.index.refresh(&ctx);
+            if self.pipeline.threads() == 1 {
+                // Single-thread fast path: identical per-candidate
+                // arithmetic, run in place in the same flat order.
+                let slots = &repair_slots;
+                let Self {
+                    rings,
+                    cluster,
+                    board,
+                    topology,
+                    config,
+                    index,
+                    pipeline,
+                    ..
+                } = self;
+                let inputs = crate::pipeline::DecisionInputs {
+                    cluster,
+                    board,
+                    topology,
+                    economy: &config.economy,
+                    index,
+                    brute_force: false,
+                    speculation: true,
+                    min_rent: None,
+                };
+                pipeline.repairs_prepass_inline(
+                    rings.iter_mut().enumerate().flat_map(|(ri, ring)| {
+                        ring.partitions
+                            .iter_mut()
+                            .filter(move |(pid, _)| slots.contains_key(&(ri, **pid)))
+                            .map(|(_, p)| p)
+                    }),
+                    &inputs,
+                );
+            } else {
+                // Move the candidates (and the shared inputs) into the
+                // owned-task prepass dispatch; everything comes back at
+                // the barrier in flat candidate order.
+                let mut items: Vec<DecisionItem> = Vec::with_capacity(repair_slots.len());
+                for &(ri, pid) in repair_slots.keys() {
+                    let part = self.rings[ri]
+                        .partitions
+                        .remove(&pid)
+                        .expect("listed above");
+                    items.push(DecisionItem {
+                        ring_idx: ri,
+                        threshold: self.rings[ri].level.threshold,
+                        pid,
+                        part,
+                    });
+                }
+                let (cluster, board, index, items) = self.pipeline.repairs_prepass(
+                    std::mem::take(&mut self.cluster),
+                    std::mem::take(&mut self.board),
+                    Arc::clone(&self.topology),
+                    self.config.economy,
+                    std::mem::take(&mut self.index),
+                    items,
+                );
+                self.cluster = cluster;
+                self.board = board;
+                self.index = index;
+                for item in items {
+                    self.rings[item.ring_idx]
+                        .partitions
+                        .insert(item.pid, item.part);
+                }
+            }
+            debug_assert_eq!(self.pipeline.pre.len(), repair_slots.len());
+        }
+        // Commit pass (sequential, seeded shuffle order — byte-identical
+        // to the historical sequential loop). Every committed repair
+        // records its touched target; later speculations are honored only
+        // while validation holds.
+        let frozen_board = self.board.version();
+        self.spec_touched.clear();
         for ri in 0..self.rings.len() {
             let threshold = self.rings[ri].level.threshold;
             let mut pids = self.rings[ri].ring.partition_ids();
             pids.shuffle(&mut self.rng);
             for pid in pids {
-                for _ in 0..max_repairs {
+                for attempt in 0..max_repairs {
                     let Some(partition) = self.rings[ri].partitions.get_mut(&pid) else {
                         break;
                     };
@@ -1271,32 +1528,91 @@ impl SkuteCloud {
                     if cached_availability(&self.cluster, partition) >= threshold {
                         break;
                     }
+                    // Only the first iteration can hold a speculation: a
+                    // committed repair changes this partition's membership,
+                    // so follow-ups always re-walk the live state.
+                    let slot = if attempt == 0 {
+                        repair_slots.get(&(ri, pid)).copied()
+                    } else {
+                        None
+                    };
                     self.servers_scratch.clear();
                     self.servers_scratch
                         .extend(partition.replicas.iter().map(|r| r.server));
                     let size = partition.size_bytes();
-                    let target = {
-                        let ctx = PlacementContext {
-                            cluster: &self.cluster,
-                            board: &self.board,
-                            topology: &self.topology,
-                            economy: &self.config.economy,
-                        };
-                        let PartitionState {
-                            region_queries,
-                            prox_cache,
-                            ..
-                        } = &mut *partition;
-                        select_target(
-                            &mut self.index,
-                            self.config.brute_force_placement,
-                            &ctx,
-                            &self.servers_scratch,
-                            size,
-                            region_queries,
-                            prox_cache,
-                            None,
-                        )
+                    let target = match slot {
+                        Some(slot) => {
+                            let pre = self.pipeline.pre[slot];
+                            // Eligible while the board still holds its
+                            // frozen prices and the membership the walk
+                            // saw is untouched; touched-server validation
+                            // then decides (see `economic_decisions`).
+                            let spec_live = pre.spec_computed
+                                && self.board.version() == frozen_board
+                                && partition.membership_version == pre.membership_version;
+                            let mut honored = spec_live && self.spec_touched.is_empty();
+                            let target = if honored {
+                                pre.spec
+                            } else {
+                                let ctx = PlacementContext {
+                                    cluster: &self.cluster,
+                                    board: &self.board,
+                                    topology: &self.topology,
+                                    economy: &self.config.economy,
+                                };
+                                let PartitionState {
+                                    region_queries,
+                                    prox_cache,
+                                    ..
+                                } = &mut *partition;
+                                let (target, h) = resolve_spec_target(
+                                    &mut self.index,
+                                    false,
+                                    &ctx,
+                                    &self.servers_scratch,
+                                    size,
+                                    region_queries,
+                                    prox_cache,
+                                    None,
+                                    spec_live,
+                                    &pre,
+                                    spec_reads(&self.pipeline, &pre),
+                                    &mut self.spec_touched,
+                                    &mut self.spec_locs,
+                                );
+                                honored = h;
+                                target
+                            };
+                            if honored {
+                                actions.spec_hits += 1;
+                            } else {
+                                actions.spec_misses += 1;
+                            }
+                            target
+                        }
+                        None => {
+                            let ctx = PlacementContext {
+                                cluster: &self.cluster,
+                                board: &self.board,
+                                topology: &self.topology,
+                                economy: &self.config.economy,
+                            };
+                            let PartitionState {
+                                region_queries,
+                                prox_cache,
+                                ..
+                            } = &mut *partition;
+                            select_target(
+                                &mut self.index,
+                                self.config.brute_force_placement,
+                                &ctx,
+                                &self.servers_scratch,
+                                size,
+                                region_queries,
+                                prox_cache,
+                                None,
+                            )
+                        }
                     };
                     let Some((target, _)) = target else {
                         actions.blocked_transfers += 1;
@@ -1313,6 +1629,7 @@ impl SkuteCloud {
                         actions.replicated_bytes += t.logical;
                         actions.measured_replicated_bytes += t.measured;
                         self.note_index(&[target]);
+                        self.spec_touched.record(target, true);
                     } else {
                         actions.blocked_transfers += 1;
                         break;

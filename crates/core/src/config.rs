@@ -1,7 +1,7 @@
 //! Cloud-wide configuration.
 
 use skute_economy::EconomyConfig;
-use skute_store::BackendKind;
+use skute_store::{BackendKind, FaultPlan};
 
 /// Number of bytes in a mebibyte.
 const MIB: u64 = 1024 * 1024;
@@ -63,6 +63,21 @@ pub struct SkuteConfig {
     /// share; only durability and the measured transfer counters differ
     /// (CI's determinism matrix compares the two).
     pub backend: BackendKind,
+    /// Seeded storage-fault plan replica stores run under (LSM only; the
+    /// mem oracle has no IO path to fault). Injected faults are transient
+    /// by construction and repaired inside the store's IO path, so
+    /// same-seed same-plan trajectories stay **bitwise identical** —
+    /// degradation surfaces only in fault statistics and measured
+    /// transfer bytes (`skute-sim --fault-plan` / `--fault-seed`).
+    pub fault_plan: FaultPlan,
+    /// Routes the availability-repair pass through the purely sequential
+    /// per-repair target walk instead of the plan/validate protocol (a
+    /// parallel speculative prepass over the below-threshold partitions,
+    /// then read-set validation at commit). The two are **bit-for-bit
+    /// identical** up to the speculation hit/miss counters; this switch
+    /// exists as the equivalence oracle for tests and CI's fault matrix
+    /// (`skute-sim --sequential-repair`).
+    pub sequential_repair: bool,
     /// Worker threads of the epoch pipeline's parallel phases (`0` = the
     /// machine's available parallelism; explicit budgets are honored
     /// exactly — beyond the host's core count that costs wall clock,
@@ -87,6 +102,8 @@ impl SkuteConfig {
             sequential_traffic_commit: false,
             no_speculation: false,
             backend: BackendKind::Mem,
+            fault_plan: FaultPlan::none(),
+            sequential_repair: false,
             threads: 1,
         }
     }
@@ -140,6 +157,32 @@ impl SkuteConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with replica stores running under the given
+    /// storage-fault plan (see the field docs). The trajectory stays
+    /// bitwise identical; only fault statistics and measured transfer
+    /// bytes change.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Returns a copy injecting **every** fault family, seeded with
+    /// `seed` (`skute-sim --fault-seed`).
+    #[must_use]
+    pub fn with_fault_seed(self, seed: u64) -> Self {
+        self.with_fault_plan(FaultPlan::all(seed))
+    }
+
+    /// Returns a copy routed through the sequential availability-repair
+    /// walk (the equivalence oracle; see the field docs). Trajectories
+    /// stay bitwise identical up to the speculation hit/miss counters.
+    #[must_use]
+    pub fn with_sequential_repair(mut self) -> Self {
+        self.sequential_repair = true;
         self
     }
 
@@ -226,6 +269,29 @@ mod tests {
         let b = a.with_backend(BackendKind::Lsm);
         assert_eq!(a.backend, BackendKind::Mem);
         assert_eq!(b.backend, BackendKind::Lsm);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.threads, b.threads);
+        b.validate();
+    }
+
+    #[test]
+    fn with_fault_plan_flips_only_the_plan() {
+        let a = SkuteConfig::paper();
+        let b = a.with_fault_seed(7);
+        assert!(!a.fault_plan.is_active());
+        assert!(b.fault_plan.is_active());
+        assert_eq!(b.fault_plan.seed, 7);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.backend, b.backend);
+        b.validate();
+    }
+
+    #[test]
+    fn with_sequential_repair_flips_only_the_oracle_flag() {
+        let a = SkuteConfig::paper();
+        let b = a.with_sequential_repair();
+        assert!(!a.sequential_repair);
+        assert!(b.sequential_repair);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.threads, b.threads);
         b.validate();

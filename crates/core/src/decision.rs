@@ -85,6 +85,14 @@ pub struct ActionCounts {
     /// action genuinely overlapped the walk's reads (or changed the
     /// partition's membership) — and re-walked on the live state.
     pub spec_misses: u64,
+    /// Quarantined replicas re-seeded from a healthy peer by the scrub
+    /// pass. Observability only — the rebuild restores the replica's
+    /// converged contents, so the trajectory never moves.
+    pub scrub_rebuilds: u64,
+    /// Bytes scrub rebuilds *physically* streamed from healthy peers (see
+    /// [`ActionCounts::measured_replicated_bytes`] for why measured
+    /// counters stay out of decisions and the CSV).
+    pub measured_scrub_bytes: u64,
 }
 
 impl ActionCounts {
@@ -136,6 +144,8 @@ impl ActionCounts {
         self.measured_migrated_bytes += other.measured_migrated_bytes;
         self.spec_hits += other.spec_hits;
         self.spec_misses += other.spec_misses;
+        self.scrub_rebuilds += other.scrub_rebuilds;
+        self.measured_scrub_bytes += other.measured_scrub_bytes;
     }
 }
 
@@ -382,6 +392,8 @@ mod tests {
             measured_migrated_bytes: 70,
             spec_hits: 9,
             spec_misses: 1,
+            scrub_rebuilds: 2,
+            measured_scrub_bytes: 40,
         };
         let b = a;
         a.merge(&b);
@@ -392,6 +404,8 @@ mod tests {
         assert_eq!(a.measured_transferred_bytes(), 400);
         assert_eq!(a.spec_hits, 18);
         assert_eq!(a.spec_misses, 2);
+        assert_eq!(a.scrub_rebuilds, 4);
+        assert_eq!(a.measured_scrub_bytes, 80);
         assert_eq!(a.spec_hit_rate(), Some(0.9));
         assert_eq!(ActionCounts::default().spec_hit_rate(), None);
     }

@@ -65,7 +65,7 @@ pub use cloud::{SkuteCloud, TrafficBatch};
 pub use config::SkuteConfig;
 pub use decision::{Action, ActionCounts};
 pub use error::CoreError;
-pub use metrics::{AntiEntropyReport, EpochReport, RingReport};
+pub use metrics::{AntiEntropyReport, EpochReport, RingReport, ScrubReport};
 pub use pipeline::EpochPipeline;
 pub use placement::{PlacementContext, PlacementIndex, PlacementStrategy, WalkScratch};
 pub use vnode::{DeliveryPlan, PartitionState, Replica, VnodeId};

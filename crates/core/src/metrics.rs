@@ -116,6 +116,27 @@ pub struct AntiEntropyReport {
     pub replicas_deferred: usize,
 }
 
+/// Outcome of one [`crate::SkuteCloud::scrub_quarantined`] pass over a
+/// ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Replica stores scanned (every replica of every partition).
+    pub replicas_scanned: usize,
+    /// Replicas whose scrub found unrecoverable corruption (checksum
+    /// failures that survived the store's bounded read retries).
+    pub replicas_quarantined: usize,
+    /// Quarantined replicas re-seeded from the LWW union of their
+    /// partition's healthy peers.
+    pub replicas_rebuilt: usize,
+    /// Quarantined replicas left in place because their server could not
+    /// absorb the union's extra bytes (retried after the economy
+    /// rebalances).
+    pub replicas_deferred: usize,
+    /// Partitions whose every replica was quarantined: no healthy peer
+    /// exists to rebuild from, so the data is lost to the scrub.
+    pub partitions_unrecoverable: usize,
+}
+
 /// Mean and coefficient of variation of a sample.
 pub(crate) fn mean_cv(samples: &[f64]) -> (f64, f64) {
     if samples.is_empty() {

@@ -423,6 +423,125 @@ impl EpochPipeline {
         (reclaim(ctx), results.into_iter().flatten().collect())
     }
 
+    /// The repair pass's parallel plan pass: one speculative eq.-(3)
+    /// target query per below-threshold candidate partition against the
+    /// frozen index snapshot, filling [`EpochPipeline::pre`] with one
+    /// slot per candidate in flat (ring, partition) order. The sequential
+    /// commit (the seeded shuffle scan of
+    /// `crate::SkuteCloud::repair_availability`) honors each speculation
+    /// on a candidate's **first** repair iteration while read-set
+    /// validation holds, and re-walks the live state otherwise — follow-up
+    /// iterations always re-walk, exactly like the sequential oracle.
+    pub(crate) fn repairs_prepass(
+        &mut self,
+        cluster: Cluster,
+        board: Board,
+        topology: Arc<Topology>,
+        economy: EconomyConfig,
+        index: PlacementIndex,
+        items: Vec<DecisionItem>,
+    ) -> (Cluster, Board, PlacementIndex, Vec<DecisionItem>) {
+        let chunk = phase_chunk(items.len());
+        let chunks = split_chunks(items, chunk);
+        let n_chunks = chunks.len();
+        self.states.truncate(n_chunks);
+        while self.states.len() < n_chunks {
+            self.states.push(DecisionScratch::default());
+        }
+        self.slot_bufs.truncate(n_chunks);
+        while self.slot_bufs.len() < n_chunks {
+            self.slot_bufs.push(Vec::new());
+        }
+        let tasks: Vec<(Vec<DecisionItem>, Vec<PreDecision>, DecisionScratch)> = chunks
+            .into_iter()
+            .zip(self.slot_bufs.iter_mut().map(std::mem::take))
+            .zip(self.states.iter_mut().map(std::mem::take))
+            .map(|((items, mut slots), mut scratch)| {
+                slots.clear();
+                scratch.reads.clear();
+                (items, slots, scratch)
+            })
+            .collect();
+        let ctx = Arc::new(DecisionCtx {
+            cluster,
+            board,
+            topology,
+            economy,
+            index,
+            brute_force: false,
+            speculation: true,
+            min_rent: None,
+        });
+        let job_ctx = Arc::clone(&ctx);
+        let results = self
+            .pool
+            .run_tasks(tasks, move |_, (mut items, mut slots, mut scratch)| {
+                let inputs = DecisionInputs {
+                    cluster: &job_ctx.cluster,
+                    board: &job_ctx.board,
+                    topology: &job_ctx.topology,
+                    economy: &job_ctx.economy,
+                    index: &job_ctx.index,
+                    brute_force: job_ctx.brute_force,
+                    speculation: job_ctx.speculation,
+                    min_rent: job_ctx.min_rent,
+                };
+                for item in &mut items {
+                    plan_one_repair(&mut item.part, &inputs, &mut slots, &mut scratch);
+                }
+                (items, slots, scratch)
+            });
+        // Chunk order = flat candidate order: splice exactly like the
+        // decision prepass.
+        self.pre.clear();
+        self.spec_reads.clear();
+        let mut items_back: Vec<DecisionItem> = Vec::new();
+        for (ci, (items, slots, scratch)) in results.into_iter().enumerate() {
+            items_back.extend(items);
+            let base = self.spec_reads.len() as u32;
+            self.spec_reads.extend_from_slice(&scratch.reads);
+            let start = self.pre.len();
+            self.pre.extend_from_slice(&slots);
+            if base > 0 {
+                for p in &mut self.pre[start..] {
+                    p.spec_reads_start += base;
+                }
+            }
+            self.slot_bufs[ci] = slots;
+            self.states[ci] = scratch;
+        }
+        let ctx = reclaim(ctx);
+        (ctx.cluster, ctx.board, ctx.index, items_back)
+    }
+
+    /// The single-thread fast path of the repair plan pass: identical
+    /// per-candidate arithmetic run in place over borrowed partitions.
+    /// `items` must yield the candidates in flat (ring, partition) order
+    /// so the slot layout matches the owned dispatch exactly.
+    pub(crate) fn repairs_prepass_inline<'a>(
+        &mut self,
+        items: impl Iterator<Item = &'a mut PartitionState>,
+        inputs: &DecisionInputs<'_>,
+    ) {
+        if self.states.is_empty() {
+            self.states.push(DecisionScratch::default());
+        }
+        let Self {
+            pre,
+            states,
+            spec_reads,
+            ..
+        } = self;
+        let scratch = &mut states[0];
+        scratch.reads.clear();
+        pre.clear();
+        for part in items {
+            plan_one_repair(part, inputs, pre, scratch);
+        }
+        spec_reads.clear();
+        std::mem::swap(spec_reads, &mut scratch.reads);
+    }
+
     // ------------------------------------------------------------------
     // Phase 3: economic decisions — parallel plan pass
     // ------------------------------------------------------------------
@@ -992,6 +1111,53 @@ fn plan_one_decision(
         }
         slots.push(pre);
     }
+}
+
+/// One candidate partition's slice of the repair plan pass: a single
+/// speculative eq.-(3) replication target (no rent cap — the repair pass
+/// buys availability at any price, exactly like its sequential walk) with
+/// the walk's read set recorded. One [`PreDecision`] slot per candidate;
+/// only the speculation fields and the membership version are meaningful.
+fn plan_one_repair(
+    part: &mut PartitionState,
+    ctx: &DecisionInputs<'_>,
+    slots: &mut Vec<PreDecision>,
+    scratch: &mut DecisionScratch,
+) {
+    let pctx = PlacementContext {
+        cluster: ctx.cluster,
+        board: ctx.board,
+        topology: ctx.topology,
+        economy: ctx.economy,
+    };
+    let mut pre = PreDecision {
+        membership_version: part.membership_version,
+        ..PreDecision::default()
+    };
+    scratch.servers.clear();
+    scratch
+        .servers
+        .extend(part.replicas.iter().map(|r| r.server));
+    let size = part.size_bytes();
+    let PartitionState {
+        region_queries,
+        prox_cache,
+        ..
+    } = &mut *part;
+    pre.spec = speculate(
+        ctx.index,
+        ctx.brute_force,
+        &pctx,
+        &scratch.servers,
+        size,
+        region_queries,
+        prox_cache,
+        None,
+        &mut scratch.walk,
+    );
+    pre.spec_computed = true;
+    record_spec_reads(&mut pre, scratch);
+    slots.push(pre);
 }
 
 /// Memoized eq.-(2) availability of a partition's current replica set,

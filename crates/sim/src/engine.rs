@@ -184,6 +184,22 @@ impl Simulation {
                     self.cloud.retire_server(id);
                 }
             }
+            CloudEvent::CountryOutage { continent, country } => {
+                // Fully determined by the topology: every alive server in
+                // the country fails, in ascending id order, consuming no
+                // randomness (the RNG stream stays aligned with runs that
+                // schedule no outage).
+                let victims: Vec<_> = self
+                    .cloud
+                    .cluster()
+                    .alive()
+                    .filter(|s| s.location.continent == continent && s.location.country == country)
+                    .map(|s| s.id)
+                    .collect();
+                for id in victims {
+                    self.cloud.retire_server(id);
+                }
+            }
         }
     }
 

@@ -18,6 +18,19 @@ pub enum CloudEvent {
         /// Number of servers to fail.
         count: usize,
     },
+    /// Correlated outage: **every** alive server located in one country
+    /// fails in the same epoch (a grid or backbone failure). Unlike
+    /// [`CloudEvent::RemoveServers`] the victims are not sampled — the
+    /// event is fully determined by the topology, consumes no randomness,
+    /// and stresses exactly what eq. (2) prices: partitions whose replica
+    /// sets leaned on that country's diversity lose several replicas at
+    /// once.
+    CountryOutage {
+        /// Continent index of the failing country.
+        continent: u16,
+        /// Country index within the continent.
+        country: u16,
+    },
 }
 
 /// An epoch-indexed schedule of [`CloudEvent`]s.
@@ -65,8 +78,22 @@ mod tests {
         let s = Schedule::new()
             .at(100, CloudEvent::AddServers { count: 20 })
             .at(200, CloudEvent::RemoveServers { count: 20 })
-            .at(100, CloudEvent::RemoveServers { count: 1 });
-        assert_eq!(s.len(), 3);
+            .at(100, CloudEvent::RemoveServers { count: 1 })
+            .at(
+                300,
+                CloudEvent::CountryOutage {
+                    continent: 0,
+                    country: 1,
+                },
+            );
+        assert_eq!(s.len(), 4);
+        assert_eq!(
+            s.events_at(300),
+            &[CloudEvent::CountryOutage {
+                continent: 0,
+                country: 1
+            }]
+        );
         assert_eq!(
             s.events_at(100),
             &[

@@ -116,6 +116,27 @@ pub fn fig5_scenario() -> Scenario {
     s
 }
 
+/// Correlated-outage stress: the base scenario with **every** server of
+/// the topology's first country failing in the same epoch (epoch 40) — a
+/// tenth of the fleet, all in one diversity domain of eq. (2). Where the
+/// Fig. 3 failure scatters 20 random losses across the cloud, this burst
+/// concentrates them: partitions whose replica sets leaned on the
+/// country's diversity lose several replicas at once, and the repair
+/// pass absorbs the whole backlog under its per-epoch cap. The scenario
+/// backs the fault-matrix determinism checks (`skute-sim outage`).
+pub fn outage_scenario() -> Scenario {
+    let mut s = base_scenario();
+    s.name = "outage-burst".into();
+    s.epochs = 80;
+    let (continent, country) = s
+        .topology
+        .iter_countries()
+        .next()
+        .expect("the paper topology has countries");
+    s.schedule = Schedule::new().at(40, CloudEvent::CountryOutage { continent, country });
+    s
+}
+
 /// A scaled-down variant of the base scenario for tests and quick runs:
 /// `partitions` per app, `queries_per_epoch` λ, same 2/3/4-replica SLAs,
 /// smaller partitions (4 MiB), `epochs` epochs.
@@ -213,8 +234,23 @@ mod tests {
             fig3_scenario(),
             fig4_scenario(),
             fig5_scenario(),
+            outage_scenario(),
         ] {
             s.validate();
         }
+    }
+
+    #[test]
+    fn outage_scenario_targets_a_real_country() {
+        let s = outage_scenario();
+        let events = s.schedule.events_at(40);
+        assert_eq!(events.len(), 1);
+        let CloudEvent::CountryOutage { continent, country } = events[0] else {
+            panic!("expected a country outage");
+        };
+        assert!(s
+            .topology
+            .iter_countries()
+            .any(|(ct, co)| ct == continent && co == country));
     }
 }

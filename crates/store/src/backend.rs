@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use skute_ring::{KeyHasher, KeyRange};
 
 use crate::engine::PartitionStore;
+use crate::faults::{FaultPlan, FaultStats};
 use crate::lsm::LsmStore;
 use crate::merkle::{MerkleBuilder, MerkleSummary};
 use crate::shared::CowPartitionStore;
@@ -266,9 +267,17 @@ impl Default for ReplicaStore {
 impl ReplicaStore {
     /// A fresh, empty store of the requested kind.
     pub fn open(kind: BackendKind) -> Self {
+        Self::open_with(kind, FaultPlan::none())
+    }
+
+    /// A fresh, empty store of the requested kind, running under `plan`
+    /// (the mem oracle has no IO path and ignores it).
+    pub fn open_with(kind: BackendKind, plan: FaultPlan) -> Self {
         match kind {
             BackendKind::Mem => ReplicaStore::Mem(CowPartitionStore::new()),
-            BackendKind::Lsm => ReplicaStore::Lsm(Arc::new(Mutex::new(LsmStore::create()))),
+            BackendKind::Lsm => {
+                ReplicaStore::Lsm(Arc::new(Mutex::new(LsmStore::create_with(plan))))
+            }
         }
     }
 
@@ -448,6 +457,44 @@ impl ReplicaStore {
     pub fn flush(&mut self) {
         if let ReplicaStore::Lsm(s) = self {
             s.lock().flush();
+        }
+    }
+
+    /// Re-verifies every on-disk checksum (a real scrub read on durable
+    /// engines), quarantining the store on persistent corruption. Returns
+    /// `true` when healthy; the mem oracle always is.
+    pub fn verify(&mut self) -> bool {
+        match self {
+            ReplicaStore::Mem(_) => true,
+            ReplicaStore::Lsm(s) => s.lock().verify(),
+        }
+    }
+
+    /// True when unrecoverable corruption was detected; the replica must
+    /// be re-seeded from a healthy peer.
+    pub fn is_quarantined(&self) -> bool {
+        match self {
+            ReplicaStore::Mem(_) => false,
+            ReplicaStore::Lsm(s) => s.lock().quarantined(),
+        }
+    }
+
+    /// Counters of injected faults recovered from (`None` for the mem
+    /// oracle, which has no IO path to fault).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match self {
+            ReplicaStore::Mem(_) => None,
+            ReplicaStore::Lsm(s) => Some(s.lock().fault_stats()),
+        }
+    }
+
+    /// Deliberately corrupts the newest sorted run (the fault-injection
+    /// helper forging persistent corruption); `false` for the mem oracle
+    /// or a store without runs.
+    pub fn corrupt_newest_run(&mut self) -> bool {
+        match self {
+            ReplicaStore::Mem(_) => false,
+            ReplicaStore::Lsm(s) => s.lock().corrupt_newest_run(),
         }
     }
 }

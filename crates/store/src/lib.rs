@@ -25,7 +25,13 @@
 //!   bit-exact oracle (its physical footprint *is* its logical footprint),
 //! * [`LsmStore`] — the durable engine: WAL append + replay, `BTreeMap`
 //!   memtable, size-triggered SSTable flushes with sparse indexes, a
-//!   newest-first leveled read path, and size-tiered compaction,
+//!   newest-first leveled read path, and size-tiered compaction — with
+//!   CRC32-checked records, torn-tail truncation on replay, and
+//!   quarantine of unrecoverable corruption,
+//! * [`faults`] — seeded, deterministic storage-fault injection
+//!   ([`FaultPlan`] / [`FaultInjector`]): torn WAL tails, failed fsyncs,
+//!   partial flushes, mid-copy aborts and transient read flips, all
+//!   transient by construction and repaired by bounded retries,
 //! * [`ReplicaStore`] — the enum-dispatched store a replica carries
 //!   ([`BackendKind::Mem`] or [`BackendKind::Lsm`]), with explicit
 //!   [`ReplicaStore::fork`] for replication that reports measured bytes,
@@ -40,6 +46,7 @@
 pub mod backend;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod lsm;
 pub mod merkle;
 pub mod quorum;
@@ -50,6 +57,7 @@ mod shared;
 pub use backend::{AntiEntropyUnion, BackendKind, ReplicaStore, StorageBackend};
 pub use engine::PartitionStore;
 pub use error::StoreError;
+pub use faults::{FaultInjector, FaultPlan, FaultPlanKind, FaultStats};
 pub use lsm::LsmStore;
 pub use merkle::{diff_buckets, MerkleBuilder, MerkleSummary};
 pub use quorum::QuorumConfig;

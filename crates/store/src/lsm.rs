@@ -33,21 +33,53 @@
 //! Once more than [`MAX_TABLES`] runs of the tier accumulate, a size-tiered
 //! compaction collapses them into a single run.
 //!
+//! # Crash consistency and faults
+//!
+//! Every encoded entry carries an IEEE CRC32 trailer, in the WAL and in
+//! every sorted run alike. Recovery on [`open`](LsmStore::open) enforces
+//! three rules:
+//!
+//! 1. **Torn WAL tails truncate.** Replay stops at the first record that
+//!    is short or fails its checksum, and the log is physically truncated
+//!    back to the last whole record. A record past that point was still
+//!    in flight at the crash — it was never acknowledged — so no acked
+//!    write is lost.
+//! 2. **A partial newest run is discarded.** Flushes make the new run
+//!    (and its directory entry) durable *before* the WAL shrinks, and
+//!    compaction deletes its inputs only *after* the merged run is
+//!    durable, so a short newest run is an unfinished flush/compaction
+//!    whose entries still live in the WAL or the older runs.
+//! 3. **Anything else quarantines.** Full-length data failing its
+//!    checksum cannot be repaired locally; the store is marked
+//!    [`quarantined`](LsmStore::quarantined) and the cluster layer
+//!    re-seeds the replica from a healthy peer (priced as a real,
+//!    measured transfer).
+//!
+//! In-path faults come from an optional [`FaultInjector`] (seeded by the
+//! run's [`FaultPlan`]): torn appends, failed fsyncs, partial flushes,
+//! mid-copy fork aborts and transient read flips. Every injected fault is
+//! transient and repaired by a bounded retry with deterministic backoff,
+//! so a faulted store's *logical* state is bit-identical to an unfaulted
+//! one — degradation shows up only in [`FaultStats`] and in measured
+//! transfer bytes.
+//!
 //! The directory is created lazily on the first accepted write, so the
 //! thousands of empty replica stores of a cold simulation cost no
-//! filesystem traffic at all. I/O failures are simulation-fatal and panic;
+//! filesystem traffic at all. Unexpected I/O failures (as opposed to
+//! injected or recoverable ones) are simulation-fatal and panic;
 //! [`crate::StoreError`] stays `Clone + Eq` and carries no I/O variants.
 
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use skute_ring::{KeyHasher, KeyRange};
 
 use crate::engine::PartitionStore;
+use crate::faults::{crc32, FaultInjector, FaultPlan, FaultStats};
 use crate::value::{Record, Version};
 
 /// WAL file name within a store directory.
@@ -62,6 +94,21 @@ const MAX_TABLES: usize = 4;
 
 /// Default memtable flush threshold (encoded bytes).
 pub const DEFAULT_FLUSH_THRESHOLD: u64 = 64 * 1024;
+
+/// Bytes of the CRC32 trailer on every encoded entry.
+const CRC_LEN: u64 = 4;
+
+/// Sanity cap on decoded field lengths: a corrupt length field must not
+/// drive a multi-gigabyte allocation before the checksum gets a say.
+const MAX_FIELD: usize = 1 << 28;
+
+/// Retry budget for injected-fault recovery loops. The injector caps
+/// consecutive faults well below this, so the budget never exhausts; the
+/// assert is a backstop against a miswired injector.
+const MAX_IO_RETRIES: u32 = 8;
+
+/// Exponent cap for the simulated deterministic backoff accounting.
+const BACKOFF_CAP: u32 = 6;
 
 static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -79,16 +126,18 @@ fn entry_size(key: &[u8], record: &Record) -> u64 {
     key.len() as u64 + record.logical_size
 }
 
-/// Encoded length of one WAL/SSTable entry.
+/// Encoded length of one WAL/SSTable entry, CRC trailer included.
 fn encoded_len(key: &[u8], record: &Record) -> u64 {
     let value_len = record.value.as_ref().map_or(0, |v| v.len());
-    (4 + key.len() + 1 + 4 + value_len + 8 + 8 + 4 + 8) as u64
+    (4 + key.len() + 1 + 4 + value_len + 8 + 8 + 4 + 8) as u64 + CRC_LEN
 }
 
 /// Appends one encoded entry to `buf`:
 /// `key_len u32 | key | live u8 | value_len u32 | value | epoch u64 |
-/// seq u64 | writer u32 | logical_size u64` (all little-endian).
+/// seq u64 | writer u32 | logical_size u64 | crc32 u32` (all
+/// little-endian; the CRC covers every preceding byte of the entry).
 fn encode_entry(buf: &mut Vec<u8>, key: &[u8], record: &Record) {
+    let start = buf.len();
     buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
     buf.extend_from_slice(key);
     match &record.value {
@@ -106,57 +155,101 @@ fn encode_entry(buf: &mut Vec<u8>, key: &[u8], record: &Record) {
     buf.extend_from_slice(&record.version.seq.to_le_bytes());
     buf.extend_from_slice(&record.version.writer.to_le_bytes());
     buf.extend_from_slice(&record.logical_size.to_le_bytes());
+    let crc = crc32(&buf[start..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
 }
 
-/// Reads the 4-byte entry header, distinguishing clean EOF (`None`) from a
-/// truncated file (panic).
-fn read_header(r: &mut impl Read) -> Option<u32> {
-    let mut buf = [0u8; 4];
+/// Why an entry failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryError {
+    /// The file ended mid-record: a torn tail or an unfinished write.
+    Truncated,
+    /// A full-length record failed its checksum (or carried an insane
+    /// length field): corruption, not a tear.
+    Corrupt,
+}
+
+/// Reads `len` bytes into `raw` (so the checksum can cover them), returning
+/// the start offset of the field within `raw`.
+fn read_field(r: &mut impl Read, raw: &mut Vec<u8>, len: usize) -> Result<usize, EntryError> {
+    let start = raw.len();
+    raw.resize(start + len, 0);
+    r.read_exact(&mut raw[start..])
+        .map_err(|_| EntryError::Truncated)?;
+    Ok(start)
+}
+
+fn field_u32(raw: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(raw[at..at + 4].try_into().expect("4-byte field"))
+}
+
+fn field_u64(raw: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(raw[at..at + 8].try_into().expect("8-byte field"))
+}
+
+/// Decodes and checksum-verifies one entry. `Ok(None)` is clean EOF;
+/// `raw` is left holding the entry's bytes (CRC excluded), so the caller
+/// can account `raw.len() + CRC_LEN` consumed bytes.
+fn try_read_entry(
+    r: &mut impl Read,
+    raw: &mut Vec<u8>,
+) -> Result<Option<(Bytes, Record)>, EntryError> {
+    raw.clear();
+    // Header read distinguishes clean EOF (no bytes at all) from a tear.
+    let mut hdr = [0u8; 4];
     let mut got = 0;
     while got < 4 {
-        match r.read(&mut buf[got..]) {
-            Ok(0) if got == 0 => return None,
-            Ok(0) => panic!("lsm: truncated entry header"),
+        match r.read(&mut hdr[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(EntryError::Truncated),
             Ok(n) => got += n,
-            Err(e) => panic!("lsm: read failed: {e}"),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(EntryError::Truncated),
         }
     }
-    Some(u32::from_le_bytes(buf))
-}
-
-fn read_exact_buf(r: &mut impl Read, len: usize) -> Vec<u8> {
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf).expect("lsm: truncated entry body");
-    buf
-}
-
-fn read_u32(r: &mut impl Read) -> u32 {
-    u32::from_le_bytes(read_exact_buf(r, 4).try_into().unwrap())
-}
-
-fn read_u64(r: &mut impl Read) -> u64 {
-    u64::from_le_bytes(read_exact_buf(r, 8).try_into().unwrap())
-}
-
-/// Decodes one entry, or `None` at clean EOF.
-fn read_entry(r: &mut impl Read) -> Option<(Bytes, Record)> {
-    let key_len = read_header(r)? as usize;
-    let key = Bytes::from(read_exact_buf(r, key_len));
-    let live = read_exact_buf(r, 1)[0] != 0;
-    let value_len = read_u32(r) as usize;
-    let value = live.then(|| Bytes::from(read_exact_buf(r, value_len)));
-    let epoch = read_u64(r);
-    let seq = read_u64(r);
-    let writer = read_u32(r);
-    let logical_size = read_u64(r);
-    Some((
+    raw.extend_from_slice(&hdr);
+    let key_len = u32::from_le_bytes(hdr) as usize;
+    if key_len > MAX_FIELD {
+        return Err(EntryError::Corrupt);
+    }
+    let key_at = read_field(r, raw, key_len)?;
+    let live_at = read_field(r, raw, 1)?;
+    let live = raw[live_at] != 0;
+    let vlen_at = read_field(r, raw, 4)?;
+    let value_len = field_u32(raw, vlen_at) as usize;
+    if value_len > MAX_FIELD {
+        return Err(EntryError::Corrupt);
+    }
+    let val_at = read_field(r, raw, if live { value_len } else { 0 })?;
+    let tail_at = read_field(r, raw, 8 + 8 + 4 + 8)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)
+        .map_err(|_| EntryError::Truncated)?;
+    if crc32(raw) != u32::from_le_bytes(crc_buf) {
+        return Err(EntryError::Corrupt);
+    }
+    let key = Bytes::from(raw[key_at..key_at + key_len].to_vec());
+    let value = live.then(|| Bytes::from(raw[val_at..val_at + value_len].to_vec()));
+    let epoch = field_u64(raw, tail_at);
+    let seq = field_u64(raw, tail_at + 8);
+    let writer = field_u32(raw, tail_at + 16);
+    let logical_size = field_u64(raw, tail_at + 20);
+    Ok(Some((
         key,
         Record {
             value,
             version: Version::new(epoch, seq, writer),
             logical_size,
         },
-    ))
+    )))
+}
+
+/// Makes a directory entry durable (fsync on the directory handle where
+/// the platform supports it; best-effort elsewhere).
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
 }
 
 /// One immutable sorted run on disk plus its in-memory sparse index.
@@ -171,30 +264,35 @@ struct SsTable {
 }
 
 impl SsTable {
-    /// Opens a run, scanning it once to rebuild the sparse index.
-    fn open(path: PathBuf) -> Self {
+    /// Opens a run, scanning it once to rebuild the sparse index and
+    /// verify every entry's checksum.
+    fn open(path: PathBuf) -> Result<Self, EntryError> {
         let file = File::open(&path).expect("lsm: open sstable");
         let bytes = file.metadata().expect("lsm: stat sstable").len();
         let mut index = Vec::new();
         let mut reader = BufReader::new(&file);
+        let mut raw = Vec::new();
         let mut offset = 0u64;
         let mut n = 0usize;
-        while let Some((key, record)) = read_entry(&mut reader) {
+        while let Some((key, _)) = try_read_entry(&mut reader, &mut raw)? {
             if n % INDEX_EVERY == 0 {
-                index.push((key.clone(), offset));
+                index.push((key, offset));
             }
-            offset += encoded_len(&key, &record);
+            offset += raw.len() as u64 + CRC_LEN;
             n += 1;
         }
-        Self {
+        Ok(Self {
             path,
             file,
             index,
             bytes,
-        }
+        })
     }
 
     /// Point lookup: seek to the sparse-index floor and scan the block.
+    /// A decode failure mid-scan reads as a miss — the run was verified
+    /// at open, so this only happens under later on-disk corruption,
+    /// which quarantine-and-rebuild handles.
     fn get(&self, key: &[u8]) -> Option<Record> {
         let at = self.index.partition_point(|(k, _)| k.as_ref() <= key);
         if at == 0 {
@@ -205,7 +303,8 @@ impl SsTable {
         reader
             .seek(SeekFrom::Start(start))
             .expect("lsm: seek sstable");
-        while let Some((k, record)) = read_entry(&mut reader) {
+        let mut raw = Vec::new();
+        while let Ok(Some((k, record))) = try_read_entry(&mut reader, &mut raw) {
             match k.as_ref().cmp(key) {
                 std::cmp::Ordering::Equal => return Some(record),
                 std::cmp::Ordering::Greater => return None,
@@ -215,19 +314,38 @@ impl SsTable {
         None
     }
 
-    /// Full scan in key order.
+    /// Full scan in key order; stops at the first undecodable entry (see
+    /// [`SsTable::get`] on when that can happen).
     fn for_each(&self, f: &mut dyn FnMut(Bytes, Record)) {
         let mut reader = BufReader::new(&self.file);
         reader.seek(SeekFrom::Start(0)).expect("lsm: seek sstable");
-        while let Some((k, record)) = read_entry(&mut reader) {
+        let mut raw = Vec::new();
+        while let Ok(Some((k, record))) = try_read_entry(&mut reader, &mut raw) {
             f(k, record);
+        }
+    }
+
+    /// Re-reads the whole run, verifying every checksum.
+    fn scan_ok(&self) -> bool {
+        let mut reader = BufReader::new(&self.file);
+        if reader.seek(SeekFrom::Start(0)).is_err() {
+            return false;
+        }
+        let mut raw = Vec::new();
+        loop {
+            match try_read_entry(&mut reader, &mut raw) {
+                Ok(Some(_)) => {}
+                Ok(None) => return true,
+                Err(_) => return false,
+            }
         }
     }
 }
 
 /// A durable log-structured store for one replica of one partition: WAL +
 /// `BTreeMap` memtable + sorted runs with sparse indexes. See the module
-/// docs for the file layout and the read/write paths.
+/// docs for the file layout, the read/write paths, and the crash-
+/// consistency rules.
 ///
 /// Accounting ([`LsmStore::logical_bytes`], [`LsmStore::len`]) follows the
 /// in-memory engine's arithmetic exactly; [`LsmStore::physical_bytes`]
@@ -249,17 +367,35 @@ pub struct LsmStore {
     logical_bytes: u64,
     key_count: usize,
     flush_threshold: u64,
+    /// The fault plan this store (and every store it forks or splits off)
+    /// runs under.
+    plan: FaultPlan,
+    injector: Option<FaultInjector>,
+    stats: FaultStats,
+    /// Set when unrecoverable corruption was detected; the cluster layer
+    /// re-seeds quarantined replicas from a healthy peer.
+    quarantined: bool,
 }
 
 impl LsmStore {
     /// A fresh, empty store in a process-unique temp directory. No
     /// filesystem state exists until the first accepted write.
     pub fn create() -> Self {
-        Self::create_at(fresh_store_dir())
+        Self::create_with(FaultPlan::none())
+    }
+
+    /// A fresh, empty store running under `plan`.
+    pub fn create_with(plan: FaultPlan) -> Self {
+        Self::create_at_with(fresh_store_dir(), plan)
     }
 
     /// A fresh, empty store rooted at `dir` (created lazily).
     pub fn create_at(dir: PathBuf) -> Self {
+        Self::create_at_with(dir, FaultPlan::none())
+    }
+
+    /// A fresh, empty store rooted at `dir`, running under `plan`.
+    pub fn create_at_with(dir: PathBuf, plan: FaultPlan) -> Self {
         Self {
             dir,
             initialized: false,
@@ -272,17 +408,35 @@ impl LsmStore {
             logical_bytes: 0,
             key_count: 0,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            plan,
+            injector: plan
+                .is_active()
+                .then(|| FaultInjector::for_next_store(plan)),
+            stats: FaultStats::default(),
+            quarantined: false,
         }
     }
 
     /// Opens the store persisted at `dir`: loads every sorted run, replays
     /// the WAL into the memtable, and recomputes exact accounting. A
     /// missing directory opens as a fresh empty store — crash recovery and
-    /// cold creation share one entry point.
+    /// cold creation share one entry point. Recovery applies the module's
+    /// three rules: torn WAL tails truncate, a partial newest run is
+    /// discarded, any other corruption quarantines the store.
     pub fn open(dir: PathBuf) -> Self {
+        Self::open_with(dir, FaultPlan::none())
+    }
+
+    /// [`LsmStore::open`], running the recovered store under `plan`.
+    pub fn open_with(dir: PathBuf, plan: FaultPlan) -> Self {
         if !dir.is_dir() {
-            return Self::create_at(dir);
+            return Self::create_at_with(dir, plan);
         }
+        let mut injector = plan
+            .is_active()
+            .then(|| FaultInjector::for_next_store(plan));
+        let mut stats = FaultStats::default();
+        let mut quarantined = false;
         let mut seqs: Vec<u64> = Vec::new();
         for entry in fs::read_dir(&dir).expect("lsm: read store directory") {
             let name = entry.expect("lsm: read dir entry").file_name();
@@ -294,23 +448,66 @@ impl LsmStore {
             }
         }
         seqs.sort_unstable();
-        let tables: Vec<SsTable> = seqs
-            .iter()
-            .map(|seq| SsTable::open(dir.join(format!("{seq:08}.sst"))))
-            .collect();
+        let newest = seqs.last().copied();
+        let mut tables: Vec<SsTable> = Vec::new();
+        for &seq in &seqs {
+            let path = dir.join(format!("{seq:08}.sst"));
+            match Self::open_run_retrying(&path, &mut injector, &mut stats) {
+                Ok(table) => tables.push(table),
+                Err(EntryError::Truncated) if Some(seq) == newest => {
+                    // An unfinished flush or compaction died mid-run. Its
+                    // entries are still covered by the WAL (a flush
+                    // truncates the log only after the run is durable) or
+                    // by the older runs (compaction deletes its inputs
+                    // only after the merged run is durable), so the
+                    // partial file is simply discarded.
+                    let _ = fs::remove_file(&path);
+                    stats.partial_runs_discarded += 1;
+                }
+                Err(_) => {
+                    // Full-length data failing its checksum — or a tear
+                    // in a run that cannot be an unfinished write — is
+                    // unrecoverable locally.
+                    quarantined = true;
+                }
+            }
+        }
         let next_table_seq = seqs.last().map_or(0, |s| s + 1);
         let mut memtable = BTreeMap::new();
         let mut wal_bytes = 0u64;
         let wal_path = dir.join(WAL_NAME);
         if wal_path.is_file() {
-            wal_bytes = fs::metadata(&wal_path).expect("lsm: stat WAL").len();
             let mut reader =
                 BufReader::new(File::open(&wal_path).expect("lsm: open WAL for replay"));
-            while let Some((key, record)) = read_entry(&mut reader) {
-                // Entries were version-gated when first written, so later
-                // WAL entries for a key always dominate earlier ones.
-                memtable.insert(key, record);
+            let mut raw = Vec::new();
+            let mut good = 0u64;
+            loop {
+                match try_read_entry(&mut reader, &mut raw) {
+                    Ok(Some((key, record))) => {
+                        good += raw.len() as u64 + CRC_LEN;
+                        // Entries were version-gated when first written,
+                        // so later WAL entries for a key always dominate
+                        // earlier ones.
+                        memtable.insert(key, record);
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // A record past the last whole one was still in
+                        // flight at the crash (never acknowledged):
+                        // truncate the torn tail away.
+                        drop(reader);
+                        let f = OpenOptions::new()
+                            .write(true)
+                            .open(&wal_path)
+                            .expect("lsm: reopen WAL for truncation");
+                        f.set_len(good).expect("lsm: truncate torn WAL tail");
+                        let _ = f.sync_all();
+                        stats.torn_wal_tails_repaired += 1;
+                        break;
+                    }
+                }
             }
+            wal_bytes = good;
         }
         let memtable_bytes = memtable.iter().map(|(k, r)| encoded_len(k, r)).sum();
         let mut store = Self {
@@ -325,11 +522,39 @@ impl LsmStore {
             logical_bytes: 0,
             key_count: 0,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            plan,
+            injector,
+            stats,
+            quarantined,
         };
         let merged = store.merged();
         store.key_count = merged.len();
         store.logical_bytes = merged.iter().map(|(k, r)| entry_size(k, r)).sum();
         store
+    }
+
+    /// Opens one run, retrying (real re-reads) through injected transient
+    /// bit flips; a persistent decode failure propagates to the caller's
+    /// recovery rules.
+    fn open_run_retrying(
+        path: &Path,
+        injector: &mut Option<FaultInjector>,
+        stats: &mut FaultStats,
+    ) -> Result<SsTable, EntryError> {
+        let mut attempt = 0u32;
+        loop {
+            let table = SsTable::open(path.to_path_buf())?;
+            let flipped = injector.as_mut().is_some_and(|i| i.read_flip());
+            if !flipped {
+                return Ok(table);
+            }
+            // A transient bit flip failed the verification scan: drop the
+            // poisoned read and re-read the file.
+            stats.read_retries += 1;
+            stats.backoff_steps += 1u64 << attempt.min(BACKOFF_CAP);
+            attempt += 1;
+            assert!(attempt < MAX_IO_RETRIES, "lsm: read-retry budget exhausted");
+        }
     }
 
     /// Overrides the memtable flush threshold (tests exercise the SSTable
@@ -341,6 +566,23 @@ impl LsmStore {
     /// The store's root directory.
     pub fn dir(&self) -> &std::path::Path {
         &self.dir
+    }
+
+    /// The fault plan this store runs under.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Counters of every injected fault detected and recovered from.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// True when unrecoverable corruption was detected (at open or by
+    /// [`LsmStore::verify`]). A quarantined replica must be re-seeded
+    /// from a healthy peer.
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
     }
 
     /// Number of keys (including tombstones).
@@ -404,8 +646,10 @@ impl LsmStore {
     }
 
     /// Applies `record` under `key` if its version dominates the stored
-    /// one; an accepted write is WAL-durable before this returns. Returns
-    /// `true` when the store changed.
+    /// one; an accepted write is WAL-durable before this returns — even
+    /// under injected torn appends and failed fsyncs, which are repaired
+    /// by truncate-to-acked and a bounded deterministic-backoff retry.
+    /// Returns `true` when the store changed.
     pub fn apply(&mut self, key: impl Into<Bytes>, record: Record) -> bool {
         let key = key.into();
         match self.lookup(&key) {
@@ -420,10 +664,41 @@ impl LsmStore {
         self.logical_bytes += entry_size(&key, &record);
         let mut buf = Vec::with_capacity(encoded_len(&key, &record) as usize);
         encode_entry(&mut buf, &key, &record);
-        let wal = self.wal_handle();
-        wal.write_all(&buf).expect("lsm: WAL append");
-        wal.flush().expect("lsm: WAL flush");
-        self.wal_bytes += buf.len() as u64;
+        let acked = self.wal_bytes;
+        let mut attempt = 0u32;
+        loop {
+            let fault = self
+                .injector
+                .as_mut()
+                .and_then(|i| i.wal_append_fault(buf.len()));
+            match fault {
+                None => {
+                    let wal = self.wal_handle();
+                    wal.write_all(&buf).expect("lsm: WAL append");
+                    wal.flush().expect("lsm: WAL flush");
+                    break;
+                }
+                Some(torn) => {
+                    // The injected fault leaves a real torn tail on disk
+                    // (`torn < len`), or a whole record whose fsync
+                    // "failed" (`torn == len`) — either way the record is
+                    // unacked: truncate back to the acked offset, back
+                    // off deterministically, retry.
+                    let wal = self.wal_handle();
+                    wal.write_all(&buf[..torn]).expect("lsm: WAL append");
+                    wal.flush().expect("lsm: WAL flush");
+                    wal.set_len(acked).expect("lsm: truncate torn WAL tail");
+                    self.stats.wal_retries += 1;
+                    if torn < buf.len() {
+                        self.stats.torn_wal_tails_repaired += 1;
+                    }
+                    self.stats.backoff_steps += 1u64 << attempt.min(BACKOFF_CAP);
+                    attempt += 1;
+                    assert!(attempt < MAX_IO_RETRIES, "lsm: WAL retry budget exhausted");
+                }
+            }
+        }
+        self.wal_bytes = acked + buf.len() as u64;
         if let Some(prev) = self.memtable.get(&key) {
             self.memtable_bytes -= encoded_len(&key, prev);
         }
@@ -450,6 +725,54 @@ impl LsmStore {
         self.flush_memtable();
     }
 
+    /// Re-reads every sorted run, verifying all checksums (through
+    /// injected transient flips, which are retried); marks the store
+    /// quarantined on a persistent failure. Returns `true` when healthy.
+    /// The WAL needs no scan here: it was verified at open and everything
+    /// since went through the checked write path.
+    pub fn verify(&mut self) -> bool {
+        for table in &self.tables {
+            let mut attempt = 0u32;
+            loop {
+                let ok = table.scan_ok();
+                let flipped = ok && self.injector.as_mut().is_some_and(|i| i.read_flip());
+                if flipped {
+                    self.stats.read_retries += 1;
+                    self.stats.backoff_steps += 1u64 << attempt.min(BACKOFF_CAP);
+                    attempt += 1;
+                    assert!(attempt < MAX_IO_RETRIES, "lsm: read-retry budget exhausted");
+                    continue;
+                }
+                if !ok {
+                    self.quarantined = true;
+                }
+                break;
+            }
+            if self.quarantined {
+                break;
+            }
+        }
+        !self.quarantined
+    }
+
+    /// Deliberately flips one byte in the newest sorted run: the
+    /// fault-injection helper for forging *persistent* on-disk corruption
+    /// (unlike the injector's transient faults). Returns `false` when no
+    /// run exists. The next [`LsmStore::verify`] quarantines the store.
+    pub fn corrupt_newest_run(&mut self) -> bool {
+        let Some(table) = self.tables.last() else {
+            return false;
+        };
+        let mut data = fs::read(&table.path).expect("lsm: read run for corruption");
+        if data.is_empty() {
+            return false;
+        }
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        fs::write(&table.path, &data).expect("lsm: write corrupted run");
+        true
+    }
+
     fn flush_memtable(&mut self) {
         if self.memtable.is_empty() {
             return;
@@ -458,32 +781,89 @@ impl LsmStore {
         let seq = self.next_table_seq;
         self.next_table_seq += 1;
         let path = self.dir.join(format!("{seq:08}.sst"));
-        Self::write_run(&path, self.memtable.iter());
-        self.tables.push(SsTable::open(path));
+        {
+            let total = self.memtable_bytes;
+            let Self {
+                memtable,
+                injector,
+                stats,
+                ..
+            } = self;
+            let mut attempt = 0u32;
+            loop {
+                let tear = injector.as_mut().and_then(|i| i.flush_fault(total));
+                match Self::write_run(&path, memtable.iter(), tear) {
+                    Ok(()) => break,
+                    Err(()) => {
+                        // Injected partial flush: wipe the torn run and
+                        // rewrite it whole.
+                        let _ = fs::remove_file(&path);
+                        stats.flush_retries += 1;
+                        stats.backoff_steps += 1u64 << attempt.min(BACKOFF_CAP);
+                        attempt += 1;
+                        assert!(
+                            attempt < MAX_IO_RETRIES,
+                            "lsm: flush retry budget exhausted"
+                        );
+                    }
+                }
+            }
+        }
+        // Crash-consistency ordering: the run was fsynced by write_run and
+        // its directory entry is synced here, BEFORE the WAL shrinks — a
+        // crash between flush and truncation replays a WAL whose entries
+        // are already (idempotently) in the run, never the reverse.
+        sync_dir(&self.dir);
+        self.tables
+            .push(SsTable::open(path).expect("lsm: freshly written run is well-formed"));
         self.memtable.clear();
         self.memtable_bytes = 0;
         // The flushed entries are durable in the run: truncate the WAL.
         self.wal = None;
-        let _ = File::create(self.dir.join(WAL_NAME)).expect("lsm: truncate WAL");
+        let wal = File::create(self.dir.join(WAL_NAME)).expect("lsm: truncate WAL");
+        let _ = wal.sync_all();
         self.wal_bytes = 0;
         self.maybe_compact();
     }
 
-    fn write_run<'a>(path: &PathBuf, entries: impl Iterator<Item = (&'a Bytes, &'a Record)>) {
+    /// Writes one sorted run, fsyncing it before returning. `tear`
+    /// simulates a write dying after that many bytes: the torn file is
+    /// left on disk (exactly what a crash leaves) and `Err` tells the
+    /// caller to discard and retry.
+    fn write_run<'a>(
+        path: &PathBuf,
+        entries: impl Iterator<Item = (&'a Bytes, &'a Record)>,
+        tear: Option<u64>,
+    ) -> Result<(), ()> {
         let mut writer = BufWriter::new(File::create(path).expect("lsm: create sstable"));
         let mut buf = Vec::new();
+        let mut written = 0u64;
         for (key, record) in entries {
             buf.clear();
             encode_entry(&mut buf, key, record);
+            if let Some(t) = tear {
+                if written + buf.len() as u64 > t {
+                    let cut = (t - written) as usize;
+                    writer
+                        .write_all(&buf[..cut])
+                        .expect("lsm: write sstable (faulted)");
+                    writer.flush().expect("lsm: flush sstable (faulted)");
+                    return Err(());
+                }
+            }
             writer.write_all(&buf).expect("lsm: write sstable");
+            written += buf.len() as u64;
         }
-        writer.flush().expect("lsm: flush sstable");
+        let file = writer.into_inner().expect("lsm: flush sstable");
+        file.sync_all().expect("lsm: fsync sstable");
+        Ok(())
     }
 
     /// Size-tiered compaction: once more than [`MAX_TABLES`] runs
     /// accumulate, the whole tier collapses into a single run (newest
     /// occurrence of a key wins — which is the version-dominant one, since
-    /// every write was gated on entry).
+    /// every write was gated on entry). The input runs are deleted only
+    /// after the merged run and its directory entry are durable.
     fn maybe_compact(&mut self) {
         if self.tables.len() <= MAX_TABLES {
             return;
@@ -497,11 +877,30 @@ impl LsmStore {
         let seq = self.next_table_seq;
         self.next_table_seq += 1;
         let path = self.dir.join(format!("{seq:08}.sst"));
-        Self::write_run(&path, merged.iter());
+        let total: u64 = merged.iter().map(|(k, r)| encoded_len(k, r)).sum();
+        let mut attempt = 0u32;
+        loop {
+            let tear = self.injector.as_mut().and_then(|i| i.flush_fault(total));
+            match Self::write_run(&path, merged.iter(), tear) {
+                Ok(()) => break,
+                Err(()) => {
+                    let _ = fs::remove_file(&path);
+                    self.stats.flush_retries += 1;
+                    self.stats.backoff_steps += 1u64 << attempt.min(BACKOFF_CAP);
+                    attempt += 1;
+                    assert!(
+                        attempt < MAX_IO_RETRIES,
+                        "lsm: compaction retry budget exhausted"
+                    );
+                }
+            }
+        }
+        sync_dir(&self.dir);
         for table in self.tables.drain(..) {
             let _ = fs::remove_file(&table.path);
         }
-        self.tables.push(SsTable::open(path));
+        self.tables
+            .push(SsTable::open(path).expect("lsm: freshly compacted run is well-formed"));
     }
 
     /// The merged view of all levels, in key order.
@@ -539,10 +938,11 @@ impl LsmStore {
     /// Splits off every key whose ring token falls inside `high` into a
     /// fresh store, compaction-style: both halves are rewritten from the
     /// merged view, so each ends up with one clean run's worth of state.
+    /// The new store inherits this store's fault plan.
     pub fn split_off(&mut self, hasher: KeyHasher, high: KeyRange) -> LsmStore {
         let merged = self.merged();
         self.reset_storage();
-        let mut high_store = LsmStore::create();
+        let mut high_store = LsmStore::create_with(self.plan);
         high_store.set_flush_threshold(self.flush_threshold);
         for (key, record) in merged {
             if high.contains(hasher.token(&key)) {
@@ -589,26 +989,61 @@ impl LsmStore {
     /// Replicates this store into a fresh directory by physically copying
     /// the WAL and every sorted run, then opening the copy (which replays
     /// the WAL — the same code path crash recovery takes). Returns the new
-    /// store and the **measured** bytes actually copied; this is the real
-    /// data-transfer volume of a replication.
-    pub fn fork(&self) -> (LsmStore, u64) {
+    /// store and the **measured** bytes actually streamed; an injected
+    /// mid-copy abort wipes the partial destination and restarts, and
+    /// every wasted byte still counts into the measured total — failed
+    /// replication attempts are paid for.
+    pub fn fork(&mut self) -> (LsmStore, u64) {
         let dst_dir = fresh_store_dir();
         if !self.initialized {
-            return (LsmStore::create_at(dst_dir), 0);
+            return (LsmStore::create_at_with(dst_dir, self.plan), 0);
         }
-        fs::create_dir_all(&dst_dir).expect("lsm: create fork directory");
+        let total = self.physical_bytes();
+        let mut measured = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            let fault = self.injector.as_mut().and_then(|i| i.fork_fault(total));
+            match self.copy_files(&dst_dir, fault) {
+                Ok(copied) => {
+                    measured += copied;
+                    break;
+                }
+                Err(wasted) => {
+                    measured += wasted;
+                    let _ = fs::remove_dir_all(&dst_dir);
+                    self.stats.fork_retries += 1;
+                    self.stats.backoff_steps += 1u64 << attempt.min(BACKOFF_CAP);
+                    attempt += 1;
+                    assert!(attempt < MAX_IO_RETRIES, "lsm: fork retry budget exhausted");
+                }
+            }
+        }
+        let mut fork = LsmStore::open_with(dst_dir, self.plan);
+        fork.set_flush_threshold(self.flush_threshold);
+        (fork, measured)
+    }
+
+    /// Copies every file to `dst_dir`. `abort_after` simulates the copy
+    /// dying once that many bytes have streamed (file granularity);
+    /// `Err(bytes)` reports how many bytes were wasted.
+    fn copy_files(&self, dst_dir: &Path, abort_after: Option<u64>) -> Result<u64, u64> {
+        fs::create_dir_all(dst_dir).expect("lsm: create fork directory");
         let mut copied = 0u64;
         for table in &self.tables {
             let name = table.path.file_name().expect("sstable has a file name");
             copied += fs::copy(&table.path, dst_dir.join(name)).expect("lsm: copy sstable");
+            if abort_after.is_some_and(|cap| copied >= cap) {
+                return Err(copied);
+            }
         }
         let wal_path = self.dir.join(WAL_NAME);
         if wal_path.is_file() {
             copied += fs::copy(&wal_path, dst_dir.join(WAL_NAME)).expect("lsm: copy WAL");
+            if abort_after.is_some_and(|cap| copied >= cap) {
+                return Err(copied);
+            }
         }
-        let mut fork = LsmStore::open(dst_dir);
-        fork.set_flush_threshold(self.flush_threshold);
-        (fork, copied)
+        Ok(copied)
     }
 }
 
@@ -624,6 +1059,9 @@ impl Drop for LsmStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlanKind;
+    use proptest::collection;
+    use proptest::prelude::*;
     use skute_ring::Token;
 
     fn rec(v: &[u8], version: u64) -> Record {
@@ -751,6 +1189,207 @@ mod tests {
     }
 
     #[test]
+    fn torn_wal_tail_is_truncated_on_replay() {
+        let dir = fresh_store_dir();
+        let mut store = LsmStore::create_at(dir.clone());
+        let mut oracle = PartitionStore::new();
+        for i in 0..20u32 {
+            let key = i.to_le_bytes().to_vec();
+            let record = rec(b"acked", 1);
+            oracle.apply(key.clone(), record.clone());
+            store.apply(key, record);
+        }
+        std::mem::forget(store);
+        // A record was in flight at the crash: append a prefix of its
+        // valid encoding to the log — the torn tail.
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, b"in-flight", &rec(b"never-acked", 9));
+        let mut wal = OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_NAME))
+            .unwrap();
+        wal.write_all(&buf[..buf.len() - 7]).unwrap();
+        drop(wal);
+        let recovered = LsmStore::open(dir.clone());
+        assert_eq!(recovered.fault_stats().torn_wal_tails_repaired, 1);
+        assert!(!recovered.quarantined());
+        assert_eq!(recovered.len(), oracle.len());
+        assert_eq!(recovered.logical_bytes(), oracle.logical_bytes());
+        for (key, record) in oracle.iter() {
+            assert_eq!(recovered.get(key).as_ref(), Some(record));
+        }
+        assert!(recovered.get(b"in-flight").is_none());
+        // The tail was physically truncated: a second open is clean.
+        std::mem::forget(recovered);
+        let reopened = LsmStore::open(dir);
+        assert_eq!(reopened.fault_stats().torn_wal_tails_repaired, 0);
+        assert_eq!(reopened.len(), oracle.len());
+    }
+
+    #[test]
+    fn trailing_garbage_after_acked_writes_is_discarded() {
+        let dir = fresh_store_dir();
+        let mut store = LsmStore::create_at(dir.clone());
+        let mut oracle = PartitionStore::new();
+        for i in 0..15u32 {
+            let key = i.to_le_bytes().to_vec();
+            let record = rec(b"keep-me", 2);
+            oracle.apply(key.clone(), record.clone());
+            store.apply(key, record);
+        }
+        std::mem::forget(store);
+        let mut wal = OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_NAME))
+            .unwrap();
+        wal.write_all(&[0xAB; 23]).unwrap();
+        drop(wal);
+        let recovered = LsmStore::open(dir);
+        assert_eq!(recovered.fault_stats().torn_wal_tails_repaired, 1);
+        assert_eq!(recovered.len(), oracle.len());
+        for (key, record) in oracle.iter() {
+            assert_eq!(recovered.get(key).as_ref(), Some(record));
+        }
+    }
+
+    #[test]
+    fn partial_flush_remnant_is_discarded_on_open() {
+        let dir = fresh_store_dir();
+        let mut store = LsmStore::create_at(dir.clone());
+        store.set_flush_threshold(128);
+        let mut oracle = PartitionStore::new();
+        for i in 0..30u32 {
+            let key = i.to_le_bytes().to_vec();
+            let record = rec(b"durable", 1);
+            oracle.apply(key.clone(), record.clone());
+            store.apply(key, record);
+        }
+        store.flush();
+        assert!(store.table_count() >= 1);
+        let next_seq = store.next_table_seq;
+        std::mem::forget(store);
+        // Forge the crash state of a flush that died mid-run: a short
+        // prefix of a would-be newest run.
+        let donor = fs::read(dir.join(format!("{:08}.sst", next_seq - 1))).unwrap();
+        fs::write(dir.join(format!("{next_seq:08}.sst")), &donor[..10]).unwrap();
+        let recovered = LsmStore::open(dir.clone());
+        assert_eq!(recovered.fault_stats().partial_runs_discarded, 1);
+        assert!(!recovered.quarantined());
+        assert_eq!(recovered.len(), oracle.len());
+        assert_eq!(recovered.logical_bytes(), oracle.logical_bytes());
+        for (key, record) in oracle.iter() {
+            assert_eq!(recovered.get(key).as_ref(), Some(record));
+        }
+        assert!(
+            !dir.join(format!("{next_seq:08}.sst")).exists(),
+            "the partial run was deleted"
+        );
+    }
+
+    #[test]
+    fn crash_between_flush_and_wal_truncate_loses_nothing() {
+        let dir = fresh_store_dir();
+        let mut store = LsmStore::create_at(dir.clone());
+        let mut oracle = PartitionStore::new();
+        for i in 0..25u32 {
+            let key = i.to_le_bytes().to_vec();
+            let record = rec(b"twice-stored", 3);
+            oracle.apply(key.clone(), record.clone());
+            store.apply(key, record);
+        }
+        // Forge the window the fsync ordering protects: the run is
+        // durable but the WAL still holds the same entries (a crash right
+        // between write_run and the WAL truncation).
+        LsmStore::write_run(&dir.join("00000000.sst"), store.memtable.iter(), None).unwrap();
+        std::mem::forget(store);
+        let recovered = LsmStore::open(dir);
+        // Replay on top of the run is idempotent: nothing double-counted.
+        assert_eq!(recovered.len(), oracle.len());
+        assert_eq!(recovered.logical_bytes(), oracle.logical_bytes());
+        for (key, record) in oracle.iter() {
+            assert_eq!(recovered.get(key).as_ref(), Some(record));
+        }
+    }
+
+    #[test]
+    fn bit_flip_corruption_quarantines_the_store() {
+        let mut store = LsmStore::create();
+        store.set_flush_threshold(256);
+        for i in 0..40u32 {
+            store.apply(i.to_le_bytes().to_vec(), rec(b"precious", 1));
+        }
+        store.flush();
+        assert!(store.verify(), "clean store verifies");
+        assert!(!store.quarantined());
+        assert!(store.corrupt_newest_run());
+        assert!(!store.verify(), "checksums catch the flipped byte");
+        assert!(store.quarantined());
+    }
+
+    #[test]
+    fn faulted_stores_match_the_oracle_bit_for_bit() {
+        let mut total_retries = 0u64;
+        for kind in [
+            FaultPlanKind::TornTails,
+            FaultPlanKind::FlakyFsync,
+            FaultPlanKind::PartialFlush,
+            FaultPlanKind::BitFlips,
+            FaultPlanKind::All,
+        ] {
+            let plan = FaultPlan { kind, seed: 0xFA17 };
+            let mut mem = PartitionStore::new();
+            let mut lsm = LsmStore::create_with(plan);
+            lsm.set_flush_threshold(96);
+            for i in 0..250u32 {
+                let key = (i % 60).to_le_bytes().to_vec();
+                let record = rec(b"fault-me", 1 + u64::from(i / 60));
+                let a = mem.apply(key.clone(), record.clone());
+                let b = lsm.apply(key, record);
+                assert_eq!(a, b, "{kind}: gating diverged at op {i}");
+            }
+            assert!(lsm.verify(), "{kind}: injected faults are transient");
+            assert_eq!(mem.len(), lsm.len(), "{kind}");
+            assert_eq!(mem.logical_bytes(), lsm.logical_bytes(), "{kind}");
+            for (key, record) in mem.iter() {
+                assert_eq!(lsm.get(key).as_ref(), Some(record), "{kind}: key {key:?}");
+            }
+            total_retries += lsm.fault_stats().total_retries();
+        }
+        assert!(
+            total_retries > 0,
+            "the fault plans actually injected faults"
+        );
+    }
+
+    #[test]
+    fn fork_under_faults_prices_wasted_bytes() {
+        let plan = FaultPlan::all(0xF0);
+        let mut store = LsmStore::create_with(plan);
+        store.set_flush_threshold(128);
+        for i in 0..60u32 {
+            store.apply(i.to_le_bytes().to_vec(), rec(b"fork-payload", 1));
+        }
+        let physical = store.physical_bytes();
+        let mut saw_retry = false;
+        for _ in 0..32 {
+            let retries_before = store.fault_stats().fork_retries;
+            let (fork, measured) = store.fork();
+            assert_eq!(fork.len(), store.len());
+            assert_eq!(fork.logical_bytes(), store.logical_bytes());
+            if store.fault_stats().fork_retries > retries_before {
+                saw_retry = true;
+                assert!(
+                    measured > physical,
+                    "aborted attempts add to the measured volume"
+                );
+            } else {
+                assert_eq!(measured, physical, "a clean fork streams every byte once");
+            }
+        }
+        assert!(saw_retry, "an all-faults plan aborts some copies");
+    }
+
+    #[test]
     fn fork_copies_real_bytes_and_matches_source() {
         let mut store = LsmStore::create();
         store.set_flush_threshold(128);
@@ -770,11 +1409,74 @@ mod tests {
     #[test]
     fn empty_store_touches_no_filesystem() {
         let dir = fresh_store_dir();
-        let store = LsmStore::create_at(dir.clone());
+        let mut store = LsmStore::create_at(dir.clone());
         assert!(!dir.exists(), "lazy init: no write, no directory");
         assert_eq!(store.physical_bytes(), 0);
         let (fork, copied) = store.fork();
         assert_eq!(copied, 0);
         assert!(fork.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Satellite: kill the store at a randomized op boundary — which,
+        /// as thresholds and op counts vary, lands between WAL appends,
+        /// right after flushes, and right after compactions — optionally
+        /// tear the log tail (an in-flight record prefix or raw garbage),
+        /// then reopen and diff against the mem oracle of *acked* writes.
+        #[test]
+        fn crash_at_random_boundaries_loses_no_acked_writes(
+            n_ops in 1usize..120,
+            kill_after in 0usize..120,
+            flush_threshold in 32u64..512,
+            key_mod in 1u32..40,
+            in_flight_cut in 0usize..40,
+            garbage in collection::vec(0u8..=255u8, 0usize..24),
+            plan_pick in 0usize..3,
+        ) {
+            let plan = match plan_pick {
+                0 => FaultPlan::none(),
+                1 => FaultPlan { kind: FaultPlanKind::TornTails, seed: 0xBEEF },
+                _ => FaultPlan::all(0xBEEF),
+            };
+            let dir = fresh_store_dir();
+            let mut store = LsmStore::create_at_with(dir.clone(), plan);
+            store.set_flush_threshold(flush_threshold);
+            let mut oracle = PartitionStore::new();
+            let kill = kill_after.min(n_ops);
+            for i in 0..kill {
+                let key = ((i as u32) % key_mod).to_le_bytes().to_vec();
+                let record = Record::put(
+                    format!("v{i}").into_bytes(),
+                    Version::new(1 + (i / key_mod as usize) as u64, 0, 0),
+                );
+                let a = oracle.apply(key.clone(), record.clone());
+                let b = store.apply(key, record);
+                prop_assert_eq!(a, b, "gating diverged at op {}", i);
+            }
+            // kill -9: Drop skipped; durable state is all that survives.
+            std::mem::forget(store);
+            let wal_path = dir.join(WAL_NAME);
+            if wal_path.is_file() {
+                let mut wal = OpenOptions::new().append(true).open(&wal_path).unwrap();
+                if in_flight_cut > 0 {
+                    // A record was mid-append at the crash.
+                    let mut buf = Vec::new();
+                    encode_entry(&mut buf, b"in-flight-key", &rec(b"unacked", 99));
+                    let cut = in_flight_cut.min(buf.len() - 1);
+                    wal.write_all(&buf[..cut]).unwrap();
+                }
+                wal.write_all(&garbage).unwrap();
+            }
+            let recovered = LsmStore::open(dir);
+            prop_assert!(!recovered.quarantined());
+            prop_assert_eq!(recovered.len(), oracle.len());
+            prop_assert_eq!(recovered.logical_bytes(), oracle.logical_bytes());
+            for (key, record) in oracle.iter() {
+                let got = recovered.get(key);
+                prop_assert_eq!(got.as_ref(), Some(record));
+            }
+        }
     }
 }

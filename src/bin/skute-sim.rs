@@ -1,9 +1,11 @@
 //! `skute-sim` — command-line runner for the paper's simulation scenarios.
 //!
 //! ```text
-//! skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N] [--seed N]
-//!           [--csv PATH] [--print-every N] [--brute-force] [--threads N]
-//!           [--sequential-commit] [--no-speculation] [--backend mem|lsm]
+//! skute-sim [--scenario base|fig2|fig3|fig4|fig5|outage] [--epochs N]
+//!           [--seed N] [--csv PATH] [--print-every N] [--brute-force]
+//!           [--threads N] [--sequential-commit] [--no-speculation]
+//!           [--backend mem|lsm] [--fault-plan NAME] [--fault-seed N]
+//!           [--sequential-repair]
 //! skute-sim --bench-json PATH
 //! ```
 //!
@@ -33,6 +35,9 @@ struct Args {
     no_speculation: bool,
     threads: Option<usize>,
     backend: BackendKind,
+    fault_plan: Option<FaultPlanKind>,
+    fault_seed: Option<u64>,
+    sequential_repair: bool,
     bench_json: Option<String>,
 }
 
@@ -48,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
         no_speculation: false,
         threads: None,
         backend: BackendKind::default(),
+        fault_plan: None,
+        fault_seed: None,
+        sequential_repair: false,
         bench_json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -90,14 +98,30 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--backend: {e}"))?
             }
+            "--fault-plan" => {
+                args.fault_plan = Some(
+                    value("--fault-plan")?
+                        .parse()
+                        .map_err(|e| format!("--fault-plan: {e}"))?,
+                )
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("--fault-seed: {e}"))?,
+                )
+            }
+            "--sequential-repair" => args.sequential_repair = true,
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--help" | "-h" => {
                 println!(
                     "skute-sim: run a Skute paper scenario\n\n\
-                     USAGE: skute-sim [--scenario base|fig2|fig3|fig4|fig5] [--epochs N]\n\
-                            [--seed N] [--csv PATH] [--print-every N] [--brute-force]\n\
-                            [--sequential-commit] [--no-speculation] [--threads N]\n\
-                            [--backend mem|lsm] [--bench-json PATH]\n\n\
+                     USAGE: skute-sim [--scenario base|fig2|fig3|fig4|fig5|outage]\n\
+                            [--epochs N] [--seed N] [--csv PATH] [--print-every N]\n\
+                            [--brute-force] [--sequential-commit] [--no-speculation]\n\
+                            [--threads N] [--backend mem|lsm] [--fault-plan NAME]\n\
+                            [--fault-seed N] [--sequential-repair] [--bench-json PATH]\n\n\
                      --threads sets the epoch pipeline's worker budget (0 = all\n\
                      cores); same-seed output is bitwise identical at any value.\n\
                      --backend selects the replica storage engine: mem (default,\n\
@@ -107,7 +131,16 @@ fn parse_args() -> Result<Args, String> {
                      sequential oracle loop and --no-speculation disables the\n\
                      decision pass's speculative eq.-(3) targets (both oracles\n\
                      produce bitwise-identical output; CI's determinism matrix\n\
-                     compares every mode)."
+                     compares every mode).\n\
+                     --fault-plan injects seeded storage faults into the LSM\n\
+                     engine (none|torn-tails|flaky-fsync|partial-flush|bit-flips\n\
+                     |all); --fault-seed N seeds the plan (and defaults it to\n\
+                     'all'); the seed defaults to the scenario seed. Faults are\n\
+                     transient by construction — same-seed same-plan output is\n\
+                     bitwise identical, faulted or not.\n\
+                     --sequential-repair routes the availability-repair pass\n\
+                     through its sequential walk (the oracle for the default\n\
+                     speculative plan/validate repair protocol)."
                 );
                 std::process::exit(0);
             }
@@ -124,6 +157,7 @@ fn scenario_by_name(name: &str) -> Option<Scenario> {
         "fig3" => paper::fig3_scenario(),
         "fig4" => paper::fig4_scenario(),
         "fig5" => paper::fig5_scenario(),
+        "outage" => paper::outage_scenario(),
         _ => return None,
     })
 }
@@ -153,7 +187,7 @@ fn main() -> ExitCode {
     }
     let Some(mut scenario) = scenario_by_name(&args.scenario) else {
         eprintln!(
-            "error: unknown scenario {:?} (expected base|fig2|fig3|fig4|fig5)",
+            "error: unknown scenario {:?} (expected base|fig2|fig3|fig4|fig5|outage)",
             args.scenario
         );
         return ExitCode::FAILURE;
@@ -168,6 +202,21 @@ fn main() -> ExitCode {
     scenario.config.sequential_traffic_commit = args.sequential_commit;
     scenario.config.no_speculation = args.no_speculation;
     scenario.config.backend = args.backend;
+    scenario.config.sequential_repair = args.sequential_repair;
+    // --fault-plan picks the fault family; --fault-seed seeds it (and
+    // implies the all-families plan when no family was named). A plan
+    // without an explicit seed inherits the scenario seed.
+    let fault_kind = match (args.fault_plan, args.fault_seed) {
+        (Some(kind), _) => Some(kind),
+        (None, Some(_)) => Some(FaultPlanKind::All),
+        (None, None) => None,
+    };
+    if let Some(kind) = fault_kind {
+        scenario.config.fault_plan = FaultPlan {
+            kind,
+            seed: args.fault_seed.unwrap_or(scenario.seed),
+        };
+    }
     if let Some(threads) = args.threads {
         scenario.config.threads = threads;
     }

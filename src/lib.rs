@@ -84,8 +84,8 @@ pub mod prelude {
     pub use skute_cluster::{Board, Capacities, Cluster, Server, ServerId, ServerSpec};
     pub use skute_core::{
         availability_of, threshold_for_replicas, AppId, AppSpec, AvailabilityLevel, CoreError,
-        EpochReport, LevelSpec, PlacementStrategy, RingReport, SkuteCloud, SkuteConfig,
-        TrafficBatch,
+        EpochReport, LevelSpec, PlacementStrategy, RingReport, ScrubReport, SkuteCloud,
+        SkuteConfig, TrafficBatch,
     };
     pub use skute_economy::EconomyConfig;
     pub use skute_geo::{diversity, ClientGeo, LatencyModel, Level, Location, Topology};
@@ -93,7 +93,7 @@ pub mod prelude {
     pub use skute_sim::{
         CloudEvent, Observation, Recorder, Scenario, ScenarioApp, Schedule, Simulation, TraceKind,
     };
-    pub use skute_store::{BackendKind, QuorumConfig};
+    pub use skute_store::{BackendKind, FaultPlan, FaultPlanKind, FaultStats, QuorumConfig};
     pub use skute_workload::{
         ConstantTrace, InsertGenerator, LoadTrace, Pareto, Poisson, QueryGenerator, SlashdotTrace,
         Zipf,

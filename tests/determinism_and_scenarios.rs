@@ -121,7 +121,10 @@ fn indexed_and_brute_force_placement_produce_identical_trajectories() {
     // the brute-force full-cluster scan must reproduce the indexed
     // pipeline's Observation series exactly — same winners, same
     // tie-breaks, same floats — across a scenario with traffic, repairs
-    // and a failure burst.
+    // and a failure burst. The only permitted difference is the hit/miss
+    // observability counters: brute-force mode disables the speculative
+    // decision and repair passes entirely, so it evaluates no
+    // speculations and both counters stay zero.
     let run = |brute: bool| {
         let mut s = paper::scaled_scenario("oracle-eq", 24, 3_000, 15);
         s.seed = 0x0514CE;
@@ -133,6 +136,12 @@ fn indexed_and_brute_force_placement_produce_identical_trajectories() {
     let brute = run(true);
     assert_eq!(indexed.len(), brute.len());
     for (epoch, (oi, ob)) in indexed.iter().zip(&brute).enumerate() {
+        let mut oi = oi.clone();
+        let mut ob = ob.clone();
+        oi.report.actions.spec_hits = 0;
+        oi.report.actions.spec_misses = 0;
+        ob.report.actions.spec_hits = 0;
+        ob.report.actions.spec_misses = 0;
         assert_eq!(oi, ob, "trajectories diverge at epoch {epoch}");
     }
 }
@@ -373,6 +382,7 @@ fn paper_scenarios_all_validate_and_build() {
         paper::fig3_scenario(),
         paper::fig4_scenario(),
         paper::fig5_scenario(),
+        paper::outage_scenario(),
     ] {
         scenario.validate();
         let mut short = scenario.clone();

@@ -93,6 +93,127 @@ fn failed_servers_replicas_land_on_survivors() {
     }
 }
 
+/// The scaled scenario with a whole-country outage at `epoch`: every
+/// server of the topology's first country (a tenth of the fleet, one
+/// diversity domain of eq. 2) fails in the same epoch.
+fn outage_scenario(epochs: u64, epoch: u64) -> Scenario {
+    let mut s = scenario(epochs);
+    let (continent, country) = s
+        .topology
+        .iter_countries()
+        .next()
+        .expect("the paper topology has countries");
+    s.schedule = Schedule::new().at(epoch, CloudEvent::CountryOutage { continent, country });
+    s
+}
+
+#[test]
+fn country_outage_holds_the_availability_floor() {
+    let s = outage_scenario(44, 20);
+    let partitions: usize = s.apps.iter().map(|a| a.partitions).sum();
+    let cap = (s.config.max_repairs_per_partition_per_epoch * partitions) as u64;
+    let mut sim = Simulation::new(s);
+    let obs = sim.run();
+    // One country = a tenth of the 200-server fleet.
+    assert_eq!(obs.last().unwrap().report.alive_servers, 180);
+    // The availability floor: eq.-(3) placement maximizes geographic
+    // diversity, so no replica set is confined to one country — even a
+    // correlated whole-country burst must not destroy any partition's
+    // last replica (no acknowledged write is ever lost).
+    let lost: u64 = obs.iter().map(|o| o.report.partitions_lost).sum();
+    assert_eq!(lost, 0, "a single-country outage must not lose partitions");
+    // The repair pass absorbs the whole backlog without ever exceeding
+    // its per-epoch budget.
+    let mut repairs_total = 0u64;
+    for o in &obs {
+        let repairs = o.report.actions.availability_replications;
+        assert!(
+            repairs <= cap,
+            "epoch {}: {repairs} repairs exceed the {cap} cap",
+            o.report.epoch
+        );
+        repairs_total += repairs;
+    }
+    assert!(repairs_total > 0, "the burst must trigger repairs");
+    // And the SLAs recover fully.
+    for ring in &obs.last().unwrap().report.rings {
+        assert!(
+            ring.sla_satisfied_frac > 0.99,
+            "{} not recovered: {}",
+            ring.ring,
+            ring.sla_satisfied_frac
+        );
+    }
+}
+
+#[test]
+fn country_outage_recovery_is_thread_invariant() {
+    // The recovery trajectory — failure burst, repair backlog, SLA
+    // re-convergence — replays bitwise at any worker budget.
+    let run = |threads: usize| {
+        let mut s = outage_scenario(26, 12);
+        s.config.threads = threads;
+        Simulation::new(s).run()
+    };
+    let base = run(1);
+    let wide = run(8);
+    assert_eq!(base.len(), wide.len());
+    for (a, b) in base.iter().zip(&wide) {
+        assert_eq!(
+            a, b,
+            "epoch {} diverged across thread counts",
+            a.report.epoch
+        );
+    }
+}
+
+#[test]
+fn speculative_repair_matches_the_sequential_oracle() {
+    // The repair prepass's acceptance bar: routing repairs through the
+    // sequential walk (`sequential_repair`) must replay the speculative
+    // plan/validate protocol's trajectory **bitwise** across the outage
+    // burst, at several thread counts. The only permitted difference is
+    // the spec hit/miss observability counters: the economic pass
+    // speculates identically in both runs, but only the speculative
+    // repair pass adds its own evaluations on top.
+    let run = |sequential: bool, threads: usize| {
+        let mut s = outage_scenario(26, 12);
+        s.config.sequential_repair = sequential;
+        s.config.threads = threads;
+        Simulation::new(s).run()
+    };
+    let spec = run(false, 1);
+    let mut honored = 0i64;
+    let mut evaluated = 0i64;
+    for threads in [1usize, 8] {
+        let oracle = run(true, threads);
+        assert_eq!(spec.len(), oracle.len());
+        for (epoch, (a, b)) in spec.iter().zip(&oracle).enumerate() {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            honored += a.report.actions.spec_hits as i64 - b.report.actions.spec_hits as i64;
+            evaluated += (a.report.actions.spec_hits + a.report.actions.spec_misses) as i64
+                - (b.report.actions.spec_hits + b.report.actions.spec_misses) as i64;
+            a.report.actions.spec_hits = 0;
+            a.report.actions.spec_misses = 0;
+            b.report.actions.spec_hits = 0;
+            b.report.actions.spec_misses = 0;
+            assert_eq!(
+                a, b,
+                "repair modes diverge at epoch {epoch}, threads {threads}"
+            );
+        }
+    }
+    assert!(
+        evaluated > 0,
+        "the outage must route repairs through the speculative prepass"
+    );
+    assert!(
+        honored > 0,
+        "the repair commit must honor validated speculations"
+    );
+}
+
 #[test]
 fn reads_survive_minority_replica_failures() {
     let mut sim = Simulation::new(scenario(1));

@@ -108,6 +108,139 @@ fn mem_oracle_measures_exactly_the_logical_bytes() {
 }
 
 #[test]
+fn fault_plans_never_perturb_the_trajectory() {
+    // Injected storage faults (torn WAL tails, failed fsyncs, partial
+    // flushes, bit-flip reads) are transient by construction: the engine
+    // detects and retries every one, so the logical state — and with it
+    // the whole economic trajectory — is bitwise identical faulted or
+    // not, on either backend.
+    let run = |backend: BackendKind, plan: FaultPlan| {
+        let mut s = skute::sim::paper::scaled_scenario("fault-plans-it", 16, 3_000, 10);
+        s.config.backend = backend;
+        s.config.fault_plan = plan;
+        Simulation::new(s).run()
+    };
+    let clean = run(BackendKind::Lsm, FaultPlan::default());
+    for plan in [
+        FaultPlan::all(0xFA17),
+        FaultPlan {
+            kind: FaultPlanKind::TornTails,
+            seed: 0xFA17,
+        },
+    ] {
+        let faulted = run(BackendKind::Lsm, plan);
+        assert_eq!(clean.len(), faulted.len());
+        for (a, b) in clean.iter().zip(&faulted) {
+            assert_eq!(
+                a, b,
+                "epoch {} diverged under {:?}",
+                a.report.epoch, plan.kind
+            );
+        }
+    }
+    // The mem oracle has no IO path to fault: a fault plan is inert on it
+    // and its trajectory matches the (faulted) LSM runs epoch for epoch.
+    let mem = run(BackendKind::Mem, FaultPlan::all(0xFA17));
+    for (a, b) in clean.iter().zip(&mem) {
+        let mut b = b.clone();
+        b.report.actions.measured_replicated_bytes = a.report.actions.measured_replicated_bytes;
+        b.report.actions.measured_migrated_bytes = a.report.actions.measured_migrated_bytes;
+        assert_eq!(*a, b, "epoch {} diverged across backends", a.report.epoch);
+    }
+}
+
+#[test]
+fn injected_faults_actually_fire_and_are_absorbed() {
+    // Real record traffic through an all-families fault plan: the engine
+    // must hit injected faults (the counters prove the plan is live) and
+    // absorb every one — the data reads back intact.
+    let mut cloud = SkuteCloud::new(
+        SkuteConfig::paper()
+            .with_backend(BackendKind::Lsm)
+            .with_fault_seed(0xFA17),
+        Topology::paper(),
+        Cluster::from_topology(&Topology::paper(), |i, location| ServerSpec {
+            location,
+            capacities: Capacities::paper(10 * GIB, 5_000.0),
+            monthly_cost: if i % 10 < 7 { 100.0 } else { 125.0 },
+            confidence: 1.0,
+        }),
+    );
+    let app = cloud
+        .create_application(AppSpec::new("kv").level(LevelSpec::new(3, 16)))
+        .unwrap();
+    cloud.begin_epoch();
+    for i in 0..400u32 {
+        cloud
+            .put(app, 0, format!("key:{i:04}").as_bytes(), vec![i as u8; 64])
+            .unwrap();
+    }
+    cloud.end_epoch();
+    for _ in 0..5 {
+        cloud.begin_epoch();
+        cloud.end_epoch();
+    }
+    let total = cloud.fault_stats(app, 0).unwrap();
+    assert!(
+        total.total_retries() > 0,
+        "the all-families plan must inject faults under real writes: {total:?}"
+    );
+    assert!(total.backoff_steps >= total.total_retries());
+    for i in 0..400u32 {
+        let key = format!("key:{i:04}");
+        assert_eq!(
+            cloud.get(app, 0, key.as_bytes()).unwrap().unwrap().as_ref(),
+            &vec![i as u8; 64][..],
+            "{key}"
+        );
+    }
+}
+
+#[test]
+fn scrub_rebuilds_corrupted_replicas_from_healthy_peers() {
+    let (mut cloud, app, _) = drive(BackendKind::Lsm);
+    // Forge persistent corruption on one replica of each of four
+    // partitions (bit damage that survives the bounded read retries).
+    let pids = cloud.partition_ids(app, 0).unwrap();
+    let mut corrupted = 0;
+    for &pid in pids.iter().take(4) {
+        if cloud.corrupt_replica(app, 0, pid, 0).unwrap() {
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "drive() materializes durable runs to damage");
+    let report = cloud.scrub_quarantined(app, 0).unwrap();
+    assert_eq!(report.replicas_quarantined, corrupted);
+    assert_eq!(report.replicas_rebuilt, corrupted);
+    assert_eq!(report.replicas_deferred, 0);
+    assert_eq!(report.partitions_unrecoverable, 0);
+    assert!(report.replicas_scanned >= pids.len());
+    // The scrub leaves a healthy fleet behind.
+    let clean = cloud.scrub_quarantined(app, 0).unwrap();
+    assert_eq!(clean.replicas_quarantined, 0);
+    assert_eq!(clean.replicas_rebuilt, 0);
+    // And no acknowledged write was lost: every record reads back.
+    for i in 0..200u32 {
+        let key = format!("key:{i:04}");
+        assert_eq!(
+            cloud.get(app, 0, key.as_bytes()).unwrap().unwrap().as_ref(),
+            &vec![i as u8; 64][..],
+            "{key}"
+        );
+    }
+}
+
+#[test]
+fn scrub_on_a_healthy_mem_fleet_is_inert() {
+    let (mut cloud, app, _) = drive(BackendKind::Mem);
+    let report = cloud.scrub_quarantined(app, 0).unwrap();
+    assert!(report.replicas_scanned > 0);
+    assert_eq!(report.replicas_quarantined, 0);
+    assert_eq!(report.replicas_rebuilt, 0);
+    assert_eq!(report.partitions_unrecoverable, 0);
+}
+
+#[test]
 fn backends_replay_identical_trajectories() {
     let (mut mem, app_m, mem_reports) = drive(BackendKind::Mem);
     let (mut lsm, app_l, lsm_reports) = drive(BackendKind::Lsm);
