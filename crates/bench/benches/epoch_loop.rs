@@ -9,14 +9,16 @@
 //! failure burst plus a capacity upgrade — many actions per epoch) that
 //! also charts the decision commit pass's speculation hit rate, and an
 //! outage-burst row (M = 200 under a whole-country failure) gating the
-//! repair pass's throughput under correlated failures. Rows
+//! repair pass's throughput under correlated failures, and the M = 2000
+//! memory-scale rows (steady + churn) anchoring the gate's scaling-slope
+//! guard and the `bytes_per_partition` RSS figure. Rows
 //! sharing a workload replay the same bitwise trajectory; only wall clock
 //! differs. Prints the comparison table and writes the machine-readable
 //! perf trajectory to `BENCH_epoch.json` at the workspace root; CI's
 //! bench-smoke job diffs that file against the committed one with the
 //! `bench_gate` binary (rows matched by `(partitions, threads, commit,
-//! workload)` key; unmatched rows skip with a warning, and the hit rate
-//! is informational).
+//! workload)` key; unmatched rows skip with a warning, and the hit rate,
+//! batch stats and memory figure are informational).
 //!
 //! Run with `cargo bench -p skute-bench --bench epoch_loop`.
 
@@ -24,10 +26,17 @@ use skute_bench::{perf, workspace_root};
 
 fn main() {
     println!("epoch_loop: indexed vs brute-force decision pipeline\n");
+    // Measured before the sweep: the sweep's own M = 2000 rows would
+    // otherwise leave the allocator holding enough freed pages that the
+    // RSS delta reads zero.
+    let bytes_per_partition = perf::measure_bytes_per_partition();
     let results = perf::standard_sweep();
     perf::print_table(&results);
+    if let Some(bpp) = bytes_per_partition {
+        println!("\nbytes/partition (RSS delta at M = 2000): {bpp}");
+    }
     let path = workspace_root().join("BENCH_epoch.json");
-    match perf::write_json(&path, &results) {
+    match perf::write_json_full(&path, &results, bytes_per_partition) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => println!("\n(could not write {}: {e})", path.display()),
     }

@@ -20,11 +20,20 @@
 //! * the **absolute indexed epochs/sec** — a backstop for changes that
 //!   slow both pipelines equally; hardware-sensitive, so its default
 //!   tolerance is generous.
+//!
+//! Rows whose thread budget exceeds the committed baseline's `host_cpus`
+//! are advisory-only (their floors demote to warnings — oversubscribed
+//! wall clock charts scheduler contention, not the code), a scaling-slope
+//! guard fails when the M = 200 → M = 2000 throughput decay steepens past
+//! the ratio tolerance, and the `bytes_per_partition` memory figure is
+//! printed informationally.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use skute_bench::perf::{gate_trajectory, parse_host_cpus, parse_trajectory};
+use skute_bench::perf::{
+    gate_trajectory, parse_bytes_per_partition, parse_host_cpus, parse_trajectory,
+};
 
 struct Args {
     baseline: String,
@@ -124,6 +133,20 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     warn_on_host_mismatch(&args.baseline, &baseline);
+    // The memory figure is informational: printed, never gated.
+    match (
+        parse_bytes_per_partition(&baseline),
+        parse_bytes_per_partition(&current),
+    ) {
+        (Some(b), Some(c)) => {
+            println!("bench_gate: bytes/partition (RSS at M = 2000): {b} → {c} (informational)");
+        }
+        (_, Some(c)) => {
+            println!("bench_gate: bytes/partition (RSS at M = 2000): {c} (informational)")
+        }
+        _ => {}
+    }
+    let baseline_host_cpus = parse_host_cpus(&baseline);
     let baseline = parse_trajectory(&baseline);
     let current = parse_trajectory(&current);
     if baseline.is_empty() {
@@ -179,6 +202,7 @@ fn main() -> ExitCode {
         &current,
         args.ratio_tolerance,
         args.abs_tolerance,
+        baseline_host_cpus,
     );
     for w in &report.warnings {
         println!("bench_gate: warning: {w}");

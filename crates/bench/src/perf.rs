@@ -57,6 +57,14 @@ pub struct PipelineTiming {
     pub spec_hits: u64,
     /// Speculations discarded and re-walked over the run.
     pub spec_misses: u64,
+    /// Conflict-free batches the decision commit flushed over the run
+    /// (thread-invariant; zero under `--sequential-decisions`).
+    pub decision_batches: u64,
+    /// Widest batch any epoch flushed.
+    pub max_batch_width: u64,
+    /// Actions that fell back to in-place application on a server
+    /// conflict with their open batch.
+    pub batch_conflicts: u64,
 }
 
 /// Head-to-head result for one partition count at one worker-thread count,
@@ -159,12 +167,18 @@ pub fn time_pipeline(
         let mut decisions = 0u64;
         let mut spec_hits = 0u64;
         let mut spec_misses = 0u64;
+        let mut decision_batches = 0u64;
+        let mut max_batch_width = 0u64;
+        let mut batch_conflicts = 0u64;
         let start = Instant::now();
         for _ in 0..epochs {
             let obs = sim.step();
             decisions += obs.report.total_vnodes() as u64;
             spec_hits += obs.report.actions.spec_hits;
             spec_misses += obs.report.actions.spec_misses;
+            decision_batches += obs.report.actions.decision_batches;
+            max_batch_width = max_batch_width.max(obs.report.actions.max_batch_width);
+            batch_conflicts += obs.report.actions.batch_conflicts;
         }
         let seconds = start.elapsed().as_secs_f64();
         let timing = PipelineTiming {
@@ -174,6 +188,9 @@ pub fn time_pipeline(
             decisions,
             spec_hits,
             spec_misses,
+            decision_batches,
+            max_batch_width,
+            batch_conflicts,
         };
         if best.is_none_or(|b| timing.seconds < b.seconds) {
             best = Some(timing);
@@ -235,11 +252,15 @@ pub fn run_epoch_loop_mode(
 /// re-walks into validations (its hit rate lands in the JSON) — and an
 /// **outage-burst** row (M = 200 with a whole-country failure) where the
 /// availability-repair pass drains a concentrated backlog, so the gate
-/// guards repair throughput under correlated failures. Epoch counts
-/// shrink as M grows so the whole sweep stays a smoke-test-sized run
-/// while still covering the decision-heavy convergence phase. Rows
-/// sharing a workload replay the same bitwise trajectory; only wall
-/// clock differs.
+/// guards repair throughput under correlated failures. Two **memory
+/// scale** rows push M to 2000 (steady and churn, few epochs — the cold
+/// start at that scale is the expensive part) so the gate's scaling-slope
+/// guard can compare M = 200 → M = 2000 throughput decay against the
+/// baseline, and `BENCH_epoch.json` charts a `bytes_per_partition`
+/// figure at the same scale. Epoch counts shrink as M grows so the
+/// whole sweep stays a smoke-test-sized run while still covering the
+/// decision-heavy convergence phase. Rows sharing a workload replay the
+/// same bitwise trajectory; only wall clock differs.
 pub fn standard_sweep() -> Vec<EpochLoopResult> {
     use Workload::{Churn, Outage, Steady};
     [
@@ -261,6 +282,11 @@ pub fn standard_sweep() -> Vec<EpochLoopResult> {
         // Outage-burst row: repair throughput under a correlated
         // whole-country failure.
         (200, 18, 1, false, Outage),
+        // Memory-scale rows: M = 2000 partitions per app (the server
+        // count stays the paper's 200), anchoring the scaling-slope
+        // guard and the bytes-per-partition figure.
+        (2_000, 4, 1, false, Steady),
+        (2_000, 6, 1, false, Churn),
     ]
     .into_iter()
     .map(|(m, epochs, threads, seq, w)| run_epoch_loop_mode(m, epochs, threads, seq, w))
@@ -278,6 +304,12 @@ fn timing_json(t: &PipelineTiming) -> String {
 /// records the bench machine's available parallelism so scaling rows are
 /// read in context (threads beyond the host's cores cannot speed up).
 pub fn to_json(results: &[EpochLoopResult]) -> String {
+    to_json_full(results, None)
+}
+
+/// [`to_json`] plus the optional top-level `bytes_per_partition` memory
+/// figure (see [`measure_bytes_per_partition`]); `None` omits the field.
+pub fn to_json_full(results: &[EpochLoopResult], bytes_per_partition: Option<u64>) -> String {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -285,6 +317,9 @@ pub fn to_json(results: &[EpochLoopResult]) -> String {
     out.push_str("{\n  \"bench\": \"epoch_loop\",\n");
     out.push_str("  \"scenario\": \"scaled paper workload, cold start, 3000 queries/epoch\",\n");
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    if let Some(bpp) = bytes_per_partition {
+        out.push_str(&format!("  \"bytes_per_partition\": {bpp},\n"));
+    }
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         // Rows that evaluated no speculation at all omit the spec fields
@@ -297,14 +332,23 @@ pub fn to_json(results: &[EpochLoopResult]) -> String {
             ),
             None => String::new(),
         };
+        // Batch stats of the decision commit (thread-invariant, identical
+        // across the indexed/brute pipelines — both replay the same
+        // trajectory). Informational: never gated, kept out of
+        // stdout/CSV.
+        let batches = format!(
+            "\"decision_batches\": {}, \"max_batch_width\": {}, \"batch_conflicts\": {}, ",
+            r.indexed.decision_batches, r.indexed.max_batch_width, r.indexed.batch_conflicts
+        );
         out.push_str(&format!(
-            "    {{\"partitions\": {}, \"epochs\": {}, \"threads\": {}, \"commit\": \"{}\", \"workload\": \"{}\", {}\"indexed\": {}, \"brute_force\": {}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"partitions\": {}, \"epochs\": {}, \"threads\": {}, \"commit\": \"{}\", \"workload\": \"{}\", {}{}\"indexed\": {}, \"brute_force\": {}, \"speedup\": {:.2}}}{}\n",
             r.partitions,
             r.epochs,
             r.threads,
             if r.sequential_commit { "sequential" } else { "parallel" },
             r.workload.label(),
             spec,
+            batches,
             timing_json(&r.indexed),
             timing_json(&r.brute_force),
             r.speedup(),
@@ -313,6 +357,42 @@ pub fn to_json(results: &[EpochLoopResult]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Resident-set size of this process, from `/proc/self/status` (`None`
+/// off Linux).
+fn vm_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The sweep's memory figure: resident-set growth of building the
+/// M = 2000 scaled scenario and running its first epoch (stores, rings
+/// and pipeline scratch all populated), divided by the total partition
+/// count. Informational — a coarse RSS delta, `None` off Linux — but
+/// tracked in `BENCH_epoch.json` so per-partition memory growth is
+/// visible across the trajectory just like throughput.
+pub fn measure_bytes_per_partition() -> Option<u64> {
+    let before = vm_rss_bytes()?;
+    let mut scenario = paper::scaled_scenario("mem-figure-m2000", 2_000, 3_000, 2);
+    scenario.seed = 0xBE_7C;
+    let mut sim = Simulation::new(scenario);
+    let obs = sim.step();
+    let partitions: usize = obs.report.rings.iter().map(|r| r.partitions).sum();
+    let after = vm_rss_bytes()?;
+    Some(after.saturating_sub(before) / partitions.max(1) as u64)
+}
+
+/// Parses the top-level `bytes_per_partition` field of a
+/// `BENCH_epoch.json` document. `None` when the document predates the
+/// field (or was produced off Linux).
+pub fn parse_bytes_per_partition(json: &str) -> Option<u64> {
+    json.lines()
+        .find(|l| l.contains("\"bytes_per_partition\""))
+        .and_then(|l| num_after(l, "\"bytes_per_partition\""))
+        .map(|n| n as u64)
 }
 
 /// One row parsed back out of a `BENCH_epoch.json` document: the key
@@ -478,11 +558,23 @@ impl GateReport {
 ///   fall more than `abs_tolerance` below the baseline's. This catches
 ///   regressions that slow both pipelines equally, at the cost of
 ///   hardware sensitivity — keep its tolerance generous.
+///
+/// Rows whose thread budget **oversubscribes the baseline host**
+/// (`threads` above the committed document's `host_cpus`,
+/// when `baseline_host_cpus` is known) are matched but advisory-only:
+/// their floors demote to warnings, because wall clock at such budgets
+/// charts scheduler contention, not the code. A **scaling-slope** guard
+/// additionally compares the M = 200 → M = 2000 throughput decay
+/// (single worker, parallel commit, steady workload) across documents:
+/// a slope steepening past `ratio_tolerance` fails, catching
+/// superlinear per-partition cost creep that per-row floors — each
+/// gated against its own baseline row — would wave through.
 pub fn gate_trajectory(
     baseline: &[TrajectoryRow],
     current: &[TrajectoryRow],
     ratio_tolerance: f64,
     abs_tolerance: f64,
+    baseline_host_cpus: Option<usize>,
 ) -> GateReport {
     let mut report = GateReport::default();
     for b in baseline {
@@ -494,6 +586,7 @@ pub fn gate_trajectory(
             continue;
         };
         report.matched += 1;
+        let mut row_violations = Vec::new();
         let b_ratio = if b.brute_eps > 0.0 {
             b.indexed_eps / b.brute_eps
         } else {
@@ -506,7 +599,7 @@ pub fn gate_trajectory(
         };
         let ratio_floor = b_ratio * (1.0 - ratio_tolerance);
         if c_ratio < ratio_floor {
-            report.violations.push(format!(
+            row_violations.push(format!(
                 "{}: speedup {:.2}x fell below {:.2}x \
                  (baseline {:.2}x, tolerance {:.0}%)",
                 b.describe_key(),
@@ -518,7 +611,7 @@ pub fn gate_trajectory(
         }
         let abs_floor = b.indexed_eps * (1.0 - abs_tolerance);
         if c.indexed_eps < abs_floor {
-            report.violations.push(format!(
+            row_violations.push(format!(
                 "{}: indexed {:.2} epochs/sec fell below {:.2} \
                  (baseline {:.2}, tolerance {:.0}%)",
                 b.describe_key(),
@@ -527,6 +620,19 @@ pub fn gate_trajectory(
                 b.indexed_eps,
                 abs_tolerance * 100.0
             ));
+        }
+        match baseline_host_cpus {
+            Some(cpus) if b.threads > cpus => {
+                for v in row_violations {
+                    report.warnings.push(format!(
+                        "{v} — advisory only: the row's {} threads oversubscribe the \
+                         baseline host's {cpus} cpus, so its wall clock charts \
+                         scheduler contention, not the code",
+                        b.threads
+                    ));
+                }
+            }
+            _ => report.violations.append(&mut row_violations),
         }
         // The speculation hit rate is **informational**: a collapse
         // (halved, or gone entirely) warns but never fails — wall-clock
@@ -551,18 +657,56 @@ pub fn gate_trajectory(
             ));
         }
     }
+    // Scaling-slope guard (see the doc comment above).
+    let slope = |rows: &[TrajectoryRow]| -> Option<f64> {
+        let eps_at = |m: usize| {
+            rows.iter()
+                .find(|r| r.key() == (m, 1, false, Workload::Steady))
+                .map(|r| r.indexed_eps)
+        };
+        let (small, large) = (eps_at(200)?, eps_at(2_000)?);
+        (large > 0.0).then(|| small / large)
+    };
+    match (slope(baseline), slope(current)) {
+        (Some(b), Some(c)) => {
+            let ceiling = b * (1.0 + ratio_tolerance);
+            if c > ceiling {
+                report.violations.push(format!(
+                    "scaling slope: the M 200 → 2000 throughput ratio {c:.2} \
+                     exceeded {ceiling:.2} (baseline {b:.2}, tolerance {:.0}%) — \
+                     per-partition cost grew superlinearly",
+                    ratio_tolerance * 100.0
+                ));
+            }
+        }
+        (None, Some(_)) => report.warnings.push(
+            "scaling slope: the baseline lacks the M = 2000 steady row, so the \
+             slope is not gated (recommit the baseline to arm it)"
+                .into(),
+        ),
+        _ => {}
+    }
     report
 }
 
 /// Writes the sweep to `path` as JSON.
 pub fn write_json(path: &Path, results: &[EpochLoopResult]) -> std::io::Result<()> {
+    write_json_full(path, results, None)
+}
+
+/// [`write_json`] plus the optional `bytes_per_partition` memory figure.
+pub fn write_json_full(
+    path: &Path,
+    results: &[EpochLoopResult],
+    bytes_per_partition: Option<u64>,
+) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
     let mut f = std::fs::File::create(path)?;
-    f.write_all(to_json(results).as_bytes())
+    f.write_all(to_json_full(results, bytes_per_partition).as_bytes())
 }
 
 /// Prints the human-readable comparison table for a sweep.
@@ -680,6 +824,9 @@ mod tests {
                     decisions: 100,
                     spec_hits: 30,
                     spec_misses: 10,
+                    decision_batches: 12,
+                    max_batch_width: 5,
+                    batch_conflicts: 2,
                 },
                 brute_force: PipelineTiming {
                     seconds: 1.0,
@@ -688,6 +835,9 @@ mod tests {
                     decisions: 100,
                     spec_hits: 30,
                     spec_misses: 10,
+                    decision_batches: 12,
+                    max_batch_width: 5,
+                    batch_conflicts: 2,
                 },
             },
             EpochLoopResult {
@@ -703,6 +853,9 @@ mod tests {
                     decisions: 100,
                     spec_hits: 0,
                     spec_misses: 0,
+                    decision_batches: 0,
+                    max_batch_width: 0,
+                    batch_conflicts: 0,
                 },
                 brute_force: PipelineTiming {
                     seconds: 0.8,
@@ -711,6 +864,9 @@ mod tests {
                     decisions: 100,
                     spec_hits: 0,
                     spec_misses: 0,
+                    decision_batches: 0,
+                    max_batch_width: 0,
+                    batch_conflicts: 0,
                 },
             },
         ];
@@ -788,7 +944,7 @@ mod tests {
             brute_eps: 60.0,
             ..base[0]
         }];
-        assert!(gate_trajectory(&base, &fast_host, 0.3, 0.5).passed());
+        assert!(gate_trajectory(&base, &fast_host, 0.3, 0.5, None).passed());
         // A uniformly slower machine (both pipelines halved): ratio holds,
         // the generous absolute backstop still clears.
         let slow_host = [TrajectoryRow {
@@ -796,7 +952,7 @@ mod tests {
             brute_eps: 11.0,
             ..base[0]
         }];
-        assert!(gate_trajectory(&base, &slow_host, 0.3, 0.5).passed());
+        assert!(gate_trajectory(&base, &slow_host, 0.3, 0.5, None).passed());
         // A real code regression on a 2x-faster machine: the index path
         // lost its edge (speedup 5x → 2.5x) while absolute numbers grew.
         // The absolute floor would wave it through; the ratio floor fails.
@@ -805,7 +961,7 @@ mod tests {
             brute_eps: 44.0,
             ..base[0]
         }];
-        let report = gate_trajectory(&base, &regressed, 0.3, 0.5);
+        let report = gate_trajectory(&base, &regressed, 0.3, 0.5, None);
         assert_eq!(report.violations.len(), 1);
         assert!(report.violations[0].contains("speedup"));
         // A same-machine across-the-board slowdown: ratio holds, the
@@ -815,7 +971,7 @@ mod tests {
             brute_eps: 8.0,
             ..base[0]
         }];
-        let report = gate_trajectory(&base, &uniform_slow, 0.3, 0.5);
+        let report = gate_trajectory(&base, &uniform_slow, 0.3, 0.5, None);
         assert_eq!(report.violations.len(), 1);
         assert!(report.violations[0].contains("epochs/sec"));
     }
@@ -837,7 +993,7 @@ mod tests {
             spec_hit_rate: Some(0.1),
             ..base[0]
         }];
-        let report = gate_trajectory(&base, &collapsed, 0.3, 0.5);
+        let report = gate_trajectory(&base, &collapsed, 0.3, 0.5, None);
         assert!(report.passed());
         assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
         assert!(report.warnings[0].contains("hit rate"));
@@ -847,14 +1003,14 @@ mod tests {
             spec_hit_rate: Some(0.7),
             ..base[0]
         }];
-        assert!(gate_trajectory(&base, &healthy, 0.3, 0.5)
+        assert!(gate_trajectory(&base, &healthy, 0.3, 0.5, None)
             .warnings
             .is_empty());
         let absent = [TrajectoryRow {
             spec_hit_rate: None,
             ..base[0]
         }];
-        assert!(gate_trajectory(&base, &absent, 0.3, 0.5)
+        assert!(gate_trajectory(&base, &absent, 0.3, 0.5, None)
             .warnings
             .is_empty());
     }
@@ -874,7 +1030,7 @@ mod tests {
         // that is a failure in its own right (an emptied or renamed fresh
         // trajectory must not wave CI through), reported alongside the
         // skip warning.
-        let report = gate_trajectory(&[base_row], &[], 0.3, 0.5);
+        let report = gate_trajectory(&[base_row], &[], 0.3, 0.5, None);
         assert!(!report.passed());
         assert_eq!(report.matched, 0);
         assert_eq!(report.warnings.len(), 1);
@@ -904,7 +1060,7 @@ mod tests {
                 ..base_row
             },
         ];
-        let report = gate_trajectory(&baseline, &fresh, 0.3, 0.5);
+        let report = gate_trajectory(&baseline, &fresh, 0.3, 0.5, None);
         assert!(report.passed());
         assert_eq!(report.matched, 1);
         assert_eq!(report.warnings.len(), 4, "{:?}", report.warnings);
@@ -921,8 +1077,123 @@ mod tests {
                 ..base_row
             },
         ];
-        let report = gate_trajectory(&baseline, &regressed, 0.3, 0.5);
+        let report = gate_trajectory(&baseline, &regressed, 0.3, 0.5, None);
         assert!(!report.passed());
+    }
+
+    #[test]
+    fn oversubscribed_thread_rows_demote_to_warnings() {
+        // A regression on a row whose thread budget exceeds the baseline
+        // host's cores is advisory: on such a host the row's wall clock
+        // charts scheduler contention, not the code.
+        let base = [
+            TrajectoryRow {
+                partitions: 200,
+                threads: 1,
+                sequential_commit: false,
+                workload: Workload::Steady,
+                indexed_eps: 100.0,
+                brute_eps: 20.0,
+                spec_hit_rate: None,
+            },
+            TrajectoryRow {
+                partitions: 200,
+                threads: 8,
+                sequential_commit: false,
+                workload: Workload::Steady,
+                indexed_eps: 100.0,
+                brute_eps: 20.0,
+                spec_hit_rate: None,
+            },
+        ];
+        let fresh = [
+            base[0],
+            TrajectoryRow {
+                indexed_eps: 10.0,
+                brute_eps: 10.0,
+                ..base[1]
+            },
+        ];
+        // Baseline host had 1 cpu: the threads = 8 row's regression warns
+        // instead of failing, and both rows still count as matched.
+        let report = gate_trajectory(&base, &fresh, 0.3, 0.5, Some(1));
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(report.matched, 2);
+        assert!(report.warnings.iter().any(|w| w.contains("oversubscribe")));
+        // The same diff on an 8-cpu baseline host is a hard failure.
+        let report = gate_trajectory(&base, &fresh, 0.3, 0.5, Some(8));
+        assert!(!report.passed());
+        // And so is a regression on a row *within* the host's budget,
+        // even when the host count is known.
+        let regressed_t1 = [
+            TrajectoryRow {
+                indexed_eps: 10.0,
+                brute_eps: 10.0,
+                ..base[0]
+            },
+            base[1],
+        ];
+        assert!(!gate_trajectory(&base, &regressed_t1, 0.3, 0.5, Some(1)).passed());
+    }
+
+    #[test]
+    fn scaling_slope_guard_gates_m2000_decay() {
+        let row = |partitions: usize, indexed_eps: f64| TrajectoryRow {
+            partitions,
+            threads: 1,
+            sequential_commit: false,
+            workload: Workload::Steady,
+            indexed_eps,
+            brute_eps: indexed_eps / 5.0,
+            spec_hit_rate: None,
+        };
+        // Baseline slope: 100 / 10 = 10x decay from M = 200 to M = 2000.
+        let base = [row(200, 100.0), row(2_000, 10.0)];
+        // Uniformly slower host: slope unchanged, passes.
+        let slower = [row(200, 50.0), row(2_000, 5.0)];
+        assert!(gate_trajectory(&base, &slower, 0.3, 0.5, None).passed());
+        // Superlinear creep: M = 2000 fell to a 20x decay — the slope
+        // guard fails even though the M = 200 row held and the M = 2000
+        // row's own floors (vs its baseline row, tolerance 60%) do not
+        // quite trip.
+        let creep = [row(200, 100.0), row(2_000, 5.0)];
+        let report = gate_trajectory(&base, &creep, 0.3, 0.6, None);
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("scaling slope")));
+        // A baseline without the M = 2000 row skips the slope with a
+        // warning instead of failing.
+        let old_base = [row(200, 100.0)];
+        let report = gate_trajectory(&old_base, &creep, 0.3, 0.6, None);
+        assert!(report.passed());
+        assert!(report.warnings.iter().any(|w| w.contains("scaling slope")));
+    }
+
+    #[test]
+    fn batch_stats_and_memory_figure_land_in_json() {
+        let r = run_epoch_loop(4, 3, 1);
+        let json = to_json_full(&[r], Some(123_456));
+        assert!(json.contains("\"decision_batches\""));
+        assert!(json.contains("\"max_batch_width\""));
+        assert!(json.contains("\"batch_conflicts\""));
+        assert!(json.contains("\"bytes_per_partition\": 123456"));
+        assert_eq!(parse_bytes_per_partition(&json), Some(123_456));
+        assert!(
+            r.indexed.decision_batches > 0,
+            "the default commit batches its actions"
+        );
+        assert_eq!(
+            r.indexed.decision_batches, r.brute_force.decision_batches,
+            "both pipelines replay the same batched trajectory"
+        );
+        // Absent figure: field omitted, parser yields None.
+        let bare = to_json(&[r]);
+        assert!(!bare.contains("bytes_per_partition"));
+        assert_eq!(parse_bytes_per_partition(&bare), None);
+        // The JSON stays balanced with the new fields.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     fn figures_tmp() -> std::path::PathBuf {

@@ -18,6 +18,7 @@ use skute_store::{
 
 use crate::app::{AppId, AppSpec, Application, AvailabilityLevel};
 use crate::availability::{availability_of, threshold_for_replicas};
+use crate::batch::{apply_deferred, BatchTask, DecisionBatcher, DeferredKind, DeferredOp};
 use crate::config::SkuteConfig;
 use crate::decision::{classify, clears_profit_hurdle, ActionCounts, Intent, VnodeSituation};
 use crate::error::CoreError;
@@ -109,6 +110,10 @@ pub struct SkuteCloud {
     /// Scratch for the validation's lazily built existing-replica
     /// location list.
     spec_locs: Vec<Location>,
+    /// The open conflict-free batch of the decision commit (see
+    /// [`crate::batch`]), reused across epochs. Always flushed empty
+    /// before `economic_decisions` returns.
+    batcher: DecisionBatcher,
 }
 
 /// One ring's query traffic for a batched
@@ -157,6 +162,7 @@ impl SkuteCloud {
             meter_scratch: Vec::new(),
             spec_touched: SpecWriteSet::new(),
             spec_locs: Vec::new(),
+            batcher: DecisionBatcher::default(),
         };
         cloud.post_prices();
         cloud
@@ -1769,13 +1775,34 @@ impl SkuteCloud {
             }
         }
         debug_assert_eq!(self.pipeline.pre.len(), slots, "one slot per vnode");
-        // Commit pass (sequential, seeded shuffle order). Every executed
-        // action records its touched servers (the pass's write set);
-        // later speculations are honored as long as read-set validation
-        // proves the touches cannot have changed their answer, and
-        // re-walk on the live state only on genuine read/write overlap.
+        // Commit pass (sequential resolution, seeded shuffle order).
+        // Every executed action records its touched servers (the pass's
+        // write set); later speculations are honored as long as read-set
+        // validation proves the touches cannot have changed their answer,
+        // and re-walk on the live state only on genuine read/write
+        // overlap. Capacity meters move eagerly at resolution time, in
+        // resolution order, so every later resolution reads exact
+        // balances; only the partition-local placements of conflict-free
+        // actions are deferred into batches (see [`crate::batch`]) and
+        // applied in one worker-pool dispatch per flush —
+        // `SkuteConfig::sequential_decisions` instead routes them through
+        // the one-at-a-time in-place oracle.
+        let sequential = self.config.sequential_decisions;
+        let defer = !sequential && self.pipeline.threads() > 1;
+        let mut batcher = std::mem::take(&mut self.batcher);
+        debug_assert_eq!(batcher.width(), 0, "previous pass flushed everything");
         self.spec_touched.clear();
         for &(ri, pid, vid, slot) in &work {
+            // Resolution reads the partition's live replicas; a pending
+            // deferred placement on it must land first. The batch
+            // bookkeeping — this flush boundary included — runs at every
+            // thread count, so batch boundaries depend only on the
+            // resolved action sequence and the counters are
+            // thread-invariant; with `threads == 1` the ops already
+            // applied inline and the flush only counts.
+            if !sequential && batcher.touches_partition((ri, pid)) {
+                self.flush_decision_batch(&mut batcher, actions);
+            }
             let threshold = self.rings[ri].level.threshold;
             // The vnode may have been split away or suicided already.
             let Some(partition) = self.rings[ri].partitions.get_mut(&pid) else {
@@ -1833,14 +1860,9 @@ impl SkuteCloud {
             let spec_live = pre.spec_computed
                 && self.board.version() == frozen.1
                 && partition.membership_version == pre.membership_version;
-            match classify(&situation) {
-                Intent::Stay => {}
-                Intent::Suicide => {
-                    exec_suicide(&mut self.cluster, partition, idx);
-                    actions.suicides += 1;
-                    self.note_index(&[server]);
-                    self.spec_touched.record(server, false);
-                }
+            let resolved = match classify(&situation) {
+                Intent::Stay => Resolved::Stay,
+                Intent::Suicide => Resolved::Suicide { idx },
                 Intent::Migrate => {
                     let mut honored = spec_live && self.spec_touched.is_empty();
                     let target = if honored {
@@ -1893,19 +1915,9 @@ impl SkuteCloud {
                             actions.spec_misses += 1;
                         }
                     }
-                    if let Some((target, _)) = target {
-                        if target != server {
-                            if let Some(t) =
-                                exec_migration(&mut self.cluster, partition, idx, target)
-                            {
-                                actions.migrations += 1;
-                                actions.migrated_bytes += t.logical;
-                                actions.measured_migrated_bytes += t.measured;
-                                self.note_index(&[server, target]);
-                                self.spec_touched.record(server, false);
-                                self.spec_touched.record(target, true);
-                            }
-                        }
+                    match target {
+                        Some((target, _)) if target != server => Resolved::Migrate { idx, target },
+                        _ => Resolved::Stay,
                     }
                 }
                 Intent::ReplicateForProfit => {
@@ -1953,40 +1965,185 @@ impl SkuteCloud {
                             actions.spec_misses += 1;
                         }
                     }
-                    if let Some((target, _)) = target {
-                        // Re-verify the hurdle with the actual candidate rent.
-                        let actual_rent = self.board.price_of(target).unwrap_or(f64::MAX);
-                        let actual = VnodeSituation {
-                            projected_replica_cost: actual_rent + pre.consistency_cost,
-                            ..situation
-                        };
-                        if clears_profit_hurdle(&actual) {
-                            let epoch = self.epoch;
-                            let vid = VnodeId(self.next_vnode);
-                            let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
-                            if let Some(t) = exec_replication(
-                                &mut self.cluster,
-                                partition,
-                                target,
-                                vid,
-                                window,
-                                epoch,
-                            ) {
-                                self.next_vnode += 1;
-                                actions.profit_replications += 1;
-                                actions.replicated_bytes += t.logical;
-                                actions.measured_replicated_bytes += t.measured;
-                                self.note_index(&[target]);
-                                self.spec_touched.record(target, true);
+                    match target {
+                        Some((target, _)) => {
+                            // Re-verify the hurdle with the actual candidate
+                            // rent.
+                            let actual_rent = self.board.price_of(target).unwrap_or(f64::MAX);
+                            let actual = VnodeSituation {
+                                projected_replica_cost: actual_rent + pre.consistency_cost,
+                                ..situation
+                            };
+                            if clears_profit_hurdle(&actual) {
+                                Resolved::Replicate { target }
                             } else {
-                                actions.blocked_transfers += 1;
+                                Resolved::Stay
                             }
                         }
+                        None => Resolved::Stay,
+                    }
+                }
+            };
+            // Application: the meter half runs now (eagerly, still in
+            // resolution order); the placement half defers into the open
+            // batch, falls back in place after a flush on a server
+            // conflict, or applies immediately in the sequential modes.
+            match resolved {
+                Resolved::Stay => {}
+                Resolved::Suicide { idx } => {
+                    let touched = [(server, false)];
+                    let conflict = !sequential && batcher.conflicts(&touched);
+                    if conflict {
+                        self.flush_decision_batch(&mut batcher, actions);
+                        actions.batch_conflicts += 1;
+                    }
+                    let partition = self.rings[ri].partitions.get(&pid).unwrap();
+                    plan_suicide(&mut self.cluster, partition, idx);
+                    actions.suicides += 1;
+                    self.note_index(&[server]);
+                    self.spec_touched.record(server, false);
+                    let op = DeferredOp {
+                        ri,
+                        pid,
+                        kind: DeferredKind::Suicide { idx },
+                    };
+                    if !sequential && !conflict {
+                        batcher.admit(&touched, (ri, pid));
+                    }
+                    if defer && !conflict {
+                        batcher.defer(op);
+                    } else {
+                        let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
+                        apply_deferred(&op.kind, partition);
+                    }
+                }
+                Resolved::Migrate { idx, target } => {
+                    let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
+                    if let Some(logical) = plan_migration(&mut self.cluster, partition, idx, target)
+                    {
+                        actions.migrations += 1;
+                        actions.migrated_bytes += logical;
+                        let touched = [(server, false), (target, true)];
+                        let conflict = !sequential && batcher.conflicts(&touched);
+                        if conflict {
+                            self.flush_decision_batch(&mut batcher, actions);
+                            actions.batch_conflicts += 1;
+                        }
+                        self.note_index(&[server, target]);
+                        self.spec_touched.record(server, false);
+                        self.spec_touched.record(target, true);
+                        let op = DeferredOp {
+                            ri,
+                            pid,
+                            kind: DeferredKind::Migration { idx, target },
+                        };
+                        if !sequential && !conflict {
+                            batcher.admit(&touched, (ri, pid));
+                        }
+                        if defer && !conflict {
+                            batcher.defer(op);
+                        } else {
+                            let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
+                            actions.measured_migrated_bytes += apply_deferred(&op.kind, partition);
+                        }
+                    }
+                }
+                Resolved::Replicate { target } => {
+                    let epoch = self.epoch;
+                    let new_vid = VnodeId(self.next_vnode);
+                    let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
+                    if let Some((src_idx, logical)) =
+                        plan_replication(&mut self.cluster, partition, target)
+                    {
+                        self.next_vnode += 1;
+                        actions.profit_replications += 1;
+                        actions.replicated_bytes += logical;
+                        let touched = [(target, true)];
+                        let conflict = !sequential && batcher.conflicts(&touched);
+                        if conflict {
+                            self.flush_decision_batch(&mut batcher, actions);
+                            actions.batch_conflicts += 1;
+                        }
+                        self.note_index(&[target]);
+                        self.spec_touched.record(target, true);
+                        let op = DeferredOp {
+                            ri,
+                            pid,
+                            kind: DeferredKind::Replication {
+                                src_idx,
+                                target,
+                                vid: new_vid,
+                                window,
+                                epoch,
+                            },
+                        };
+                        if !sequential && !conflict {
+                            batcher.admit(&touched, (ri, pid));
+                        }
+                        if defer && !conflict {
+                            batcher.defer(op);
+                        } else {
+                            let partition = self.rings[ri].partitions.get_mut(&pid).unwrap();
+                            actions.measured_replicated_bytes +=
+                                apply_deferred(&op.kind, partition);
+                        }
+                    } else {
+                        actions.blocked_transfers += 1;
                     }
                 }
             }
         }
+        if !sequential {
+            self.flush_decision_batch(&mut batcher, actions);
+        }
+        self.batcher = batcher;
         self.work_scratch = work;
+    }
+
+    /// Flushes the open decision batch: counts it into the batch
+    /// observability counters, applies its deferred partition-local
+    /// placements — one worker-pool dispatch for width ≥ 2, inline for a
+    /// single op — and accumulates the measured transfer bytes in op
+    /// order (the sums are `u64`, so batch order cannot change them).
+    /// The in-place commit modes (`threads == 1`) admit actions without
+    /// deferring, so their flushes only count.
+    fn flush_decision_batch(&mut self, batcher: &mut DecisionBatcher, actions: &mut ActionCounts) {
+        if batcher.width() == 0 {
+            return;
+        }
+        actions.decision_batches += 1;
+        actions.max_batch_width = actions.max_batch_width.max(batcher.width() as u64);
+        let ops = batcher.take_ops();
+        if ops.len() == 1 {
+            // A single deferred placement is cheaper applied here than
+            // shipped through the pool.
+            let op = &ops[0];
+            let partition = self.rings[op.ri].partitions.get_mut(&op.pid).unwrap();
+            let measured = apply_deferred(&op.kind, partition);
+            count_measured(actions, &op.kind, measured);
+        } else if !ops.is_empty() {
+            let tasks: Vec<BatchTask> = ops
+                .into_iter()
+                .map(|op| {
+                    let part = self.rings[op.ri]
+                        .partitions
+                        .remove(&op.pid)
+                        .expect("deferred op's partition is in its ring");
+                    BatchTask {
+                        op,
+                        part,
+                        measured: 0,
+                    }
+                })
+                .collect();
+            for task in self.pipeline.commit_decision_batch(tasks) {
+                count_measured(actions, &task.op.kind, task.measured);
+                self.rings[task.op.ri]
+                    .partitions
+                    .insert(task.op.pid, task.part);
+            }
+        }
+        batcher.reset();
     }
 
     /// Splits every partition above the 256 MB capacity into two fresh
@@ -2282,19 +2439,35 @@ struct Transfer {
     measured: u64,
 }
 
-/// Adds a replica of `partition` on `target`: consumes replication
-/// bandwidth on a source replica's server and on the target, reserves
-/// storage at the target, and forks the source's store (a shared COW
-/// handle under the mem backend, a physical file copy under LSM).
-/// All-or-nothing; returns the transfer on success.
-fn exec_replication(
+/// Accumulates a flushed placement's measured transfer bytes into the
+/// matching per-kind counter.
+fn count_measured(actions: &mut ActionCounts, kind: &DeferredKind, measured: u64) {
+    match kind {
+        DeferredKind::Replication { .. } => actions.measured_replicated_bytes += measured,
+        DeferredKind::Migration { .. } => actions.measured_migrated_bytes += measured,
+        DeferredKind::Suicide { .. } => {}
+    }
+}
+
+/// Outcome of one action's sequential resolution — what the vnode decided,
+/// and against which replica/target — before its meters move and its
+/// placement applies.
+enum Resolved {
+    Stay,
+    Suicide { idx: usize },
+    Migrate { idx: usize, target: ServerId },
+    Replicate { target: ServerId },
+}
+
+/// The meter half of a replication: feasibility checks and the bandwidth /
+/// storage debits on both ends — everything `exec_replication` does
+/// before forking the source's store. All-or-nothing; returns the source
+/// replica index and the logical transfer size on success.
+fn plan_replication(
     cluster: &mut Cluster,
-    partition: &mut PartitionState,
+    partition: &PartitionState,
     target: ServerId,
-    vnode: VnodeId,
-    window: usize,
-    epoch: u64,
-) -> Option<Transfer> {
+) -> Option<(usize, u64)> {
     if partition.has_replica_on(target) {
         return None;
     }
@@ -2333,33 +2506,52 @@ fn exec_replication(
             dst.usage.reserve_replication_bw(&caps, size) && dst.usage.reserve_storage(&caps, size);
         debug_assert!(ok);
     }
-    let (store, physical) = partition.replicas[src_idx].store.fork();
-    // The synthetic portion has no materialized bytes on any backend;
-    // only the store's physical footprint is measured. The mem oracle
-    // reports no measurement and prices the transfer at logical size.
-    let measured = match physical {
-        Some(store_bytes) => partition.synthetic_bytes + store_bytes,
-        None => size,
-    };
-    let mut replica = Replica::new(vnode, target, window, epoch);
-    replica.store = store;
-    partition.replicas.push(replica);
-    partition.note_membership_changed();
+    Some((src_idx, size))
+}
+
+/// Adds a replica of `partition` on `target`: consumes replication
+/// bandwidth on a source replica's server and on the target, reserves
+/// storage at the target, and forks the source's store (a shared COW
+/// handle under the mem backend, a physical file copy under LSM).
+/// All-or-nothing; returns the transfer on success. Composed of the plan
+/// half and the deferred-apply half the batched decision commit uses —
+/// recomposed here for the callers outside that commit (the availability
+/// repair pass, emergency relocations).
+fn exec_replication(
+    cluster: &mut Cluster,
+    partition: &mut PartitionState,
+    target: ServerId,
+    vnode: VnodeId,
+    window: usize,
+    epoch: u64,
+) -> Option<Transfer> {
+    let (src_idx, size) = plan_replication(cluster, partition, target)?;
+    let measured = apply_deferred(
+        &DeferredKind::Replication {
+            src_idx,
+            target,
+            vid: vnode,
+            window,
+            epoch,
+        },
+        partition,
+    );
     Some(Transfer {
         logical: size,
         measured,
     })
 }
 
-/// Moves replica `idx` of `partition` to `target`: consumes migration
-/// bandwidth on both ends, moves the storage charge, resets the balance
-/// window. All-or-nothing; returns the transfer on success.
-fn exec_migration(
+/// The meter half of a migration: feasibility checks, the bandwidth
+/// debits on both ends, and the storage-charge move — everything
+/// `exec_migration` does before reassigning the replica. All-or-nothing;
+/// returns the logical transfer size on success.
+fn plan_migration(
     cluster: &mut Cluster,
-    partition: &mut PartitionState,
+    partition: &PartitionState,
     idx: usize,
     target: ServerId,
-) -> Option<Transfer> {
+) -> Option<u64> {
     if partition.has_replica_on(target) {
         return None;
     }
@@ -2388,27 +2580,40 @@ fn exec_migration(
             dst.usage.reserve_migration_bw(&caps, size) && dst.usage.reserve_storage(&caps, size);
         debug_assert!(ok);
     }
-    let measured = match partition.replicas[idx].store.measured_transfer() {
-        Some(store_bytes) => partition.synthetic_bytes + store_bytes,
-        None => size,
-    };
-    partition.replicas[idx].server = target;
-    partition.replicas[idx].balance.reset_window();
-    partition.note_membership_changed();
+    Some(size)
+}
+
+/// Moves replica `idx` of `partition` to `target`: consumes migration
+/// bandwidth on both ends, moves the storage charge, resets the balance
+/// window. All-or-nothing; returns the transfer on success.
+fn exec_migration(
+    cluster: &mut Cluster,
+    partition: &mut PartitionState,
+    idx: usize,
+    target: ServerId,
+) -> Option<Transfer> {
+    let size = plan_migration(cluster, partition, idx, target)?;
+    let measured = apply_deferred(&DeferredKind::Migration { idx, target }, partition);
     Some(Transfer {
         logical: size,
         measured,
     })
 }
 
-/// Deletes replica `idx` of `partition`, releasing its storage.
-fn exec_suicide(cluster: &mut Cluster, partition: &mut PartitionState, idx: usize) {
-    let replica = partition.replicas.remove(idx);
-    partition.note_membership_changed();
+/// The meter half of a suicide: releases the replica's storage charge
+/// (the replica itself is removed by the apply half).
+fn plan_suicide(cluster: &mut Cluster, partition: &PartitionState, idx: usize) {
+    let replica = &partition.replicas[idx];
     let size = partition.synthetic_bytes + replica.store.logical_bytes();
     if let Some(s) = cluster.get_mut(replica.server) {
         s.usage.release_storage(size);
     }
+}
+
+/// Deletes replica `idx` of `partition`, releasing its storage.
+fn exec_suicide(cluster: &mut Cluster, partition: &mut PartitionState, idx: usize) {
+    plan_suicide(cluster, partition, idx);
+    apply_deferred(&DeferredKind::Suicide { idx }, partition);
 }
 
 #[cfg(test)]

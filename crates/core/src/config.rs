@@ -78,6 +78,17 @@ pub struct SkuteConfig {
     /// exists as the equivalence oracle for tests and CI's fault matrix
     /// (`skute-sim --sequential-repair`).
     pub sequential_repair: bool,
+    /// Routes the economic-decision **commit** through the one-action-at-a-
+    /// time sequential walk instead of the conflict-free batched commit
+    /// (actions touching pairwise-disjoint servers and partitions apply
+    /// their partition-local placements in one worker-pool dispatch; meter
+    /// movements stay sequential either way). The two are **bit-for-bit
+    /// identical** up to the batch observability counters
+    /// (`ActionCounts::decision_batches` / `max_batch_width` /
+    /// `batch_conflicts`, which the oracle leaves at zero); this switch
+    /// exists as the equivalence oracle for tests and CI's determinism
+    /// matrix (`skute-sim --sequential-decisions`).
+    pub sequential_decisions: bool,
     /// Worker threads of the epoch pipeline's parallel phases (`0` = the
     /// machine's available parallelism; explicit budgets are honored
     /// exactly — beyond the host's core count that costs wall clock,
@@ -104,6 +115,7 @@ impl SkuteConfig {
             backend: BackendKind::Mem,
             fault_plan: FaultPlan::none(),
             sequential_repair: false,
+            sequential_decisions: false,
             threads: 1,
         }
     }
@@ -183,6 +195,16 @@ impl SkuteConfig {
     #[must_use]
     pub fn with_sequential_repair(mut self) -> Self {
         self.sequential_repair = true;
+        self
+    }
+
+    /// Returns a copy routed through the sequential one-action-at-a-time
+    /// decision commit (the equivalence oracle; see the field docs).
+    /// Trajectories stay bitwise identical up to the batch observability
+    /// counters.
+    #[must_use]
+    pub fn with_sequential_decisions(mut self) -> Self {
+        self.sequential_decisions = true;
         self
     }
 
@@ -292,6 +314,17 @@ mod tests {
         let b = a.with_sequential_repair();
         assert!(!a.sequential_repair);
         assert!(b.sequential_repair);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.threads, b.threads);
+        b.validate();
+    }
+
+    #[test]
+    fn with_sequential_decisions_flips_only_the_oracle_flag() {
+        let a = SkuteConfig::paper();
+        let b = a.with_sequential_decisions();
+        assert!(!a.sequential_decisions);
+        assert!(b.sequential_decisions);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.threads, b.threads);
         b.validate();

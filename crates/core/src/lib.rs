@@ -50,6 +50,7 @@
 
 pub mod app;
 pub mod availability;
+mod batch;
 pub mod cloud;
 pub mod config;
 pub mod decision;
@@ -61,6 +62,7 @@ pub mod vnode;
 
 pub use app::{AppId, AppSpec, Application, AvailabilityLevel, LevelSpec};
 pub use availability::{availability_of, greedy_max_availability, threshold_for_replicas};
+pub use batch::{build_batches, ActionFootprint, CommitStep};
 pub use cloud::{SkuteCloud, TrafficBatch};
 pub use config::SkuteConfig;
 pub use decision::{Action, ActionCounts};

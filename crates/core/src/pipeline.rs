@@ -70,6 +70,7 @@ use skute_geo::{Location, RegionWeight, Topology};
 use skute_ring::PartitionId;
 
 use crate::availability::availability_of;
+use crate::batch::{apply_deferred, BatchTask};
 use crate::decision::{classify, Intent, VnodeSituation};
 use crate::metrics::mean_cv;
 use crate::placement::{economic_target, PlacementContext, PlacementIndex, WalkScratch};
@@ -675,6 +676,22 @@ impl EpochPipeline {
         // already flat.
         spec_reads.clear();
         std::mem::swap(spec_reads, &mut scratch.reads);
+    }
+
+    /// Applies one conflict-free decision batch in a single pool
+    /// dispatch: each task owns its partition (moved out of the ring map
+    /// by the caller) and applies its deferred placement with
+    /// [`apply_deferred`] — pure partition-local work whose meters were
+    /// already moved sequentially at resolution time. Tasks come back in
+    /// op order, so the caller's measured-byte accumulation and partition
+    /// restore replay the sequential order exactly. The batch is
+    /// pairwise partition-disjoint by construction (see `crate::batch`),
+    /// so tasks touch disjoint replica vectors and stores.
+    pub(crate) fn commit_decision_batch(&self, tasks: Vec<BatchTask>) -> Vec<BatchTask> {
+        self.pool.run_tasks(tasks, move |_, mut task| {
+            task.measured = apply_deferred(&task.op.kind, &mut task.part);
+            task
+        })
     }
 
     // ------------------------------------------------------------------

@@ -5,7 +5,7 @@
 //!           [--seed N] [--csv PATH] [--print-every N] [--brute-force]
 //!           [--threads N] [--sequential-commit] [--no-speculation]
 //!           [--backend mem|lsm] [--fault-plan NAME] [--fault-seed N]
-//!           [--sequential-repair]
+//!           [--sequential-repair] [--sequential-decisions]
 //! skute-sim --bench-json PATH
 //! ```
 //!
@@ -38,6 +38,7 @@ struct Args {
     fault_plan: Option<FaultPlanKind>,
     fault_seed: Option<u64>,
     sequential_repair: bool,
+    sequential_decisions: bool,
     bench_json: Option<String>,
 }
 
@@ -56,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         fault_plan: None,
         fault_seed: None,
         sequential_repair: false,
+        sequential_decisions: false,
         bench_json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -113,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--sequential-repair" => args.sequential_repair = true,
+            "--sequential-decisions" => args.sequential_decisions = true,
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--help" | "-h" => {
                 println!(
@@ -121,7 +124,8 @@ fn parse_args() -> Result<Args, String> {
                             [--epochs N] [--seed N] [--csv PATH] [--print-every N]\n\
                             [--brute-force] [--sequential-commit] [--no-speculation]\n\
                             [--threads N] [--backend mem|lsm] [--fault-plan NAME]\n\
-                            [--fault-seed N] [--sequential-repair] [--bench-json PATH]\n\n\
+                            [--fault-seed N] [--sequential-repair]\n\
+                            [--sequential-decisions] [--bench-json PATH]\n\n\
                      --threads sets the epoch pipeline's worker budget (0 = all\n\
                      cores); same-seed output is bitwise identical at any value.\n\
                      --backend selects the replica storage engine: mem (default,\n\
@@ -140,7 +144,11 @@ fn parse_args() -> Result<Args, String> {
                      bitwise identical, faulted or not.\n\
                      --sequential-repair routes the availability-repair pass\n\
                      through its sequential walk (the oracle for the default\n\
-                     speculative plan/validate repair protocol)."
+                     speculative plan/validate repair protocol).\n\
+                     --sequential-decisions routes the economic-decision\n\
+                     commit through the one-action-at-a-time sequential walk\n\
+                     instead of the conflict-free batched commit (the oracle;\n\
+                     output is bitwise identical either way)."
                 );
                 std::process::exit(0);
             }
@@ -172,9 +180,19 @@ fn main() -> ExitCode {
     };
     if let Some(path) = args.bench_json {
         println!("epoch_loop perf sweep: indexed vs brute-force decision pipeline\n");
+        // Measured before the sweep: the sweep's own M = 2000 rows would
+        // otherwise mask the RSS delta with already-freed pages.
+        let bytes_per_partition = perf::measure_bytes_per_partition();
         let results = perf::standard_sweep();
         perf::print_table(&results);
-        return match perf::write_json(std::path::Path::new(&path), &results) {
+        if let Some(bpp) = bytes_per_partition {
+            println!("\nbytes/partition (RSS delta at M = 2000): {bpp}");
+        }
+        return match perf::write_json_full(
+            std::path::Path::new(&path),
+            &results,
+            bytes_per_partition,
+        ) {
             Ok(()) => {
                 println!("\nwrote {path}");
                 ExitCode::SUCCESS
@@ -203,6 +221,7 @@ fn main() -> ExitCode {
     scenario.config.no_speculation = args.no_speculation;
     scenario.config.backend = args.backend;
     scenario.config.sequential_repair = args.sequential_repair;
+    scenario.config.sequential_decisions = args.sequential_decisions;
     // --fault-plan picks the fault family; --fault-seed seeds it (and
     // implies the all-families plan when no family was named). A plan
     // without an explicit seed inherits the scenario seed.

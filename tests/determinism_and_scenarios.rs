@@ -268,6 +268,56 @@ fn speculation_oracle_replays_bitwise_identically() {
 }
 
 #[test]
+fn sequential_decisions_oracle_replays_bitwise_identically() {
+    // The batched decision commit's acceptance bar: routing the commit
+    // through the one-action-at-a-time sequential walk
+    // (`SkuteConfig::sequential_decisions`) must replay the batched
+    // pipeline's trajectory **bitwise** — across a convergence phase, a
+    // failure burst and steady state, at several thread counts. The only
+    // permitted difference is the batch observability counters themselves
+    // (the oracle builds no batches). Random conflict interleavings get
+    // the same bar from the failure burst: the post-outage epochs are
+    // dense with overlapping suicides/migrations, so both flush triggers
+    // (partition reuse and the in-place server-conflict fallback) are
+    // exercised against the sequential walk.
+    let run = |sequential: bool, threads: usize| {
+        let mut s = paper::scaled_scenario("seq-decisions-oracle", 24, 3_000, 16);
+        s.seed = 0xBA7C;
+        s.config.sequential_decisions = sequential;
+        s.config.threads = threads;
+        s.schedule = Schedule::new().at(9, CloudEvent::RemoveServers { count: 12 });
+        Simulation::new(s).run()
+    };
+    let batched = run(false, 1);
+    let mut batches = 0u64;
+    let mut widest = 0u64;
+    for threads in [1usize, 2, 8] {
+        let oracle = run(true, threads);
+        assert_eq!(batched.len(), oracle.len());
+        for (epoch, (a, b)) in batched.iter().zip(&oracle).enumerate() {
+            let mut a = a.clone();
+            batches += a.report.actions.decision_batches;
+            widest = widest.max(a.report.actions.max_batch_width);
+            a.report.actions.decision_batches = 0;
+            a.report.actions.max_batch_width = 0;
+            a.report.actions.batch_conflicts = 0;
+            assert_eq!(
+                b.report.actions.decision_batches, 0,
+                "the oracle builds no batches"
+            );
+            assert_eq!(b.report.actions.max_batch_width, 0);
+            assert_eq!(b.report.actions.batch_conflicts, 0);
+            assert_eq!(
+                &a, b,
+                "batched vs sequential decisions diverge at epoch {epoch}, threads {threads}"
+            );
+        }
+    }
+    assert!(batches > 0, "the default mode must commit through batches");
+    assert!(widest > 1, "the workload must co-batch disjoint actions");
+}
+
+#[test]
 fn fig2_shape_scaled() {
     // Convergence: vnodes reach 9·M and stay; cheap servers outnumber
     // expensive in hosted vnodes.
