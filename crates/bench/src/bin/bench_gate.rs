@@ -85,6 +85,28 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// Emits a GitHub Actions workflow annotation (`::error::` /
+/// `::warning::`) when running under Actions; a plain line otherwise.
+/// Annotations surface on the PR's checks tab without digging into logs.
+fn gh_annotate(level: &str, msg: &str) {
+    if std::env::var_os("GITHUB_ACTIONS").is_some() {
+        // Annotation payloads are single-line; fold any newlines.
+        println!("::{level}::{}", msg.replace('\n', " "));
+    } else {
+        println!("bench_gate: {level}: {msg}");
+    }
+}
+
+/// Appends markdown lines to the CI job summary, if one is available.
+fn append_step_summary(markdown: &str) {
+    let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&summary) {
+        let _ = writeln!(f, "{markdown}");
+    }
+}
+
 /// Warns — on stdout and, when `$GITHUB_STEP_SUMMARY` is set, as a line
 /// in the CI job summary — when the committed baseline was produced on a
 /// machine with a different core count than this runner. The ratio floor
@@ -106,12 +128,8 @@ fn warn_on_host_mismatch(baseline_path: &str, baseline_body: &str) {
          thread-scaling rows are not hardware-comparable; trust the speedup-ratio floor \
          and consider recommitting the baseline from this runner class"
     );
-    println!("bench_gate: warning: {msg}");
-    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
-        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&summary) {
-            let _ = writeln!(f, ":warning: **bench_gate**: {msg}");
-        }
-    }
+    gh_annotate("warning", &msg);
+    append_step_summary(&format!(":warning: **bench_gate**: {msg}"));
 }
 
 fn main() -> ExitCode {
@@ -166,6 +184,9 @@ fn main() -> ExitCode {
         args.abs_tolerance * 100.0
     );
     let ratio = |eps: f64, brute: f64| if brute > 0.0 { eps / brute } else { 0.0 };
+    let mut summary_table = String::from(
+        "### bench_gate\n\n| row | indexed epochs/sec | Δ | speedup |\n|---|---|---|---|\n",
+    );
     for b in &baseline {
         let fresh = current.iter().find(|c| c.key() == b.key());
         match fresh {
@@ -193,8 +214,19 @@ fn main() -> ExitCode {
                     ratio(b.indexed_eps, b.brute_eps),
                     ratio(c.indexed_eps, c.brute_eps),
                 );
+                summary_table.push_str(&format!(
+                    "| {} | {:.1} → {:.1} | {delta} | {:.2}x → {:.2}x |\n",
+                    b.describe_key(),
+                    b.indexed_eps,
+                    c.indexed_eps,
+                    ratio(b.indexed_eps, b.brute_eps),
+                    ratio(c.indexed_eps, c.brute_eps),
+                ));
             }
-            None => println!("  {}: row missing (skipped)", b.describe_key()),
+            None => {
+                println!("  {}: row missing (skipped)", b.describe_key());
+                summary_table.push_str(&format!("| {} | _row missing_ | | |\n", b.describe_key()));
+            }
         }
     }
     let report = gate_trajectory(
@@ -205,25 +237,40 @@ fn main() -> ExitCode {
         baseline_host_cpus,
     );
     for w in &report.warnings {
-        println!("bench_gate: warning: {w}");
+        gh_annotate("warning", w);
     }
     if report.passed() {
-        println!(
-            "bench_gate: trajectory holds ({} row{} gated)",
+        let verdict = format!(
+            "trajectory holds ({} row{} gated)",
             report.matched,
             if report.matched == 1 { "" } else { "s" }
         );
+        println!("bench_gate: {verdict}");
+        summary_table.push_str(&format!("\n:white_check_mark: {verdict}\n"));
+        append_step_summary(&summary_table);
         ExitCode::SUCCESS
     } else {
         if report.matched == 0 {
-            eprintln!(
-                "bench_gate: REGRESSION: no baseline row matched any fresh row — \
-                 the sweep or the JSON row format changed out from under the gate"
+            gh_annotate(
+                "error",
+                "bench_gate: no baseline row matched any fresh row — the sweep or the \
+                 JSON row format changed out from under the gate",
             );
         }
         for v in &report.violations {
+            gh_annotate("error", &format!("bench_gate regression: {v}"));
             eprintln!("bench_gate: REGRESSION: {v}");
         }
+        summary_table.push_str(&format!(
+            "\n:x: **{} regression{}** — see error annotations\n",
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        ));
+        append_step_summary(&summary_table);
         ExitCode::FAILURE
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -9,11 +10,12 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use skute_cluster::{Board, Cluster, ServerId, ServerSpec};
-use skute_economy::{ProximityCache, RegionQueries, RentModel};
+use skute_economy::{proximity, ProximityCache, RegionQueries, RentModel};
 use skute_geo::{Location, RegionWeight, Topology};
 use skute_ring::{PartitionId, RingId, VirtualRing};
 use skute_store::{
-    AntiEntropyUnion, FaultStats, QuorumConfig, Record, ReplicaStore, StoreError, Version,
+    AntiEntropyUnion, FaultStats, QuorumConfig, Record, ReplicaStore, StorageActivity, StoreError,
+    Version,
 };
 
 use crate::app::{AppId, AppSpec, Application, AvailabilityLevel};
@@ -23,6 +25,7 @@ use crate::config::SkuteConfig;
 use crate::decision::{classify, clears_profit_hurdle, ActionCounts, Intent, VnodeSituation};
 use crate::error::CoreError;
 use crate::metrics::{AntiEntropyReport, EpochReport, RingReport, ScrubReport};
+use crate::obs::CloudMetrics;
 use crate::pipeline::{
     cached_availability, DecisionItem, DeliveryBatch, EpochPipeline, PreDecision,
 };
@@ -114,6 +117,11 @@ pub struct SkuteCloud {
     /// [`crate::batch`]), reused across epochs. Always flushed empty
     /// before `economic_decisions` returns.
     batcher: DecisionBatcher,
+    /// Optional observability sink (see [`crate::obs`]). Write-only from
+    /// the cloud's point of view: nothing here is ever read back by a
+    /// decision path, so trajectories are bitwise identical with metrics
+    /// attached or absent.
+    metrics: Option<Arc<CloudMetrics>>,
 }
 
 /// One ring's query traffic for a batched
@@ -128,6 +136,21 @@ pub struct TrafficBatch {
     pub queries: f64,
     /// Client regions with normalized weights.
     pub regions: Vec<RegionWeight>,
+}
+
+/// The result of a proximity-routed [`SkuteCloud::client_get`]: the value
+/// (if any), which server served it, and that server's eq.-(4) weight for
+/// the requesting client.
+#[derive(Debug, Clone)]
+pub struct ClientRead {
+    /// The live value under the key (`None` for absent keys and
+    /// tombstones).
+    pub value: Option<Bytes>,
+    /// The replica server the read was routed to.
+    pub served_by: ServerId,
+    /// The serving server's eq.-(4) proximity weight for this client
+    /// (1.0 when no client location was given).
+    pub proximity: f64,
 }
 
 impl SkuteCloud {
@@ -163,6 +186,7 @@ impl SkuteCloud {
             spec_touched: SpecWriteSet::new(),
             spec_locs: Vec::new(),
             batcher: DecisionBatcher::default(),
+            metrics: None,
         };
         cloud.post_prices();
         cloud
@@ -197,6 +221,43 @@ impl SkuteCloud {
     /// The epoch pipeline (worker budget of the parallel phases).
     pub fn pipeline(&self) -> &EpochPipeline {
         &self.pipeline
+    }
+
+    /// Attaches an observability sink: subsequent epochs record phase
+    /// timings and per-epoch counters into it. Attaching (or detaching)
+    /// metrics never changes the trajectory — the sink is write-only.
+    pub fn set_metrics(&mut self, metrics: Arc<CloudMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached observability sink, if any.
+    pub fn metrics(&self) -> Option<&Arc<CloudMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Refreshes the fleet-wide storage gauges (LSM engine activity and
+    /// fault recoveries) in the attached sink by walking every replica.
+    /// Intended at scrape/snapshot time, not per epoch; a no-op without an
+    /// attached sink or under the mem backend (all gauges stay zero).
+    pub fn refresh_storage_metrics(&self) {
+        let Some(metrics) = &self.metrics else {
+            return;
+        };
+        let mut activity = StorageActivity::default();
+        let mut faults = FaultStats::default();
+        for ring in &self.rings {
+            for p in ring.partitions.values() {
+                for r in &p.replicas {
+                    if let Some(a) = r.store.activity() {
+                        activity.absorb(&a);
+                    }
+                    if let Some(f) = r.store.fault_stats() {
+                        faults.absorb(&f);
+                    }
+                }
+            }
+        }
+        metrics.set_storage_totals(&activity, &faults);
     }
 
     /// Registered applications.
@@ -542,6 +603,112 @@ impl SkuteCloud {
             .collect();
         let merged = Record::merge_all(responses.into_iter().flatten());
         Ok(merged.and_then(|r| r.value))
+    }
+
+    /// Serving-path read: routes `key` through the ring and picks the
+    /// **alive** replica with the highest eq.-(4) proximity weight for
+    /// `client` (ties break to the earliest replica; no client location
+    /// means every weight is the neutral 1.0, so the first alive replica
+    /// serves). Falls back to the LWW merge across all replicas when the
+    /// chosen replica misses — a divergent replica must not turn a stored
+    /// key into a spurious 404.
+    ///
+    /// Read-only (`&self`): the serving path never touches capacity
+    /// meters or any decision input, so interleaving client reads with
+    /// epoch ticks cannot perturb trajectories.
+    pub fn client_get(
+        &self,
+        app: AppId,
+        level: u32,
+        key: &[u8],
+        client: Option<Location>,
+    ) -> Result<ClientRead, CoreError> {
+        let ring_idx = self.ring_index(app, level)?;
+        let pid = self.rings[ring_idx].ring.route(key);
+        let partition = self.rings[ring_idx]
+            .partitions
+            .get(&pid)
+            .ok_or(CoreError::NoPlacement)?;
+        if partition.replicas.is_empty() {
+            return Err(CoreError::Store(StoreError::NoReplicas));
+        }
+        let regions = client.map(|location| {
+            [RegionQueries {
+                location,
+                queries: 1.0,
+            }]
+        });
+        let mut best: Option<(usize, f64)> = None;
+        for (i, replica) in partition.replicas.iter().enumerate() {
+            let Some(server) = self.cluster.get_alive(replica.server) else {
+                continue;
+            };
+            let g = match &regions {
+                Some(r) => proximity(r, &server.location, &self.topology),
+                None => 1.0,
+            };
+            if best.is_none_or(|(_, bg)| g > bg) {
+                best = Some((i, g));
+            }
+        }
+        // Every replica's server is down: serve from the first replica's
+        // store anyway (the data still exists; liveness is the repair
+        // pass's problem, not the read path's).
+        let (idx, g) = best.unwrap_or((0, 1.0));
+        let chosen = &partition.replicas[idx];
+        let value = match chosen.store.get(key) {
+            Some(record) => record.value,
+            None => {
+                let responses = partition.replicas.iter().map(|r| r.store.get(key));
+                Record::merge_all(responses.flatten()).and_then(|r| r.value)
+            }
+        };
+        Ok(ClientRead {
+            value,
+            served_by: chosen.server,
+            proximity: g,
+        })
+    }
+
+    /// Ordered prefix scan over one ring: merges every partition's
+    /// replicas version-dominantly (so divergent replicas cannot hide or
+    /// resurrect entries), filters live records under `prefix`, and
+    /// returns up to `limit` `(key, value)` pairs in key order
+    /// (`limit = 0` means unbounded).
+    pub fn scan(
+        &self,
+        app: AppId,
+        level: u32,
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Bytes, Bytes)>, CoreError> {
+        let ring_idx = self.ring_index(app, level)?;
+        let mut merged: BTreeMap<Bytes, Record> = BTreeMap::new();
+        for partition in self.rings[ring_idx].partitions.values() {
+            for replica in &partition.replicas {
+                replica.store.for_each(&mut |key, record| {
+                    if !key.starts_with(prefix) {
+                        return;
+                    }
+                    match merged.get(key) {
+                        Some(existing) if record.version <= existing.version => {}
+                        _ => {
+                            merged.insert(key.clone(), record.clone());
+                        }
+                    }
+                });
+            }
+        }
+        let mut out = Vec::new();
+        for (key, record) in merged {
+            if let Some(value) = record.value {
+                out.push((key, value));
+                if limit > 0 && out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Ingests a synthetic object: charges `logical_bytes` against every
@@ -1041,6 +1208,7 @@ impl SkuteCloud {
     fn deliver_wave(&mut self, wave: Vec<(usize, TrafficBatch)>) {
         let gamma = self.config.economy.utility_per_query;
         let planned_commit = !self.config.sequential_traffic_commit && self.pipeline.threads() > 1;
+        let plan_start = self.obs_start();
         if self.pipeline.threads() == 1 {
             // Single-thread fast path: identical per-partition arithmetic,
             // run in place.
@@ -1070,9 +1238,12 @@ impl SkuteCloud {
                 }
                 ring_indices.push(ri);
             }
+            self.obs_phase(plan_start, |m| &m.phase_traffic_plan);
+            let commit_start = self.obs_start();
             for ri in ring_indices {
                 self.commit_ring_traffic(ri, gamma, true);
             }
+            self.obs_phase(commit_start, |m| &m.phase_traffic_commit);
             return;
         }
         let mut batches: Vec<DeliveryBatch> = Vec::with_capacity(wave.len());
@@ -1121,12 +1292,15 @@ impl SkuteCloud {
         }
         // Commit: sequential reconciliation in batch/ring order, then the
         // parallel accrual of the spill-free partitions.
+        self.obs_phase(plan_start, |m| &m.phase_traffic_plan);
+        let commit_start = self.obs_start();
         for ri in ring_indices {
             self.commit_ring_traffic(ri, gamma, !planned_commit);
         }
         if planned_commit {
             self.apply_pending_accrual(gamma);
         }
+        self.obs_phase(commit_start, |m| &m.phase_traffic_commit);
     }
 
     /// The traffic commit of one ring, in ring order: spill-free planned
@@ -1342,10 +1516,33 @@ impl SkuteCloud {
         self.epoch_actions = ActionCounts::default();
         let mut rent_paid = 0.0;
         let mut utility_earned = 0.0;
+        let repair_start = self.obs_start();
         self.repair_availability(&mut actions);
+        self.obs_phase(repair_start, |m| &m.phase_repair);
+        let decisions_start = self.obs_start();
         self.economic_decisions(&mut actions, &mut rent_paid, &mut utility_earned);
+        self.obs_phase(decisions_start, |m| &m.phase_decisions);
+        let report_start = self.obs_start();
         self.split_overflowing(&mut actions);
-        self.report(actions, rent_paid, utility_earned)
+        let report = self.report(actions, rent_paid, utility_earned);
+        self.obs_phase(report_start, |m| &m.phase_report);
+        if let Some(m) = &self.metrics {
+            m.observe_report(&report);
+        }
+        report
+    }
+
+    /// Timestamps a phase start only when a sink is attached (metrics off
+    /// means not even `Instant::now` runs on the epoch path).
+    fn obs_start(&self) -> Option<Instant> {
+        self.metrics.as_ref().map(|_| Instant::now())
+    }
+
+    /// Records the elapsed phase time into the sink's chosen histogram.
+    fn obs_phase(&self, start: Option<Instant>, pick: fn(&CloudMetrics) -> &skute_obs::Histogram) {
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            pick(m).observe_duration(t0.elapsed());
+        }
     }
 
     /// Availability pass: every partition below its SLA threshold replicates

@@ -56,6 +56,7 @@ pub mod config;
 pub mod decision;
 pub mod error;
 pub mod metrics;
+pub mod obs;
 pub mod pipeline;
 pub mod placement;
 pub mod vnode;
@@ -63,11 +64,12 @@ pub mod vnode;
 pub use app::{AppId, AppSpec, Application, AvailabilityLevel, LevelSpec};
 pub use availability::{availability_of, greedy_max_availability, threshold_for_replicas};
 pub use batch::{build_batches, ActionFootprint, CommitStep};
-pub use cloud::{SkuteCloud, TrafficBatch};
+pub use cloud::{ClientRead, SkuteCloud, TrafficBatch};
 pub use config::SkuteConfig;
 pub use decision::{Action, ActionCounts};
 pub use error::CoreError;
 pub use metrics::{AntiEntropyReport, EpochReport, RingReport, ScrubReport};
+pub use obs::CloudMetrics;
 pub use pipeline::EpochPipeline;
 pub use placement::{PlacementContext, PlacementIndex, PlacementStrategy, WalkScratch};
 pub use vnode::{DeliveryPlan, PartitionState, Replica, VnodeId};

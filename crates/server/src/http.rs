@@ -1,0 +1,383 @@
+//! A minimal, std-only HTTP/1.1 subset: enough for `skute-server` to
+//! speak to curl, Prometheus scrapers, and `skute-load` — request/response
+//! framing with `Content-Length` bodies and keep-alive, nothing more (no
+//! chunked encoding, no TLS, no HTTP/2). The build environment is
+//! offline, so this replaces a network stack dependency on purpose.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on a request line or header line (guards against a peer
+/// streaming garbage into memory).
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on header count per message.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a request/response body.
+const MAX_BODY: usize = 16 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `PUT`, ...).
+    pub method: String,
+    /// The raw request target (path + optional `?query`), undecoded.
+    pub target: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The path portion of the target (before any `?`), percent-decoded.
+    pub fn path(&self) -> String {
+        let raw = self.target.split('?').next().unwrap_or("");
+        percent_decode(raw)
+    }
+
+    /// The first query parameter named `name`, percent-decoded.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        let query = self.target.split_once('?')?.1;
+        for pair in query.split('&') {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            if percent_decode(k) == name {
+                return Some(percent_decode(v));
+            }
+        }
+        None
+    }
+
+    /// The first header named `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close the connection.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A parsed HTTP response (the client side of `skute-load`).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first header named `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request off the wire. `Ok(None)` is a clean EOF between
+/// requests (the peer closed a keep-alive connection); a malformed
+/// message is an `InvalidData` error.
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(reader, true)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Reads one response off the wire (must follow a written request).
+pub fn read_response<R: Read>(reader: &mut BufReader<R>) -> io::Result<Response> {
+    let Some(line) = read_line(reader, true)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        ));
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(bad("malformed status line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let status: u16 = code.parse().map_err(|_| bad("malformed status code"))?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Writes one response. `extra_headers` land verbatim after the standard
+/// set; the connection header reflects `keep_alive`.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes one request (client side).
+pub fn write_request<W: Write>(
+    w: &mut W,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: skute\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Percent-decodes a URL component (`%41` → `A`, `+` left alone — keys may
+/// legitimately contain it). Malformed escapes pass through verbatim.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 {
+            let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                let h = std::str::from_utf8(h).ok()?;
+                u8::from_str_radix(h, 16).ok()
+            });
+            if let Some(b) = hex {
+                out.push(b);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a URL path component (everything but unreserved chars).
+pub fn percent_encode(s: &[u8]) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'/' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads one CRLF (or LF) terminated line. `allow_eof` turns EOF at a
+/// line start into `Ok(None)`.
+fn read_line<R: Read>(reader: &mut BufReader<R>, allow_eof: bool) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() && allow_eof {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-line",
+            ));
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.len() > MAX_LINE {
+                return Err(bad("line too long"));
+            }
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        let len = buf.len();
+        line.extend_from_slice(buf);
+        reader.consume(len);
+        if line.len() > MAX_LINE {
+            return Err(bad("line too long"));
+        }
+    }
+}
+
+fn read_headers<R: Read>(reader: &mut BufReader<R>) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader, false)? else {
+            return Err(bad("truncated headers"));
+        };
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let Some((k, v)) = line.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+}
+
+fn read_body<R: Read>(
+    reader: &mut BufReader<R>,
+    headers: &[(String, String)],
+) -> io::Result<Vec<u8>> {
+    let len = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reader(bytes: &[u8]) -> BufReader<&[u8]> {
+        BufReader::new(bytes)
+    }
+
+    #[test]
+    fn parses_request_with_body_and_query() {
+        let raw = b"PUT /kv/user%3A1?ttl=5 HTTP/1.1\r\nHost: x\r\nX-Country: 2.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut reader(raw)).unwrap().unwrap();
+        assert_eq!(req.method, "PUT");
+        assert_eq!(req.path(), "/kv/user:1");
+        assert_eq!(req.query_param("ttl").as_deref(), Some("5"));
+        assert_eq!(req.header("x-country"), Some("2.1"));
+        assert_eq!(req.body, b"hello");
+        // Clean EOF after the only request.
+        assert!(read_request(&mut reader(b"")).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            200,
+            "text/plain",
+            b"ok\n",
+            &[("X-Extra", "1")],
+            true,
+        )
+        .unwrap();
+        let resp = read_response(&mut reader(&wire)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-extra"), Some("1"));
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        assert_eq!(resp.body, b"ok\n");
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/metrics", &[], b"").unwrap();
+        let req = read_request(&mut reader(&wire)).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn percent_coding_round_trips() {
+        let key: &[u8] = b"user:1/\xFF space";
+        let encoded = percent_encode(key);
+        assert!(!encoded.contains(' '));
+        assert_eq!(percent_decode(&encoded).as_bytes()[..7], key[..7]);
+        // Malformed escapes pass through instead of erroring.
+        assert_eq!(percent_decode("a%ZZb%"), "a%ZZb%");
+    }
+
+    #[test]
+    fn malformed_requests_error() {
+        assert!(read_request(&mut reader(b"garbage\r\n\r\n")).is_err());
+        assert!(read_request(&mut reader(b"GET / HTTP/2\r\n\r\n")).is_err());
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
+        assert!(read_request(&mut reader(huge.as_bytes())).is_err());
+    }
+}

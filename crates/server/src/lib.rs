@@ -1,0 +1,42 @@
+//! # skute-server
+//!
+//! An HTTP front end that serves real client traffic from a live
+//! [`skute_core::SkuteCloud`], plus the `skute-load` closed-loop
+//! generator that drives it. Both sides are std-only (`TcpListener` and
+//! a minimal hand-rolled HTTP/1.1 subset in [`http`]) because the build
+//! environment is offline.
+//!
+//! ## Protocol
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness probe, `200 ok` |
+//! | `GET /metrics` | Prometheus text exposition of the shared registry |
+//! | `GET /kv/<key>` | proximity-routed read ([`SkuteCloud::client_get`]); `X-Served-By` / `X-Proximity` response headers; 404 for absent keys |
+//! | `PUT /kv/<key>` | write, body is the value, `204` |
+//! | `DELETE /kv/<key>` | tombstone write, `204` |
+//! | `GET /scan?prefix=&limit=` | ordered prefix scan, one `key\tvalue` line each (percent-encoded) |
+//! | `POST /shutdown` | graceful stop: respond, then drain and exit |
+//!
+//! Clients declare their origin with an `X-Country: <continent>.<country>`
+//! header; the server tallies per-country query-units and replays them
+//! into the economy as a [`skute_core::TrafficBatch`] on every epoch tick,
+//! so replica placement follows the *observed* geographic demand — the
+//! serving-path analogue of the paper's simulated traffic (eq. 4 picks
+//! the closest replica on reads).
+//!
+//! Epoch ticks run on a timer thread (`epoch_ms`); metrics are write-only
+//! observers of the same [`skute_core::CloudMetrics`] catalogue the
+//! simulator uses, so a serving cloud and a simulated cloud expose the
+//! same trajectory instrumentation.
+//!
+//! [`SkuteCloud::client_get`]: skute_core::SkuteCloud::client_get
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod load;
+mod server;
+
+pub use load::{post, run_load, scrape, LoadConfig, LoadReport, Op};
+pub use server::{ServerConfig, SkuteServer};

@@ -104,6 +104,13 @@ impl Simulation {
         &mut self.cloud
     }
 
+    /// Attaches an observability sink to the cloud (see
+    /// [`skute_core::CloudMetrics`]). Write-only: same-seed runs are
+    /// bitwise identical with or without one attached.
+    pub fn attach_metrics(&mut self, metrics: std::sync::Arc<skute_core::CloudMetrics>) {
+        self.cloud.set_metrics(metrics);
+    }
+
     /// Registered application ids, in scenario order.
     pub fn apps(&self) -> &[AppId] {
         &self.apps

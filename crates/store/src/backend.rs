@@ -29,7 +29,7 @@ use skute_ring::{KeyHasher, KeyRange};
 
 use crate::engine::PartitionStore;
 use crate::faults::{FaultPlan, FaultStats};
-use crate::lsm::LsmStore;
+use crate::lsm::{LsmStore, StorageActivity};
 use crate::merkle::{MerkleBuilder, MerkleSummary};
 use crate::shared::CowPartitionStore;
 use crate::value::Record;
@@ -485,6 +485,23 @@ impl ReplicaStore {
         match self {
             ReplicaStore::Mem(_) => None,
             ReplicaStore::Lsm(s) => Some(s.lock().fault_stats()),
+        }
+    }
+
+    /// Cumulative engine-activity counters (`None` for the mem oracle,
+    /// which has no WAL, flushes, or compactions). Observability only.
+    pub fn activity(&self) -> Option<StorageActivity> {
+        match self {
+            ReplicaStore::Mem(_) => None,
+            ReplicaStore::Lsm(s) => Some(s.lock().activity()),
+        }
+    }
+
+    /// Visits every entry in key order (tombstones included).
+    pub fn for_each(&self, f: &mut dyn FnMut(&Bytes, &Record)) {
+        match self {
+            ReplicaStore::Mem(s) => StorageBackend::for_each(&**s, f),
+            ReplicaStore::Lsm(s) => s.lock().for_each(f),
         }
     }
 

@@ -58,7 +58,7 @@ pub use backend::{AntiEntropyUnion, BackendKind, ReplicaStore, StorageBackend};
 pub use engine::PartitionStore;
 pub use error::StoreError;
 pub use faults::{FaultInjector, FaultPlan, FaultPlanKind, FaultStats};
-pub use lsm::LsmStore;
+pub use lsm::{LsmStore, StorageActivity};
 pub use merkle::{diff_buckets, MerkleBuilder, MerkleSummary};
 pub use quorum::QuorumConfig;
 pub use shared::{CowPartitionStore, SharedPartitionStore, SharedStore};

@@ -372,9 +372,33 @@ pub struct LsmStore {
     plan: FaultPlan,
     injector: Option<FaultInjector>,
     stats: FaultStats,
+    activity: StorageActivity,
     /// Set when unrecoverable corruption was detected; the cluster layer
     /// re-seeds quarantined replicas from a healthy peer.
     quarantined: bool,
+}
+
+/// Cumulative engine-activity counters: how often the write path exercised
+/// each LSM mechanism. Observability only — like [`FaultStats`], none of
+/// these feed decisions, the CSV, or stdout, so trajectories are identical
+/// whether or not anyone reads them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageActivity {
+    /// Accepted writes appended (durably) to the WAL.
+    pub wal_appends: u64,
+    /// Memtable flushes that produced a sorted run.
+    pub memtable_flushes: u64,
+    /// Size-tiered compactions that collapsed the run tier.
+    pub compactions: u64,
+}
+
+impl StorageActivity {
+    /// Folds another store's counters into this one (fleet-wide totals).
+    pub fn absorb(&mut self, other: &StorageActivity) {
+        self.wal_appends += other.wal_appends;
+        self.memtable_flushes += other.memtable_flushes;
+        self.compactions += other.compactions;
+    }
 }
 
 impl LsmStore {
@@ -413,6 +437,7 @@ impl LsmStore {
                 .is_active()
                 .then(|| FaultInjector::for_next_store(plan)),
             stats: FaultStats::default(),
+            activity: StorageActivity::default(),
             quarantined: false,
         }
     }
@@ -525,6 +550,7 @@ impl LsmStore {
             plan,
             injector,
             stats,
+            activity: StorageActivity::default(),
             quarantined,
         };
         let merged = store.merged();
@@ -576,6 +602,12 @@ impl LsmStore {
     /// Counters of every injected fault detected and recovered from.
     pub fn fault_stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Cumulative engine-activity counters (WAL appends, flushes,
+    /// compactions). Observability only.
+    pub fn activity(&self) -> StorageActivity {
+        self.activity
     }
 
     /// True when unrecoverable corruption was detected (at open or by
@@ -699,6 +731,7 @@ impl LsmStore {
             }
         }
         self.wal_bytes = acked + buf.len() as u64;
+        self.activity.wal_appends += 1;
         if let Some(prev) = self.memtable.get(&key) {
             self.memtable_bytes -= encoded_len(&key, prev);
         }
@@ -823,6 +856,7 @@ impl LsmStore {
         let wal = File::create(self.dir.join(WAL_NAME)).expect("lsm: truncate WAL");
         let _ = wal.sync_all();
         self.wal_bytes = 0;
+        self.activity.memtable_flushes += 1;
         self.maybe_compact();
     }
 
@@ -901,6 +935,7 @@ impl LsmStore {
         }
         self.tables
             .push(SsTable::open(path).expect("lsm: freshly compacted run is well-formed"));
+        self.activity.compactions += 1;
     }
 
     /// The merged view of all levels, in key order.

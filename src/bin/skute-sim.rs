@@ -6,19 +6,23 @@
 //!           [--threads N] [--sequential-commit] [--no-speculation]
 //!           [--backend mem|lsm] [--fault-plan NAME] [--fault-seed N]
 //!           [--sequential-repair] [--sequential-decisions]
+//!           [--metrics-json PATH]
 //! skute-sim --bench-json PATH
 //! ```
 //!
-//! Runs the chosen scenario, prints a progress table plus the run's
-//! wall-clock epochs/sec (so ad-hoc runs double as perf checks), and
-//! optionally writes the full per-epoch time series as CSV.
+//! Runs the chosen scenario, prints a progress table, and optionally
+//! writes the full per-epoch time series as CSV. `--metrics-json PATH`
+//! attaches the write-only [`CloudMetrics`] sink and writes an
+//! end-of-run JSON snapshot of every metric (per-phase wall-clock
+//! timings, action/speculation/fault counters, storage-engine totals) —
+//! the metrics layer never feeds back into decisions, so stdout and CSV
+//! stay byte-identical with or without it.
 //!
 //! `--bench-json PATH` instead runs the epoch-loop perf sweep (indexed vs
 //! brute-force decision pipeline at M ∈ {16, 50, 200}) and writes the
 //! `BENCH_epoch.json` document to `PATH`.
 
 use std::process::ExitCode;
-use std::time::Instant;
 
 use skute::prelude::*;
 use skute::sim::paper;
@@ -40,6 +44,7 @@ struct Args {
     sequential_repair: bool,
     sequential_decisions: bool,
     bench_json: Option<String>,
+    metrics_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         sequential_repair: false,
         sequential_decisions: false,
         bench_json: None,
+        metrics_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
             "--sequential-repair" => args.sequential_repair = true,
             "--sequential-decisions" => args.sequential_decisions = true,
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
             "--help" | "-h" => {
                 println!(
                     "skute-sim: run a Skute paper scenario\n\n\
@@ -125,7 +132,8 @@ fn parse_args() -> Result<Args, String> {
                             [--brute-force] [--sequential-commit] [--no-speculation]\n\
                             [--threads N] [--backend mem|lsm] [--fault-plan NAME]\n\
                             [--fault-seed N] [--sequential-repair]\n\
-                            [--sequential-decisions] [--bench-json PATH]\n\n\
+                            [--sequential-decisions] [--metrics-json PATH]\n\
+                            [--bench-json PATH]\n\n\
                      --threads sets the epoch pipeline's worker budget (0 = all\n\
                      cores); same-seed output is bitwise identical at any value.\n\
                      --backend selects the replica storage engine: mem (default,\n\
@@ -148,7 +156,12 @@ fn parse_args() -> Result<Args, String> {
                      --sequential-decisions routes the economic-decision\n\
                      commit through the one-action-at-a-time sequential walk\n\
                      instead of the conflict-free batched commit (the oracle;\n\
-                     output is bitwise identical either way)."
+                     output is bitwise identical either way).\n\
+                     --metrics-json writes an end-of-run JSON snapshot of the\n\
+                     observability registry (per-phase timings, action and\n\
+                     speculation counters, storage-engine totals). The sink is\n\
+                     write-only: stdout and CSV are byte-identical with or\n\
+                     without it."
                 );
                 std::process::exit(0);
             }
@@ -253,8 +266,13 @@ fn main() -> ExitCode {
     );
     let epochs = scenario.epochs;
     let mut sim = Simulation::new(scenario);
+    // Observability sink: attached only on request; it is write-only, so
+    // the trajectory (stdout, CSV) is bitwise identical either way.
+    let registry = args.metrics_json.as_ref().map(|_| Registry::new());
+    if let Some(registry) = &registry {
+        sim.attach_metrics(CloudMetrics::register(registry));
+    }
     let mut recorder = Recorder::new();
-    let loop_start = Instant::now();
     for epoch in 0..epochs {
         let obs = sim.step();
         if args.print_every > 0 && (epoch % args.print_every == 0 || epoch + 1 == epochs) {
@@ -272,16 +290,6 @@ fn main() -> ExitCode {
             );
         }
         recorder.push(obs);
-    }
-    let elapsed = loop_start.elapsed().as_secs_f64();
-    if epochs > 0 {
-        // To stderr: stdout stays byte-identical across same-seed runs.
-        eprintln!(
-            "\nwall clock: {:.3} s for {} epochs ({:.1} epochs/sec)",
-            elapsed,
-            epochs,
-            epochs as f64 / elapsed.max(1e-12)
-        );
     }
     // Summary (absent when the run had zero epochs).
     if let Some(last) = recorder.observations().last() {
@@ -305,6 +313,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let (Some(path), Some(registry)) = (&args.metrics_json, &registry) {
+        sim.cloud().refresh_storage_metrics();
+        if let Err(e) = std::fs::write(path, registry.render_json()) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        // To stderr: stdout stays byte-identical across metrics on/off.
+        eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
 }

@@ -26,6 +26,8 @@
 //! | [`workload`] | Pareto/Poisson/Zipf samplers, Slashdot trace, inserts |
 //! | [`sim`] | epoch simulation engine and the paper's scenarios |
 //! | [`baseline`] | random/successor/cheapest/max-spread placement baselines |
+//! | [`obs`] | zero-dependency metrics registry + Prometheus exposition |
+//! | [`server`] | HTTP serving front end and the `skute-load` generator |
 //!
 //! ## Quickstart
 //!
@@ -69,7 +71,9 @@ pub use skute_cluster as cluster;
 pub use skute_core as core;
 pub use skute_economy as economy;
 pub use skute_geo as geo;
+pub use skute_obs as obs;
 pub use skute_ring as ring;
+pub use skute_server as server;
 pub use skute_sim as sim;
 pub use skute_store as store;
 pub use skute_workload as workload;
@@ -83,13 +87,15 @@ pub use skute_core::{
 pub mod prelude {
     pub use skute_cluster::{Board, Capacities, Cluster, Server, ServerId, ServerSpec};
     pub use skute_core::{
-        availability_of, threshold_for_replicas, AppId, AppSpec, AvailabilityLevel, CoreError,
-        EpochReport, LevelSpec, PlacementStrategy, RingReport, ScrubReport, SkuteCloud,
-        SkuteConfig, TrafficBatch,
+        availability_of, threshold_for_replicas, AppId, AppSpec, AvailabilityLevel, ClientRead,
+        CloudMetrics, CoreError, EpochReport, LevelSpec, PlacementStrategy, RingReport,
+        ScrubReport, SkuteCloud, SkuteConfig, TrafficBatch,
     };
     pub use skute_economy::EconomyConfig;
     pub use skute_geo::{diversity, ClientGeo, LatencyModel, Level, Location, Topology};
+    pub use skute_obs::Registry;
     pub use skute_ring::{KeyRange, PartitionId, RingId, Token};
+    pub use skute_server::{LoadConfig, LoadReport, ServerConfig, SkuteServer};
     pub use skute_sim::{
         CloudEvent, Observation, Recorder, Scenario, ScenarioApp, Schedule, Simulation, TraceKind,
     };
