@@ -66,6 +66,8 @@ impl Cluster {
             id,
             location: spec.location,
             confidence: spec.confidence,
+            base_confidence: spec.confidence,
+            health_score: 1.0,
             capacities: spec.capacities,
             usage: UsageMeter::default(),
             monthly_cost: spec.monthly_cost,

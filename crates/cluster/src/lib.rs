@@ -24,4 +24,4 @@ pub use board::Board;
 pub use capacity::{Capacities, UsageMeter};
 pub use cluster::{Cluster, ServerSpec};
 pub use cost::MarginalPrice;
-pub use server::{Server, ServerId, ServerStatus};
+pub use server::{Server, ServerId, ServerStatus, HEALTH_EWMA_ALPHA};

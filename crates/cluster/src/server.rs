@@ -27,6 +27,12 @@ pub enum ServerStatus {
     Retired,
 }
 
+/// Smoothing factor of the health EWMA: each [`Server::observe_health`]
+/// sample moves the score a quarter of the way toward the observation, so
+/// a freshly degraded server is priced most of the way down within one
+/// gray window and recovers on the same timescale.
+pub const HEALTH_EWMA_ALPHA: f64 = 0.25;
+
 /// A physical server: a location in the geographic hierarchy, capacity
 /// limits, usage meters, a real monthly cost and a confidence factor.
 ///
@@ -35,14 +41,29 @@ pub enum ServerStatus {
 /// political and economical stability of the country)" (§II-B). It scales
 /// the availability contribution of every replica pair involving this
 /// server.
+///
+/// The effective `confidence` every consumer reads is the product of the
+/// static `base_confidence` the operator commissioned the server with and
+/// a dynamic `health_score` updated by an EWMA over observed
+/// outcome/latency samples ([`Server::observe_health`]). Clouds that
+/// never observe health leave the score at 1.0, so legacy trajectories
+/// are bit-identical.
 #[derive(Debug, Clone)]
 pub struct Server {
     /// Server identifier.
     pub id: ServerId,
     /// Position in the geographic hierarchy.
     pub location: Location,
-    /// Confidence factor in `[0, 1]`.
+    /// Effective confidence factor in `[0, 1]`: `base_confidence ×
+    /// health_score`. This is the value every eq.-(2)/(3)/(4) consumer
+    /// reads.
     pub confidence: f64,
+    /// The operator-assessed confidence the server was commissioned with
+    /// (the paper's static `conf`).
+    pub base_confidence: f64,
+    /// EWMA over observed health samples in `[0, 1]`; 1.0 until the
+    /// first observation.
+    pub health_score: f64,
     /// Fixed resource limits.
     pub capacities: Capacities,
     /// Consumption against the limits.
@@ -85,6 +106,16 @@ impl Server {
     pub fn storage_free(&self) -> u64 {
         self.usage.storage_free(&self.capacities)
     }
+
+    /// Folds one health observation (`1.0` = perfect, `0.0` = unusable)
+    /// into the EWMA and refreshes the effective confidence. Samples come
+    /// from per-server outcome/latency measurements — in simulation,
+    /// deterministic sim-time samples derived from the gray fault plan.
+    pub fn observe_health(&mut self, sample: f64) {
+        let sample = sample.clamp(0.0, 1.0);
+        self.health_score += HEALTH_EWMA_ALPHA * (sample - self.health_score);
+        self.confidence = self.base_confidence * self.health_score;
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +128,8 @@ mod tests {
             id: ServerId(3),
             location: Location::new(0, 0, 0, 0, 0, 0),
             confidence: 0.9,
+            base_confidence: 0.9,
+            health_score: 1.0,
             capacities: Capacities::paper(1000 * MIB, 100.0),
             usage: UsageMeter::default(),
             monthly_cost: 100.0,
@@ -128,5 +161,27 @@ mod tests {
     #[test]
     fn display_server_id() {
         assert_eq!(ServerId(17).to_string(), "s17");
+    }
+
+    #[test]
+    fn health_ewma_scales_effective_confidence() {
+        let mut s = server();
+        assert_eq!(s.confidence, 0.9, "untouched until the first sample");
+        s.observe_health(0.0);
+        assert!((s.health_score - 0.75).abs() < 1e-12);
+        assert!((s.confidence - 0.9 * 0.75).abs() < 1e-12);
+        // Sustained degradation converges toward base × sample.
+        for _ in 0..64 {
+            s.observe_health(0.1);
+        }
+        assert!((s.confidence - 0.9 * 0.1).abs() < 1e-6);
+        // Recovery converges back toward base.
+        for _ in 0..64 {
+            s.observe_health(1.0);
+        }
+        assert!((s.confidence - 0.9).abs() < 1e-6);
+        // Samples are clamped to [0, 1].
+        s.observe_health(7.0);
+        assert!(s.confidence <= s.base_confidence + 1e-12);
     }
 }

@@ -1,7 +1,9 @@
 //! [`SkuteCloud`]: the self-managed, multi-ring key-value cloud.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -11,11 +13,11 @@ use rand::{Rng, SeedableRng};
 
 use skute_cluster::{Board, Cluster, ServerId, ServerSpec};
 use skute_economy::{proximity, ProximityCache, RegionQueries, RentModel};
-use skute_geo::{Location, RegionWeight, Topology};
+use skute_geo::{Level, Location, RegionWeight, Topology};
 use skute_ring::{PartitionId, RingId, VirtualRing};
 use skute_store::{
-    AntiEntropyUnion, FaultStats, QuorumConfig, Record, ReplicaStore, StorageActivity, StoreError,
-    Version,
+    AntiEntropyUnion, FaultPlan, FaultStats, GrayMode, QuorumConfig, Record, ReplicaStore,
+    StorageActivity, StoreError, Version,
 };
 
 use crate::app::{AppId, AppSpec, Application, AvailabilityLevel};
@@ -122,6 +124,22 @@ pub struct SkuteCloud {
     /// decision path, so trajectories are bitwise identical with metrics
     /// attached or absent.
     metrics: Option<Arc<CloudMetrics>>,
+    /// Per-server gray modes of the current epoch (indexed by server id),
+    /// refreshed at `begin_epoch` under a gray fault plan; empty while the
+    /// plan has never been gray, so legacy runs pay nothing.
+    gray_modes: Vec<GrayMode>,
+    /// The continent currently severed from the rest of the cloud (from
+    /// the fault plan, or forced via
+    /// [`SkuteCloud::force_continent_partition`]).
+    partition_cut: Option<u16>,
+    /// Sim/operator override of the continental cut: `None` follows the
+    /// fault plan, `Some(cut)` replaces whatever the plan derives.
+    forced_cut: Option<Option<u16>>,
+    /// Keys quorum reads found divergent, awaiting targeted read-repair
+    /// at the next `end_epoch`. Interior mutability because the serving
+    /// path is `&self`; drained sorted + deduplicated so the repair order
+    /// is deterministic regardless of request interleaving.
+    repair_queue: Mutex<Vec<(usize, Vec<u8>)>>,
 }
 
 /// One ring's query traffic for a batched
@@ -138,6 +156,52 @@ pub struct TrafficBatch {
     pub regions: Vec<RegionWeight>,
 }
 
+/// Requested consistency of a serving-path read
+/// ([`SkuteCloud::client_get_with`], `skute-server`'s `X-Consistency`
+/// header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadConsistency {
+    /// Serve from the single highest-proximity reachable replica (the
+    /// default; fastest, may observe a divergent replica).
+    #[default]
+    One,
+    /// Read ⌈(k+1)/2⌉ replicas, resolve by last-writer-wins, and schedule
+    /// read-repair for every stale replica observed. Together with the
+    /// write path's `w = ⌊k/2⌋ + 1` ack requirement, `r + w > k`
+    /// guarantees a quorum read always sees every acknowledged write.
+    Quorum,
+}
+
+impl ReadConsistency {
+    /// Stable lowercase name (the `X-Consistency` header value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReadConsistency::One => "one",
+            ReadConsistency::Quorum => "quorum",
+        }
+    }
+}
+
+impl fmt::Display for ReadConsistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ReadConsistency {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "one" | "1" => Ok(ReadConsistency::One),
+            "quorum" => Ok(ReadConsistency::Quorum),
+            other => Err(format!(
+                "unknown read consistency {other:?} (expected one|quorum)"
+            )),
+        }
+    }
+}
+
 /// The result of a proximity-routed [`SkuteCloud::client_get`]: the value
 /// (if any), which server served it, and that server's eq.-(4) weight for
 /// the requesting client.
@@ -146,11 +210,22 @@ pub struct ClientRead {
     /// The live value under the key (`None` for absent keys and
     /// tombstones).
     pub value: Option<Bytes>,
-    /// The replica server the read was routed to.
+    /// The replica server the read was routed to (for quorum reads, the
+    /// highest-proximity replica that held the winning record).
     pub served_by: ServerId,
     /// The serving server's eq.-(4) proximity weight for this client
     /// (1.0 when no client location was given).
     pub proximity: f64,
+    /// True when the requested consistency could not be met: no replica
+    /// was reachable (consistency `One`) or fewer than ⌈(k+1)/2⌉ replicas
+    /// were reachable (consistency `Quorum`) and the read was served
+    /// best-effort from what remained.
+    pub degraded: bool,
+    /// Replica stores consulted to answer the read.
+    pub replicas_read: usize,
+    /// Stale replicas observed by a quorum read and enqueued for
+    /// read-repair at the next epoch close.
+    pub repairs_scheduled: usize,
 }
 
 impl SkuteCloud {
@@ -187,6 +262,10 @@ impl SkuteCloud {
             spec_locs: Vec::new(),
             batcher: DecisionBatcher::default(),
             metrics: None,
+            gray_modes: Vec::new(),
+            partition_cut: None,
+            forced_cut: None,
+            repair_queue: Mutex::new(Vec::new()),
         };
         cloud.post_prices();
         cloud
@@ -481,6 +560,7 @@ impl SkuteCloud {
             let util = s.utilization();
             s.marginal_price.observe(util);
         }
+        self.refresh_gray_state();
         self.post_prices();
         self.cluster.begin_epoch();
         for ring in &mut self.rings {
@@ -489,6 +569,105 @@ impl SkuteCloud {
         self.insert_failures_epoch = 0;
         self.partitions_lost_epoch = 0;
         self.epoch_actions = ActionCounts::default();
+    }
+
+    /// Re-derives per-server gray modes and the continental cut for the
+    /// new epoch and feeds one health sample per alive server into the
+    /// confidence EWMA. A strict no-op when the fault plan has never been
+    /// gray and no cut was ever forced, so legacy same-seed trajectories
+    /// stay byte-identical. Everything here is sequential, in ascending
+    /// server-id order, and a pure function of `(plan, epoch)` — gray
+    /// trajectories are therefore invariant across thread counts and
+    /// storage backends.
+    fn refresh_gray_state(&mut self) {
+        let plan = self.config.fault_plan;
+        let continents = self.topology.fanout(Level::Continent);
+        let cut = match self.forced_cut {
+            Some(forced) => forced,
+            None => plan.partitioned_continent(self.epoch, continents),
+        };
+        let active = plan.gray_failures() || cut.is_some();
+        if !active && self.gray_modes.is_empty() && self.partition_cut.is_none() {
+            return;
+        }
+        self.partition_cut = cut;
+        self.gray_modes.clear();
+        self.gray_modes
+            .resize(self.cluster.len(), GrayMode::Healthy);
+        let (mut min_bp, mut sum, mut alive, mut degraded) = (i64::MAX, 0.0f64, 0u64, 0i64);
+        for idx in 0..self.gray_modes.len() {
+            let id = ServerId(idx as u32);
+            let mode = plan.gray_mode(idx as u64, self.epoch);
+            self.gray_modes[idx] = mode;
+            let Some(server) = self.cluster.get_mut(id) else {
+                continue;
+            };
+            if !server.is_alive() {
+                continue;
+            }
+            let mut sample = mode.health_sample();
+            if cut == Some(server.location.continent) {
+                // A cut continent is unreachable from the majority side no
+                // matter how healthy its servers are individually.
+                sample = sample.min(0.1);
+            }
+            server.observe_health(sample);
+            if mode.is_degraded() || cut == Some(server.location.continent) {
+                degraded += 1;
+            }
+            let bp = (server.confidence * 10_000.0).round() as i64;
+            min_bp = min_bp.min(bp);
+            sum += server.confidence;
+            alive += 1;
+        }
+        // Confidences moved, so every memoized eq.-(2) availability is
+        // stale. Membership is untouched: clear caches without bumping
+        // membership versions (speculative precomputations stay valid).
+        for ring in &mut self.rings {
+            for p in ring.partitions.values_mut() {
+                p.note_confidence_changed();
+            }
+        }
+        if let Some(m) = &self.metrics {
+            if alive > 0 {
+                m.confidence_min_bp.set(min_bp);
+                m.confidence_mean_bp
+                    .set((sum / alive as f64 * 10_000.0).round() as i64);
+            }
+            m.gray_degraded_servers.set(degraded);
+            m.partition_cut_continent
+                .set(cut.map_or(-1, i64::from));
+        }
+    }
+
+    /// The gray mode `server` runs under this epoch ([`GrayMode::Healthy`]
+    /// outside gray fault plans).
+    pub fn gray_mode_of(&self, server: ServerId) -> GrayMode {
+        self.gray_modes
+            .get(server.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The continent currently severed from the rest of the cloud, if any.
+    pub fn partitioned_continent(&self) -> Option<u16> {
+        self.partition_cut
+    }
+
+    /// Replaces the fault plan mid-run (CI injects a gray plan into a
+    /// serving cloud this way). Gray modes and the continental cut apply
+    /// from the next [`SkuteCloud::begin_epoch`]; storage-fault families
+    /// only affect stores opened afterwards.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.fault_plan = plan;
+    }
+
+    /// Overrides the fault plan's continental cut from the next
+    /// [`SkuteCloud::begin_epoch`] on: `Some(c)` severs continent `c`,
+    /// `None` forces the cut healed (even under a partition plan). The
+    /// sim's partition events route here.
+    pub fn force_continent_partition(&mut self, cut: Option<u16>) {
+        self.forced_cut = Some(cut);
     }
 
     fn post_prices(&mut self) {
@@ -623,6 +802,52 @@ impl SkuteCloud {
         key: &[u8],
         client: Option<Location>,
     ) -> Result<ClientRead, CoreError> {
+        self.client_get_with(app, level, key, client, ReadConsistency::One)
+    }
+
+    /// True when a client at `client` can reach the replica on `server`
+    /// at `location` under the current gray modes and continental cut. A
+    /// client with no stated location is assumed to sit outside the cut
+    /// continent (the majority side).
+    fn replica_reachable(
+        &self,
+        server: ServerId,
+        location: &Location,
+        client: Option<Location>,
+    ) -> bool {
+        if matches!(
+            self.gray_modes.get(server.0 as usize),
+            Some(GrayMode::Partitioned)
+        ) {
+            return false;
+        }
+        match self.partition_cut {
+            Some(cut) => {
+                let client_in_cut = client.is_some_and(|c| c.continent == cut);
+                (location.continent == cut) == client_in_cut
+            }
+            None => true,
+        }
+    }
+
+    /// [`SkuteCloud::client_get`] with an explicit [`ReadConsistency`].
+    ///
+    /// `Quorum` reads ⌈(k+1)/2⌉ reachable replicas (highest eq.-(4)
+    /// proximity first), resolves them by last-writer-wins, and enqueues
+    /// every stale replica observed for targeted read-repair at the next
+    /// [`SkuteCloud::end_epoch`]. When fewer than a quorum of replicas is
+    /// reachable — a continental cut, gray-partitioned servers — the read
+    /// degrades gracefully to the best reachable subset (or the local
+    /// stores outright when nothing is reachable) and is flagged
+    /// [`ClientRead::degraded`].
+    pub fn client_get_with(
+        &self,
+        app: AppId,
+        level: u32,
+        key: &[u8],
+        client: Option<Location>,
+        consistency: ReadConsistency,
+    ) -> Result<ClientRead, CoreError> {
         let ring_idx = self.ring_index(app, level)?;
         let pid = self.rings[ring_idx].ring.route(key);
         let partition = self.rings[ring_idx]
@@ -638,36 +863,140 @@ impl SkuteCloud {
                 queries: 1.0,
             }]
         });
-        let mut best: Option<(usize, f64)> = None;
+        // Alive, reachable replicas with their proximity weights, in
+        // replica order.
+        let mut reachable: Vec<(usize, f64)> = Vec::new();
         for (i, replica) in partition.replicas.iter().enumerate() {
             let Some(server) = self.cluster.get_alive(replica.server) else {
                 continue;
             };
+            if !self.replica_reachable(replica.server, &server.location, client) {
+                continue;
+            }
             let g = match &regions {
                 Some(r) => proximity(r, &server.location, &self.topology),
                 None => 1.0,
             };
-            if best.is_none_or(|(_, bg)| g > bg) {
-                best = Some((i, g));
-            }
+            reachable.push((i, g));
         }
-        // Every replica's server is down: serve from the first replica's
-        // store anyway (the data still exists; liveness is the repair
-        // pass's problem, not the read path's).
-        let (idx, g) = best.unwrap_or((0, 1.0));
-        let chosen = &partition.replicas[idx];
-        let value = match chosen.store.get(key) {
-            Some(record) => record.value,
-            None => {
-                let responses = partition.replicas.iter().map(|r| r.store.get(key));
-                Record::merge_all(responses.flatten()).and_then(|r| r.value)
+        let read = match consistency {
+            ReadConsistency::One => {
+                // Highest proximity wins, ties break to the earliest
+                // replica — exactly the pre-quorum routing.
+                let mut best: Option<(usize, f64)> = None;
+                for &(i, g) in &reachable {
+                    if best.is_none_or(|(_, bg)| g > bg) {
+                        best = Some((i, g));
+                    }
+                }
+                // Nothing reachable: serve from the first replica's store
+                // anyway (the data still exists; liveness is the repair
+                // pass's problem, not the read path's) and flag the read.
+                let degraded = best.is_none();
+                let (idx, g) = best.unwrap_or((0, 1.0));
+                let chosen = &partition.replicas[idx];
+                let value = match chosen.store.get(key) {
+                    Some(record) => record.value,
+                    None => {
+                        let responses = partition.replicas.iter().map(|r| r.store.get(key));
+                        Record::merge_all(responses.flatten()).and_then(|r| r.value)
+                    }
+                };
+                ClientRead {
+                    value,
+                    served_by: chosen.server,
+                    proximity: g,
+                    degraded,
+                    replicas_read: 1,
+                    repairs_scheduled: 0,
+                }
+            }
+            ReadConsistency::Quorum => {
+                let k = partition.replicas.len();
+                let need = k / 2 + 1;
+                let degraded = reachable.len() < need;
+                // Read set: the `need` highest-proximity reachable
+                // replicas (ties to the earliest), or every replica when
+                // nothing is reachable at all.
+                let mut read_set: Vec<(usize, f64)> = if reachable.is_empty() {
+                    (0..k).map(|i| (i, 1.0)).collect()
+                } else {
+                    reachable.clone()
+                };
+                read_set.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                read_set.truncate(need.max(1));
+                let responses: Vec<(usize, f64, Option<Record>)> = read_set
+                    .iter()
+                    .map(|&(i, g)| (i, g, partition.replicas[i].store.get(key)))
+                    .collect();
+                let winner = Record::merge_all(responses.iter().filter_map(|(_, _, r)| r.clone()));
+                // Every response below the winning version is stale;
+                // schedule the key for targeted repair.
+                let repairs_scheduled = match &winner {
+                    Some(w) => responses
+                        .iter()
+                        .filter(|(_, _, r)| match r {
+                            Some(rec) => rec.version < w.version,
+                            None => true,
+                        })
+                        .count(),
+                    None => 0,
+                };
+                if repairs_scheduled > 0 {
+                    self.repair_queue
+                        .lock()
+                        .expect("read-repair queue poisoned")
+                        .push((ring_idx, key.to_vec()));
+                }
+                // Serve from the highest-proximity replica that held the
+                // winning record (read_set is already proximity-sorted).
+                let (idx, g) = responses
+                    .iter()
+                    .find(|(_, _, r)| match (&winner, r) {
+                        (Some(w), Some(rec)) => rec.version == w.version,
+                        (None, None) => true,
+                        _ => false,
+                    })
+                    .map(|&(i, g, _)| (i, g))
+                    .unwrap_or((read_set[0].0, read_set[0].1));
+                let value = match winner {
+                    Some(record) => record.value,
+                    // A degraded quorum can miss the key entirely while an
+                    // unreachable replica still holds it; fall back to the
+                    // local LWW merge rather than inventing a 404.
+                    None if degraded => {
+                        let responses = partition.replicas.iter().map(|r| r.store.get(key));
+                        Record::merge_all(responses.flatten()).and_then(|r| r.value)
+                    }
+                    None => None,
+                };
+                ClientRead {
+                    value,
+                    served_by: partition.replicas[idx].server,
+                    proximity: g,
+                    degraded,
+                    replicas_read: responses.len(),
+                    repairs_scheduled,
+                }
             }
         };
-        Ok(ClientRead {
-            value,
-            served_by: chosen.server,
-            proximity: g,
-        })
+        if let Some(m) = &self.metrics {
+            if consistency == ReadConsistency::Quorum {
+                m.quorum_reads.inc();
+                if read.repairs_scheduled > 0 {
+                    m.quorum_divergent.inc();
+                }
+                m.read_repairs_scheduled.add(read.repairs_scheduled as u64);
+            }
+            if read.degraded {
+                m.degraded_reads.inc();
+            }
+        }
+        Ok(read)
     }
 
     /// Ordered prefix scan over one ring: merges every partition's
@@ -1080,6 +1409,22 @@ impl SkuteCloud {
                 continue;
             };
             if !server.is_alive() {
+                continue;
+            }
+            // Gray-degraded replicas ack no writes: read-only and
+            // individually partitioned servers, and anything behind the
+            // continental cut, silently miss the update and stay
+            // divergent until read-repair or a scrub converges them. The
+            // quorum ack check below still guarantees `w = ⌊k/2⌋ + 1`
+            // healthy acks or a client-visible error — acknowledged
+            // writes are never lost to gray servers.
+            let gray_blocked = match self.gray_modes.get(replica.server.0 as usize) {
+                Some(GrayMode::ReadOnly | GrayMode::Partitioned) => true,
+                _ => self
+                    .partition_cut
+                    .is_some_and(|cut| server.location.continent == cut),
+            };
+            if gray_blocked {
                 continue;
             }
             let caps = server.capacities;
@@ -1517,6 +1862,13 @@ impl SkuteCloud {
         let mut rent_paid = 0.0;
         let mut utility_earned = 0.0;
         let repair_start = self.obs_start();
+        self.drain_read_repairs();
+        if self.config.scrub_every > 0 && self.epoch % self.config.scrub_every == 0 {
+            let ids: Vec<RingId> = self.rings.iter().map(|r| r.id).collect();
+            for id in ids {
+                let _ = self.scrub_quarantined(AppId(id.app), id.level);
+            }
+        }
         self.repair_availability(&mut actions);
         self.obs_phase(repair_start, |m| &m.phase_repair);
         let decisions_start = self.obs_start();
@@ -1530,6 +1882,105 @@ impl SkuteCloud {
             m.observe_report(&report);
         }
         report
+    }
+
+    /// Applies the targeted read-repairs quorum reads scheduled since the
+    /// last epoch close: for every queued key, installs the
+    /// partition-wide LWW winner on each stale replica with exact storage
+    /// re-accounting. The queue is sorted and deduplicated first, so the
+    /// repair order is a pure function of its contents regardless of how
+    /// concurrent serving threads interleaved their enqueues. A replica
+    /// whose server cannot absorb the winner's extra bytes is skipped
+    /// (anti-entropy and the scheduled scrub retry it later). Simulation
+    /// trajectories never enter here — only `client_get_with` enqueues —
+    /// so determinism byte-compares are untouched.
+    fn drain_read_repairs(&mut self) {
+        let mut queued = {
+            let mut q = self
+                .repair_queue
+                .lock()
+                .expect("read-repair queue poisoned");
+            std::mem::take(&mut *q)
+        };
+        if queued.is_empty() {
+            return;
+        }
+        queued.sort();
+        queued.dedup();
+        let mut applied = 0u64;
+        for (ring_idx, key) in queued {
+            if ring_idx >= self.rings.len() {
+                continue;
+            }
+            let pid = self.rings[ring_idx].ring.route(&key);
+            let Some(partition) = self.rings[ring_idx].partitions.get(&pid) else {
+                continue;
+            };
+            let Some(winner) =
+                Record::merge_all(partition.replicas.iter().filter_map(|r| r.store.get(&key)))
+            else {
+                continue;
+            };
+            let new_entry = key.len() as u64 + winner.logical_size;
+            let stale: Vec<usize> = partition
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| match r.store.get(&key) {
+                    Some(rec) => rec.version < winner.version,
+                    None => true,
+                })
+                .map(|(i, _)| i)
+                .collect();
+            for idx in stale {
+                let (server, old_entry) = {
+                    let r = &self.rings[ring_idx].partitions[&pid].replicas[idx];
+                    (
+                        r.server,
+                        r.store
+                            .get(&key)
+                            .map(|rec| key.len() as u64 + rec.logical_size),
+                    )
+                };
+                if self.cluster.get_alive(server).is_none() {
+                    continue;
+                }
+                let ok = match old_entry {
+                    Some(old) if new_entry <= old => {
+                        if let Some(s) = self.cluster.get_mut(server) {
+                            s.usage.release_storage(old - new_entry);
+                        }
+                        true
+                    }
+                    Some(old) => self
+                        .cluster
+                        .get_mut(server)
+                        .map(|s| {
+                            let caps = s.capacities;
+                            s.usage.reserve_storage(&caps, new_entry - old)
+                        })
+                        .unwrap_or(false),
+                    None => self
+                        .cluster
+                        .get_mut(server)
+                        .map(|s| {
+                            let caps = s.capacities;
+                            s.usage.reserve_storage(&caps, new_entry)
+                        })
+                        .unwrap_or(false),
+                };
+                if !ok {
+                    continue;
+                }
+                let p = self.rings[ring_idx].partitions.get_mut(&pid).unwrap();
+                if p.replicas[idx].store.apply(key.clone(), winner.clone()) {
+                    applied += 1;
+                }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.read_repairs_applied.add(applied);
+        }
     }
 
     /// Timestamps a phase start only when a sink is attached (metrics off
@@ -3094,6 +3545,135 @@ mod tests {
         for r in &p.replicas {
             let server = cloud.cluster.get(r.server).unwrap();
             assert!(server.usage.storage_used >= r.store.logical_bytes());
+        }
+    }
+
+    #[test]
+    fn quorum_read_resolves_divergence_and_schedules_repair() {
+        let (mut cloud, app) = small_cloud();
+        cloud.begin_epoch();
+        cloud.put(app, 0, b"q", b"v1".to_vec()).unwrap();
+        for _ in 0..6 {
+            cloud.begin_epoch();
+            cloud.end_epoch();
+        }
+        let pid = cloud.rings[0].ring.route(b"q");
+        let k = cloud.rings[0].partitions[&pid].replicas.len();
+        assert!(k >= 3, "partition reached its SLA replica count");
+        // Inject divergence: a newer version only replica 0 holds.
+        {
+            let p = cloud.rings[0].partitions.get_mut(&pid).unwrap();
+            let record = Record::put(&b"v2"[..], Version::new(99, 0, 0));
+            let old = p.replicas[0].store.get(b"q").unwrap().logical_size;
+            let grow = record.logical_size.saturating_sub(old);
+            assert!(p.replicas[0].store.apply(&b"q"[..], record));
+            let server = p.replicas[0].server;
+            let s = cloud.cluster.get_mut(server).unwrap();
+            let caps = s.capacities;
+            assert!(s.usage.reserve_storage(&caps, grow));
+        }
+        cloud.begin_epoch();
+        let read = cloud
+            .client_get_with(app, 0, b"q", None, ReadConsistency::Quorum)
+            .unwrap();
+        assert_eq!(read.value.as_ref().unwrap().as_ref(), b"v2", "LWW winner");
+        assert!(!read.degraded);
+        assert_eq!(read.replicas_read, k / 2 + 1);
+        assert!(
+            read.repairs_scheduled >= 1,
+            "the stale majority replica is observed and queued"
+        );
+        // The epoch-end drain converges every replica onto the winner.
+        cloud.end_epoch();
+        let p = &cloud.rings[0].partitions[&pid];
+        for r in &p.replicas {
+            assert_eq!(r.store.get_value(b"q").unwrap().as_ref(), b"v2");
+        }
+        cloud.begin_epoch();
+        let again = cloud
+            .client_get_with(app, 0, b"q", None, ReadConsistency::Quorum)
+            .unwrap();
+        assert_eq!(again.repairs_scheduled, 0, "nothing left to repair");
+        assert_eq!(again.value.unwrap().as_ref(), b"v2");
+        cloud.end_epoch();
+    }
+
+    #[test]
+    fn degraded_quorum_read_still_answers() {
+        let (mut cloud, app) = small_cloud();
+        cloud.begin_epoch();
+        cloud.put(app, 0, b"d", b"v".to_vec()).unwrap();
+        for _ in 0..6 {
+            cloud.begin_epoch();
+            cloud.end_epoch();
+        }
+        let pid = cloud.rings[0].ring.route(b"d");
+        let replicas = cloud.replica_servers(app, 0, pid).unwrap();
+        assert!(replicas.len() >= 3);
+        // Gray-partition every replica server but the first.
+        cloud
+            .gray_modes
+            .resize(cloud.cluster.len(), GrayMode::Healthy);
+        for &s in &replicas[1..] {
+            cloud.gray_modes[s.0 as usize] = GrayMode::Partitioned;
+        }
+        let read = cloud
+            .client_get_with(app, 0, b"d", None, ReadConsistency::Quorum)
+            .unwrap();
+        assert!(read.degraded, "sub-quorum reachability is flagged");
+        assert_eq!(read.value.as_ref().unwrap().as_ref(), b"v");
+        assert_eq!(read.served_by, replicas[0]);
+        // Nothing reachable at all: the read still answers from the
+        // local stores rather than failing outright.
+        cloud.gray_modes[replicas[0].0 as usize] = GrayMode::Partitioned;
+        let read = cloud
+            .client_get_with(app, 0, b"d", None, ReadConsistency::Quorum)
+            .unwrap();
+        assert!(read.degraded);
+        assert_eq!(read.value.unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn writes_skip_gray_blocked_replicas_without_losing_acks() {
+        let (mut cloud, app) = small_cloud();
+        cloud.begin_epoch();
+        cloud.put(app, 0, b"g", b"v1".to_vec()).unwrap();
+        for _ in 0..6 {
+            cloud.begin_epoch();
+            cloud.end_epoch();
+        }
+        cloud.begin_epoch();
+        let pid = cloud.rings[0].ring.route(b"g");
+        let replicas = cloud.replica_servers(app, 0, pid).unwrap();
+        assert!(replicas.len() >= 3);
+        // One read-only replica: the write lands on the healthy majority
+        // and still acks (w = ⌊k/2⌋ + 1 reached without the gray server).
+        cloud
+            .gray_modes
+            .resize(cloud.cluster.len(), GrayMode::Healthy);
+        cloud.gray_modes[replicas[0].0 as usize] = GrayMode::ReadOnly;
+        cloud.put(app, 0, b"g", b"v2".to_vec()).unwrap();
+        {
+            let p = &cloud.rings[0].partitions[&pid];
+            assert_eq!(
+                p.replicas[0].store.get_value(b"g").unwrap().as_ref(),
+                b"v1",
+                "the read-only replica missed the write"
+            );
+            assert_eq!(p.replicas[1].store.get_value(b"g").unwrap().as_ref(), b"v2");
+        }
+        // Once the server recovers, a quorum read observes the stale
+        // replica, serves the acked value, and schedules its repair.
+        cloud.gray_modes[replicas[0].0 as usize] = GrayMode::Healthy;
+        let read = cloud
+            .client_get_with(app, 0, b"g", None, ReadConsistency::Quorum)
+            .unwrap();
+        assert_eq!(read.value.unwrap().as_ref(), b"v2", "acked write survives");
+        assert_eq!(read.repairs_scheduled, 1);
+        cloud.end_epoch();
+        let p = &cloud.rings[0].partitions[&pid];
+        for r in &p.replicas {
+            assert_eq!(r.store.get_value(b"g").unwrap().as_ref(), b"v2");
         }
     }
 

@@ -89,6 +89,14 @@ pub struct SkuteConfig {
     /// exists as the equivalence oracle for tests and CI's determinism
     /// matrix (`skute-sim --sequential-decisions`).
     pub sequential_decisions: bool,
+    /// Scheduled scrub cadence: every `scrub_every` epochs, `end_epoch`
+    /// runs [`crate::SkuteCloud::scrub_quarantined`] over every ring and
+    /// drains the read-repair queue quorum reads populated, so divergence
+    /// and quarantines are amortized away without operator action. `0`
+    /// (the default) disables the schedule — existing trajectories are
+    /// untouched. Scrub rebuilds are observability-only, so enabling the
+    /// cadence cannot perturb the decision trajectory.
+    pub scrub_every: u64,
     /// Worker threads of the epoch pipeline's parallel phases (`0` = the
     /// machine's available parallelism; explicit budgets are honored
     /// exactly — beyond the host's core count that costs wall clock,
@@ -116,6 +124,7 @@ impl SkuteConfig {
             fault_plan: FaultPlan::none(),
             sequential_repair: false,
             sequential_decisions: false,
+            scrub_every: 0,
             threads: 1,
         }
     }
@@ -205,6 +214,14 @@ impl SkuteConfig {
     #[must_use]
     pub fn with_sequential_decisions(mut self) -> Self {
         self.sequential_decisions = true;
+        self
+    }
+
+    /// Returns a copy scrubbing every `epochs` epochs inside `end_epoch`
+    /// (`0` disables the schedule; see the field docs).
+    #[must_use]
+    pub fn with_scrub_every(mut self, epochs: u64) -> Self {
+        self.scrub_every = epochs;
         self
     }
 
@@ -325,6 +342,17 @@ mod tests {
         let b = a.with_sequential_decisions();
         assert!(!a.sequential_decisions);
         assert!(b.sequential_decisions);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.threads, b.threads);
+        b.validate();
+    }
+
+    #[test]
+    fn with_scrub_every_flips_only_the_cadence() {
+        let a = SkuteConfig::paper();
+        let b = a.with_scrub_every(16);
+        assert_eq!(a.scrub_every, 0, "disabled by default");
+        assert_eq!(b.scrub_every, 16);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.threads, b.threads);
         b.validate();

@@ -62,9 +62,11 @@ pub mod placement;
 pub mod vnode;
 
 pub use app::{AppId, AppSpec, Application, AvailabilityLevel, LevelSpec};
+// Fault-model types consumers configure the cloud with, re-exported so
+// downstream crates (sim, server) need no direct skute-store dependency.
 pub use availability::{availability_of, greedy_max_availability, threshold_for_replicas};
 pub use batch::{build_batches, ActionFootprint, CommitStep};
-pub use cloud::{ClientRead, SkuteCloud, TrafficBatch};
+pub use cloud::{ClientRead, ReadConsistency, SkuteCloud, TrafficBatch};
 pub use config::SkuteConfig;
 pub use decision::{Action, ActionCounts};
 pub use error::CoreError;
@@ -72,4 +74,5 @@ pub use metrics::{AntiEntropyReport, EpochReport, RingReport, ScrubReport};
 pub use obs::CloudMetrics;
 pub use pipeline::EpochPipeline;
 pub use placement::{PlacementContext, PlacementIndex, PlacementStrategy, WalkScratch};
+pub use skute_store::{FaultPlan, FaultPlanKind, GrayMode};
 pub use vnode::{DeliveryPlan, PartitionState, Replica, VnodeId};

@@ -27,6 +27,13 @@
 //! | `skute_scrub_rebuilds_total` | counter | | quarantined replicas re-seeded from peers |
 //! | `skute_storage_engine_ops` | gauge | `op` | fleet-wide LSM totals (WAL appends, flushes, compactions), refreshed on scrape |
 //! | `skute_storage_fault_recoveries` | gauge | `kind` | fleet-wide injected-fault recoveries, refreshed on scrape |
+//! | `skute_read_quorum_reads_total` | counter | | serving-path reads answered at quorum consistency |
+//! | `skute_read_quorum_divergent_total` | counter | | quorum reads that observed at least one stale replica |
+//! | `skute_degraded_reads_total` | counter | | reads served below their requested consistency (quorum unreachable / no reachable replica) |
+//! | `skute_read_repairs_total` | counter | `stage` | stale replicas scheduled by quorum reads / repaired at epoch close |
+//! | `skute_server_confidence_bp` | gauge | `stat` | fleet confidence in basis points (min / mean), refreshed each gray epoch |
+//! | `skute_gray_degraded_servers` | gauge | | alive servers currently in a degraded gray mode or behind the cut |
+//! | `skute_partition_cut_continent` | gauge | | continent currently severed by the fault plan (-1 = none) |
 
 use std::sync::Arc;
 
@@ -112,6 +119,26 @@ pub struct CloudMetrics {
     pub fault_torn_tails: Gauge,
     /// Fleet-wide partial runs discarded at open (refreshed gauge).
     pub fault_partial_runs: Gauge,
+    /// Serving-path reads answered at quorum consistency.
+    pub quorum_reads: Counter,
+    /// Quorum reads that observed at least one stale replica.
+    pub quorum_divergent: Counter,
+    /// Reads served below their requested consistency.
+    pub degraded_reads: Counter,
+    /// Stale replicas enqueued for read-repair by quorum reads.
+    pub read_repairs_scheduled: Counter,
+    /// Stale replicas actually repaired at epoch close.
+    pub read_repairs_applied: Counter,
+    /// Minimum alive-server confidence, in basis points (refreshed each
+    /// gray epoch).
+    pub confidence_min_bp: Gauge,
+    /// Mean alive-server confidence, in basis points (refreshed each gray
+    /// epoch).
+    pub confidence_mean_bp: Gauge,
+    /// Alive servers currently gray-degraded or behind the cut.
+    pub gray_degraded_servers: Gauge,
+    /// Continent currently severed by the fault plan (-1 = none).
+    pub partition_cut_continent: Gauge,
 }
 
 impl CloudMetrics {
@@ -224,6 +251,46 @@ impl CloudMetrics {
             fault_fork_retries: fault("fork_retry"),
             fault_torn_tails: fault("torn_wal_tail"),
             fault_partial_runs: fault("partial_run_discarded"),
+            quorum_reads: registry.counter(
+                "skute_read_quorum_reads_total",
+                "Serving-path reads answered at quorum consistency.",
+            ),
+            quorum_divergent: registry.counter(
+                "skute_read_quorum_divergent_total",
+                "Quorum reads that observed at least one stale replica.",
+            ),
+            degraded_reads: registry.counter(
+                "skute_degraded_reads_total",
+                "Reads served below their requested consistency.",
+            ),
+            read_repairs_scheduled: registry.counter_with(
+                "skute_read_repairs_total",
+                "Read-repair volume by stage.",
+                &[("stage", "scheduled")],
+            ),
+            read_repairs_applied: registry.counter_with(
+                "skute_read_repairs_total",
+                "Read-repair volume by stage.",
+                &[("stage", "applied")],
+            ),
+            confidence_min_bp: registry.gauge_with(
+                "skute_server_confidence_bp",
+                "Fleet confidence in basis points (refreshed each gray epoch).",
+                &[("stat", "min")],
+            ),
+            confidence_mean_bp: registry.gauge_with(
+                "skute_server_confidence_bp",
+                "Fleet confidence in basis points (refreshed each gray epoch).",
+                &[("stat", "mean")],
+            ),
+            gray_degraded_servers: registry.gauge(
+                "skute_gray_degraded_servers",
+                "Alive servers currently gray-degraded or behind the cut.",
+            ),
+            partition_cut_continent: registry.gauge(
+                "skute_partition_cut_continent",
+                "Continent currently severed by the fault plan (-1 = none).",
+            ),
         })
     }
 

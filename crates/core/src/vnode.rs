@@ -141,10 +141,14 @@ pub struct PartitionState {
     pub membership_version: u64,
     /// Memoized eq.-(2) availability of the current replica set.
     /// Invalidated (with the version bump) by
-    /// [`PartitionState::note_membership_changed`]; server locations and
-    /// confidences are immutable, so membership is the only input that can
-    /// move it. Survives across epochs: a converged partition never
-    /// re-evaluates eq. (2) in `repair_availability` or the epoch report.
+    /// [`PartitionState::note_membership_changed`]; server locations are
+    /// immutable and confidences only move when the cloud observes health
+    /// samples (gray fault plans), in which case `begin_epoch` clears the
+    /// cache fleet-wide via
+    /// [`PartitionState::note_confidence_changed`] without touching the
+    /// membership version. Survives across epochs otherwise: a converged
+    /// partition never re-evaluates eq. (2) in `repair_availability` or
+    /// the epoch report.
     pub cached_availability: Option<f64>,
     /// Traffic-delivery scratch (see [`DeliveryPlan`]).
     pub delivery: DeliveryPlan,
@@ -173,6 +177,15 @@ impl PartitionState {
     /// memoized availability. Every mutation of `replicas` must call this.
     pub fn note_membership_changed(&mut self) {
         self.membership_version += 1;
+        self.cached_availability = None;
+    }
+
+    /// Records that server confidences changed under the replica set
+    /// (health-EWMA updates at epoch start): drops the memoized
+    /// availability so eq. (2) re-evaluates, **without** bumping the
+    /// membership version — the replica set itself is intact, so
+    /// speculative per-vnode precomputations remain valid.
+    pub fn note_confidence_changed(&mut self) {
         self.cached_availability = None;
     }
 

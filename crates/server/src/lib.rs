@@ -12,11 +12,20 @@
 //! |---|---|
 //! | `GET /healthz` | liveness probe, `200 ok` |
 //! | `GET /metrics` | Prometheus text exposition of the shared registry |
-//! | `GET /kv/<key>` | proximity-routed read ([`SkuteCloud::client_get`]); `X-Served-By` / `X-Proximity` response headers; 404 for absent keys |
+//! | `GET /kv/<key>` | proximity-routed read ([`SkuteCloud::client_get`]); `X-Served-By` / `X-Proximity` / `X-Replicas-Read` response headers; 404 for absent keys |
 //! | `PUT /kv/<key>` | write, body is the value, `204` |
 //! | `DELETE /kv/<key>` | tombstone write, `204` |
 //! | `GET /scan?prefix=&limit=` | ordered prefix scan, one `key\tvalue` line each (percent-encoded) |
+//! | `POST /fault` | swap the live fault plan (`gray 42`, `partition 7`, `cut 2`, `heal`, `none`) without a restart |
 //! | `POST /shutdown` | graceful stop: respond, then drain and exit |
+//!
+//! Reads accept an `X-Consistency: one|quorum` request header selecting
+//! the read path: `one` answers from the closest reachable replica,
+//! `quorum` reads ⌈(n+1)/2⌉ replicas, merges last-writer-wins, and
+//! schedules read-repair for stale copies. When gray failures or a
+//! partition leave fewer reachable replicas than the quorum needs, the
+//! server degrades gracefully — it still answers from what it can reach
+//! and flags the response with `X-Degraded: true`.
 //!
 //! Clients declare their origin with an `X-Country: <continent>.<country>`
 //! header; the server tallies per-country query-units and replays them
@@ -38,5 +47,5 @@ pub mod http;
 pub mod load;
 mod server;
 
-pub use load::{post, run_load, scrape, LoadConfig, LoadReport, Op};
+pub use load::{post, post_body, run_load, scrape, LoadConfig, LoadReport, Op};
 pub use server::{ServerConfig, SkuteServer};

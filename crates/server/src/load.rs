@@ -67,6 +67,13 @@ pub struct LoadConfig {
     pub seed: u64,
     /// `limit` parameter for scans.
     pub scan_limit: usize,
+    /// `X-Consistency` header sent on reads (`"one"` or `"quorum"`;
+    /// `None` omits the header and takes the server default).
+    pub consistency: Option<String>,
+    /// Transport-level retries per request before it counts as a
+    /// transport error. Retries back off exponentially with jitter so a
+    /// reconnect storm against a recovering server spreads out.
+    pub max_retries: u32,
 }
 
 impl Default for LoadConfig {
@@ -81,6 +88,8 @@ impl Default for LoadConfig {
             countries: Vec::new(),
             seed: 1,
             scan_limit: 20,
+            consistency: None,
+            max_retries: 2,
         }
     }
 }
@@ -97,8 +106,11 @@ pub struct LoadReport {
     pub not_found: u64,
     /// Other HTTP status codes.
     pub http_errors: u64,
-    /// Connection-level failures (reconnects consumed the request).
+    /// Connection-level failures that exhausted their retry budget (the
+    /// request still counts as issued).
     pub transport_errors: u64,
+    /// Transport-level retries (reconnect + re-send after backoff).
+    pub retries: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Latency of every completed request, in seconds.
@@ -124,8 +136,10 @@ impl LoadReport {
     /// The two machine-greppable summary lines CI asserts on.
     pub fn summary_lines(&self) -> String {
         let q = |q: f64| self.quantile(q).unwrap_or(0.0) * 1e3;
+        // New fields append at the END of the first line: CI's awk
+        // indexes the earlier fields positionally.
         format!(
-            "load: issued={} ok={} not_found={} http_errors={} transport_errors={} elapsed_ms={} throughput_rps={:.1}\nload: p50_ms={:.3} p99_ms={:.3} p999_ms={:.3}",
+            "load: issued={} ok={} not_found={} http_errors={} transport_errors={} elapsed_ms={} throughput_rps={:.1} retries={}\nload: p50_ms={:.3} p99_ms={:.3} p999_ms={:.3}",
             self.issued,
             self.ok,
             self.not_found,
@@ -133,6 +147,7 @@ impl LoadReport {
             self.transport_errors,
             self.elapsed.as_millis(),
             self.throughput(),
+            self.retries,
             q(0.50),
             q(0.99),
             q(0.999),
@@ -162,6 +177,7 @@ struct ThreadTally {
     not_found: u64,
     http_errors: u64,
     transport_errors: u64,
+    retries: u64,
 }
 
 /// Runs the closed loop to budget exhaustion.
@@ -190,6 +206,7 @@ pub fn run_load(config: LoadConfig) -> io::Result<LoadReport> {
         not_found: 0,
         http_errors: 0,
         transport_errors: 0,
+        retries: 0,
         elapsed: Duration::ZERO,
         latency,
     };
@@ -202,6 +219,7 @@ pub fn run_load(config: LoadConfig) -> io::Result<LoadReport> {
                 report.not_found += tally.not_found;
                 report.http_errors += tally.http_errors;
                 report.transport_errors += tally.transport_errors;
+                report.retries += tally.retries;
             }
             Ok(Err(e)) => first_err = first_err.or(Some(e)),
             Err(_) => {
@@ -216,8 +234,9 @@ pub fn run_load(config: LoadConfig) -> io::Result<LoadReport> {
     }
 }
 
-/// One client thread: keep-alive connection, reconnect on transport
-/// error (the failed request counts as issued + transport_error).
+/// One client thread: keep-alive connection; transport errors reconnect
+/// and retry up to `max_retries` times with exponential backoff plus
+/// jitter before the request counts as issued + transport_error.
 fn client_loop(
     idx: u64,
     config: &LoadConfig,
@@ -231,6 +250,7 @@ fn client_loop(
         not_found: 0,
         http_errors: 0,
         transport_errors: 0,
+        retries: 0,
     };
     let mix: Vec<(Op, f64)> = config.mix.iter().map(|&(op, w)| (op, w as f64)).collect();
     let value: Vec<u8> = (0..config.value_bytes)
@@ -260,16 +280,39 @@ fn client_loop(
             Some(format!("{ct}.{co}"))
         };
         let body: &[u8] = if op == Op::Put { &value } else { &[] };
+        let consistency = match op {
+            Op::Get => config.consistency.as_deref(),
+            _ => None,
+        };
 
         let t0 = Instant::now();
-        let outcome = issue(
-            &mut conn,
-            &config.addr,
-            op.method(),
-            &target,
-            country.as_deref(),
-            body,
-        );
+        let mut attempt = 0u32;
+        let outcome = loop {
+            let result = issue(
+                &mut conn,
+                &config.addr,
+                op.method(),
+                &target,
+                country.as_deref(),
+                consistency,
+                body,
+            );
+            match result {
+                Ok(status) => break Ok(status),
+                Err(e) => {
+                    conn = None;
+                    if attempt >= config.max_retries {
+                        break Err(e);
+                    }
+                    attempt += 1;
+                    tally.retries += 1;
+                    // Exponential backoff (5ms · 2^attempt, capped) with
+                    // full jitter so retrying clients desynchronize.
+                    let base_ms = 5u64 << attempt.min(6);
+                    thread::sleep(Duration::from_millis(rng.gen_range(1..=base_ms)));
+                }
+            }
+        };
         match outcome {
             Ok(status) => {
                 consecutive_failures = 0;
@@ -282,7 +325,6 @@ fn client_loop(
             }
             Err(e) => {
                 tally.transport_errors += 1;
-                conn = None;
                 consecutive_failures += 1;
                 if consecutive_failures >= 10 {
                     return Err(e);
@@ -299,6 +341,7 @@ fn issue(
     method: &str,
     target: &str,
     country: Option<&str>,
+    consistency: Option<&str>,
     body: &[u8],
 ) -> io::Result<u16> {
     if conn.is_none() {
@@ -312,6 +355,9 @@ fn issue(
     let mut headers: Vec<(&str, &str)> = Vec::new();
     if let Some(c) = country {
         headers.push(("X-Country", c));
+    }
+    if let Some(c) = consistency {
+        headers.push(("X-Consistency", c));
     }
     http::write_request(writer, method, target, &headers, body)?;
     let response = http::read_response(reader)?;
@@ -338,11 +384,17 @@ pub fn scrape(addr: &str, path: &str) -> io::Result<String> {
 
 /// One-shot POST (CI uses this for the graceful `/shutdown`).
 pub fn post(addr: &str, path: &str) -> io::Result<u16> {
+    post_body(addr, path, b"")
+}
+
+/// One-shot POST with a body (CI uses this to inject fault plans over
+/// `/fault` mid-run).
+pub fn post_body(addr: &str, path: &str, body: &[u8]) -> io::Result<u16> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    http::write_request(&mut writer, "POST", path, &[("Connection", "close")], b"")?;
+    http::write_request(&mut writer, "POST", path, &[("Connection", "close")], body)?;
     let response = http::read_response(&mut reader)?;
     Ok(response.status)
 }

@@ -13,7 +13,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use skute_cluster::{Capacities, Cluster, ServerSpec};
-use skute_core::{AppId, AppSpec, LevelSpec, SkuteCloud, SkuteConfig, TrafficBatch};
+use skute_core::{
+    AppId, AppSpec, FaultPlan, FaultPlanKind, LevelSpec, ReadConsistency, SkuteCloud, SkuteConfig,
+    TrafficBatch,
+};
 use skute_geo::{Location, RegionWeight, Topology};
 use skute_obs::{exponential_buckets, Counter, Gauge, Histogram, Registry};
 use skute_store::BackendKind;
@@ -48,6 +51,11 @@ pub struct ServerConfig {
     /// Query-units each HTTP request contributes to the epoch's offered
     /// load (scales request counts to the economy's units).
     pub queries_per_request: f64,
+    /// Per-connection socket read timeout in milliseconds (0 = none).
+    /// Bounds how long a stalled client can pin a connection thread.
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout in milliseconds (0 = none).
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +72,8 @@ impl Default for ServerConfig {
             server_storage_bytes: 4 << 30,
             server_query_capacity: 3_000.0,
             queries_per_request: 1.0,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
         }
     }
 }
@@ -79,7 +89,7 @@ struct ServerMetrics {
 }
 
 const OPS: &[&str] = &[
-    "get", "put", "delete", "scan", "metrics", "health", "shutdown", "other",
+    "get", "put", "delete", "scan", "metrics", "health", "fault", "shutdown", "other",
 ];
 const OUTCOMES: &[&str] = &["ok", "not_found", "client_error", "server_error"];
 
@@ -352,7 +362,9 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     // Connections came off a nonblocking listener; reads must block.
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let timeout = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+    let _ = stream.set_read_timeout(timeout(state.config.read_timeout_ms));
+    let _ = stream.set_write_timeout(timeout(state.config.write_timeout_ms));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => {
@@ -400,6 +412,7 @@ fn handle_request<W: Write>(
     let op = match (request.method.as_str(), path.as_str()) {
         ("GET", "/metrics") => "metrics",
         ("GET", "/healthz") => "health",
+        ("POST", "/fault") => "fault",
         ("POST", "/shutdown") => "shutdown",
         ("GET", "/scan") => "scan",
         ("GET", p) if p.starts_with("/kv/") => "get",
@@ -433,6 +446,7 @@ fn handle_request<W: Write>(
         }
         "get" | "put" | "delete" => handle_kv(state, request, op, &path),
         "scan" => handle_scan(state, request),
+        "fault" => handle_fault(state, request),
         _ => (404, "text/plain", b"not found\n".to_vec(), vec![]),
     };
     let extra_refs: Vec<(&str, &str)> = extra
@@ -533,25 +547,122 @@ fn handle_kv(
                 vec![],
             ),
         },
-        _ => match slot.cloud.client_get(app, 0, &key, client) {
-            Ok(read) => {
-                let extra = vec![
-                    ("X-Served-By".to_string(), read.served_by.to_string()),
-                    ("X-Proximity".to_string(), format!("{:.6}", read.proximity)),
-                ];
-                match read.value {
-                    Some(value) => (200, "application/octet-stream", value.to_vec(), extra),
-                    None => (404, "text/plain", b"not found\n".to_vec(), extra),
+        _ => {
+            let consistency = match request.header("x-consistency") {
+                Some(raw) => match raw.trim().parse::<ReadConsistency>() {
+                    Ok(c) => c,
+                    Err(msg) => {
+                        return (400, "text/plain", format!("{msg}\n").into_bytes(), vec![])
+                    }
+                },
+                None => ReadConsistency::One,
+            };
+            match slot
+                .cloud
+                .client_get_with(app, 0, &key, client, consistency)
+            {
+                Ok(read) => {
+                    let mut extra = vec![
+                        ("X-Served-By".to_string(), read.served_by.to_string()),
+                        ("X-Proximity".to_string(), format!("{:.6}", read.proximity)),
+                        ("X-Consistency".to_string(), consistency.to_string()),
+                        (
+                            "X-Replicas-Read".to_string(),
+                            read.replicas_read.to_string(),
+                        ),
+                    ];
+                    // Degraded reads still answer (graceful degradation);
+                    // the header lets clients detect the weakened quorum.
+                    if read.degraded {
+                        extra.push(("X-Degraded".to_string(), "true".to_string()));
+                    }
+                    match read.value {
+                        Some(value) => (200, "application/octet-stream", value.to_vec(), extra),
+                        None => (404, "text/plain", b"not found\n".to_vec(), extra),
+                    }
                 }
+                Err(e) => (
+                    500,
+                    "text/plain",
+                    format!("get failed: {e:?}\n").into_bytes(),
+                    vec![],
+                ),
             }
-            Err(e) => (
-                500,
-                "text/plain",
-                format!("get failed: {e:?}\n").into_bytes(),
-                vec![],
-            ),
-        },
+        }
     }
+}
+
+/// `POST /fault`: swaps the live cloud onto a new fault plan without a
+/// restart. The body is one line:
+///
+/// * `<plan> [seed]` — a [`FaultPlanKind`] name (`none`, `gray`,
+///   `partition`, `all`, ...); the seed defaults to the server seed.
+/// * `cut <continent>` — force a continental partition immediately.
+/// * `heal` — heal any continental cut (forced or plan-derived).
+///
+/// Plan swaps take effect at the next epoch tick (gray state refreshes
+/// in `begin_epoch`); `cut`/`heal` also wait for the next tick. CI's
+/// server-smoke uses this to inject gray failures mid-run and assert
+/// that acked writes survive.
+fn handle_fault(
+    state: &Arc<ServerState>,
+    request: &Request,
+) -> (u16, &'static str, Vec<u8>, Vec<(String, String)>) {
+    let body = String::from_utf8_lossy(&request.body);
+    let mut words = body.split_whitespace();
+    let verb = words.next().unwrap_or_default();
+    let mut slot = state.slot.lock().expect("cloud lock");
+    let reply = match verb {
+        "" => {
+            return (
+                400,
+                "text/plain",
+                b"empty fault command (want '<plan> [seed]', 'cut <continent>' or 'heal')\n"
+                    .to_vec(),
+                vec![],
+            )
+        }
+        "heal" => {
+            slot.cloud.force_continent_partition(None);
+            "fault: partition healed\n".to_string()
+        }
+        "cut" => {
+            let continent = match words.next().map(str::parse::<u16>) {
+                Some(Ok(c)) => c,
+                _ => {
+                    return (
+                        400,
+                        "text/plain",
+                        b"cut wants a continent index\n".to_vec(),
+                        vec![],
+                    )
+                }
+            };
+            slot.cloud.force_continent_partition(Some(continent));
+            format!("fault: continent {continent} cut\n")
+        }
+        plan => {
+            let kind = match plan.parse::<FaultPlanKind>() {
+                Ok(k) => k,
+                Err(msg) => return (400, "text/plain", format!("{msg}\n").into_bytes(), vec![]),
+            };
+            let seed = match words.next().map(str::parse::<u64>) {
+                Some(Ok(s)) => s,
+                Some(Err(e)) => {
+                    return (
+                        400,
+                        "text/plain",
+                        format!("bad fault seed: {e}\n").into_bytes(),
+                        vec![],
+                    )
+                }
+                None => state.config.seed,
+            };
+            slot.cloud.set_fault_plan(FaultPlan { kind, seed });
+            format!("fault: plan {} seed {seed}\n", kind.as_str())
+        }
+    };
+    (200, "text/plain", reply.into_bytes(), vec![])
 }
 
 fn handle_scan(

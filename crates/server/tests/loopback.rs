@@ -70,6 +70,8 @@ fn serve_load_scrape_shutdown() {
             .collect(),
         seed: 7,
         scan_limit: 10,
+        consistency: Some("quorum".to_string()),
+        max_retries: 2,
     })
     .expect("load run completes");
 
@@ -132,6 +134,40 @@ fn serve_load_scrape_shutdown() {
         let scan = read_response(&mut reader).unwrap();
         assert_eq!(scan.status, 200);
         assert!(String::from_utf8_lossy(&scan.body).contains("pinned\tv1"));
+        // Quorum read: majority of replicas consulted, headers say so.
+        write_request(
+            &mut writer,
+            "GET",
+            "/kv/pinned",
+            &[("X-Country", "1.1"), ("X-Consistency", "quorum")],
+            b"",
+        )
+        .unwrap();
+        let quorum = read_response(&mut reader).unwrap();
+        assert_eq!(quorum.status, 200);
+        assert_eq!(quorum.body, b"v1");
+        assert_eq!(quorum.header("x-consistency"), Some("quorum"));
+        let replicas: usize = quorum.header("x-replicas-read").unwrap().parse().unwrap();
+        assert!(replicas >= 2, "quorum read consulted a majority");
+        // Unknown consistency level is a client error.
+        write_request(
+            &mut writer,
+            "GET",
+            "/kv/pinned",
+            &[("X-Consistency", "linearizable")],
+            b"",
+        )
+        .unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().status, 400);
+        // Live fault injection round-trips; bad plans are rejected.
+        write_request(&mut writer, "POST", "/fault", &[], b"gray 42").unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().status, 200);
+        write_request(&mut writer, "POST", "/fault", &[], b"bogus-plan").unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().status, 400);
+        write_request(&mut writer, "POST", "/fault", &[], b"heal").unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().status, 200);
+        write_request(&mut writer, "POST", "/fault", &[], b"none").unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().status, 200);
     }
 
     // Coherence: the server counted exactly what the client issued.
@@ -140,9 +176,10 @@ fn serve_load_scrape_shutdown() {
         + metric_series(&exposition, "skute_server_requests_total", "op=\"put\"")
         + metric_series(&exposition, "skute_server_requests_total", "op=\"delete\"")
         + metric_series(&exposition, "skute_server_requests_total", "op=\"scan\"");
-    // 600 load requests + 4 pinned kv/scan requests above.
+    // 600 load requests + 6 pinned kv/scan requests above (the /fault
+    // posts count under their own op label).
     assert_eq!(
-        kv_requests as u64, 604,
+        kv_requests as u64, 606,
         "request counters match issued load"
     );
     let responses = metric_sum(&exposition, "skute_server_responses_total");

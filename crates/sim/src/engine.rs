@@ -207,6 +207,20 @@ impl Simulation {
                     self.cloud.retire_server(id);
                 }
             }
+            CloudEvent::GrayFailures { seed } => {
+                // RNG-free plan swap; gray modes derive from the plan's
+                // own splitmix64 stream starting at the next epoch.
+                self.cloud.set_fault_plan(skute_core::FaultPlan {
+                    kind: skute_core::FaultPlanKind::Gray,
+                    seed,
+                });
+            }
+            CloudEvent::ContinentPartition { continent } => {
+                self.cloud.force_continent_partition(Some(continent));
+            }
+            CloudEvent::PartitionHealed => {
+                self.cloud.force_continent_partition(None);
+            }
         }
     }
 

@@ -31,6 +31,26 @@ pub enum CloudEvent {
         /// Country index within the continent.
         country: u16,
     },
+    /// Switches the cloud onto a gray fault plan seeded with `seed`:
+    /// from the next epoch on, per-server gray modes (read-only, slow,
+    /// partitioned) and a rotating continental cut are derived from the
+    /// fault stream and priced into confidence. RNG-free — the plan swap
+    /// consumes no scenario randomness.
+    GrayFailures {
+        /// Seed of the gray fault stream.
+        seed: u64,
+    },
+    /// Severs one continent from the rest of the cloud from the next
+    /// epoch on (overriding whatever cut the fault plan derives).
+    /// RNG-free and fully determined by the topology.
+    ContinentPartition {
+        /// Continent index to cut off.
+        continent: u16,
+    },
+    /// Heals any continental partition (forced or plan-derived); server
+    /// confidences recover through the health EWMA over the following
+    /// epochs.
+    PartitionHealed,
 }
 
 /// An epoch-indexed schedule of [`CloudEvent`]s.

@@ -57,7 +57,9 @@ mod shared;
 pub use backend::{AntiEntropyUnion, BackendKind, ReplicaStore, StorageBackend};
 pub use engine::PartitionStore;
 pub use error::StoreError;
-pub use faults::{FaultInjector, FaultPlan, FaultPlanKind, FaultStats};
+pub use faults::{
+    FaultInjector, FaultPlan, FaultPlanKind, FaultStats, GrayMode, GRAY_WINDOW_EPOCHS,
+};
 pub use lsm::{LsmStore, StorageActivity};
 pub use merkle::{diff_buckets, MerkleBuilder, MerkleSummary};
 pub use quorum::QuorumConfig;

@@ -434,7 +434,7 @@ impl LsmStore {
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             plan,
             injector: plan
-                .is_active()
+                .has_storage_faults()
                 .then(|| FaultInjector::for_next_store(plan)),
             stats: FaultStats::default(),
             activity: StorageActivity::default(),
@@ -458,7 +458,7 @@ impl LsmStore {
             return Self::create_at_with(dir, plan);
         }
         let mut injector = plan
-            .is_active()
+            .has_storage_faults()
             .then(|| FaultInjector::for_next_store(plan));
         let mut stats = FaultStats::default();
         let mut quarantined = false;

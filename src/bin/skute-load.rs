@@ -4,6 +4,7 @@
 //! skute-load --addr HOST:PORT [--clients N] [--requests N] [--keys N]
 //!            [--value-bytes N] [--seed N] [--scan-limit N]
 //!            [--mix get:70,put:25,delete:2,scan:3] [--uniform-countries]
+//!            [--consistency one|quorum] [--retries N]
 //! skute-load --addr HOST:PORT --scrape /metrics
 //! skute-load --addr HOST:PORT --post /shutdown
 //! ```
@@ -15,12 +16,13 @@
 
 use std::process::ExitCode;
 
-use skute::server::{post, run_load, scrape, LoadConfig, Op};
+use skute::server::{post_body, run_load, scrape, LoadConfig, Op};
 
 struct Args {
     load: LoadConfig,
     scrape: Option<String>,
     post: Option<String>,
+    body: String,
 }
 
 fn parse_mix(raw: &str) -> Result<Vec<(Op, u32)>, String> {
@@ -53,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         load: LoadConfig::default(),
         scrape: None,
         post: None,
+        body: String::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,6 +93,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--scan-limit: {e}"))?
             }
             "--mix" => args.load.mix = parse_mix(&value("--mix")?)?,
+            "--consistency" => {
+                let raw = value("--consistency")?;
+                match raw.as_str() {
+                    "one" | "1" | "quorum" => args.load.consistency = Some(raw),
+                    other => return Err(format!("--consistency: unknown level {other:?}")),
+                }
+            }
+            "--retries" => {
+                args.load.max_retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
             "--uniform-countries" => {
                 // The paper topology: 5 continents × 2 countries, equal
                 // weight (matches the simulator's uniform client geo).
@@ -99,17 +114,24 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scrape" => args.scrape = Some(value("--scrape")?),
             "--post" => args.post = Some(value("--post")?),
+            "--body" => args.body = value("--body")?,
             "--help" | "-h" => {
                 println!(
                     "skute-load: closed-loop load generator for skute-server\n\n\
                      USAGE: skute-load --addr HOST:PORT [--clients N] [--requests N]\n\
                             [--keys N] [--value-bytes N] [--seed N] [--scan-limit N]\n\
                             [--mix get:70,put:25,delete:2,scan:3]\n\
-                            [--uniform-countries]\n\
-                            | --scrape PATH | --post PATH\n\n\
-                     Prints 'load: issued=.. ok=..' and 'load: p50_ms=..' summary\n\
-                     lines. --scrape GETs one path and prints the body; --post\n\
-                     POSTs one path (e.g. /shutdown) and prints the status."
+                            [--uniform-countries] [--consistency one|quorum]\n\
+                            [--retries N]\n\
+                            | --scrape PATH | --post PATH [--body TEXT]\n\n\
+                     Prints 'load: issued=.. ok=.. .. retries=..' and\n\
+                     'load: p50_ms=..' summary lines. --consistency sets the\n\
+                     X-Consistency header on reads (quorum = majority read with\n\
+                     read-repair). --retries bounds transport-level retries per\n\
+                     request (exponential backoff with jitter; default 2).\n\
+                     --scrape GETs one path and prints the body; --post POSTs\n\
+                     one path (e.g. /shutdown, or /fault with --body 'gray 42')\n\
+                     and prints the status."
                 );
                 std::process::exit(0);
             }
@@ -140,7 +162,7 @@ fn main() -> ExitCode {
         };
     }
     if let Some(path) = args.post {
-        return match post(&args.load.addr, &path) {
+        return match post_body(&args.load.addr, &path, args.body.as_bytes()) {
             Ok(status) => {
                 println!("POST {path} -> {status}");
                 if (200..300).contains(&status) {

@@ -4,6 +4,7 @@
 //! skute-server [--addr HOST:PORT] [--replicas N] [--partitions N]
 //!              [--seed N] [--threads N] [--backend mem|lsm]
 //!              [--epoch-ms N] [--warmup-epochs N] [--queries-per-request F]
+//!              [--read-timeout-ms N] [--write-timeout-ms N]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (CI parses this
@@ -64,18 +65,36 @@ fn parse_args() -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|e| format!("--queries-per-request: {e}"))?
             }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "skute-server: serve a live Skute cloud over HTTP\n\n\
                      USAGE: skute-server [--addr HOST:PORT] [--replicas N]\n\
                             [--partitions N] [--seed N] [--threads N]\n\
                             [--backend mem|lsm] [--epoch-ms N]\n\
-                            [--warmup-epochs N] [--queries-per-request F]\n\n\
+                            [--warmup-epochs N] [--queries-per-request F]\n\
+                            [--read-timeout-ms N] [--write-timeout-ms N]\n\n\
                      Routes: GET /healthz, GET /metrics, GET|PUT|DELETE /kv/<key>,\n\
-                     GET /scan?prefix=&limit=, POST /shutdown. Clients may send\n\
-                     X-Country: <continent>.<country> to steer eq.-(4) proximity\n\
-                     routing; observed per-country traffic feeds the epoch tick\n\
-                     (every --epoch-ms milliseconds) so placement follows demand."
+                     GET /scan?prefix=&limit=, POST /fault, POST /shutdown.\n\
+                     Clients may send X-Country: <continent>.<country> to steer\n\
+                     eq.-(4) proximity routing; observed per-country traffic\n\
+                     feeds the epoch tick (every --epoch-ms milliseconds) so\n\
+                     placement follows demand. Reads accept X-Consistency:\n\
+                     one|quorum (quorum merges a majority of replicas LWW and\n\
+                     schedules read-repair; degraded quorums still answer,\n\
+                     flagged X-Degraded: true). POST /fault swaps the live\n\
+                     fault plan: body '<plan> [seed]' (e.g. 'gray 42'),\n\
+                     'cut <continent>', or 'heal'. --read/write-timeout-ms\n\
+                     bound per-connection socket stalls (0 = no timeout)."
                 );
                 std::process::exit(0);
             }

@@ -6,7 +6,7 @@
 //!           [--threads N] [--sequential-commit] [--no-speculation]
 //!           [--backend mem|lsm] [--fault-plan NAME] [--fault-seed N]
 //!           [--sequential-repair] [--sequential-decisions]
-//!           [--metrics-json PATH]
+//!           [--scrub-every N] [--metrics-json PATH]
 //! skute-sim --bench-json PATH
 //! ```
 //!
@@ -43,6 +43,7 @@ struct Args {
     fault_seed: Option<u64>,
     sequential_repair: bool,
     sequential_decisions: bool,
+    scrub_every: Option<u64>,
     bench_json: Option<String>,
     metrics_json: Option<String>,
 }
@@ -63,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         fault_seed: None,
         sequential_repair: false,
         sequential_decisions: false,
+        scrub_every: None,
         bench_json: None,
         metrics_json: None,
     };
@@ -122,6 +124,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--sequential-repair" => args.sequential_repair = true,
             "--sequential-decisions" => args.sequential_decisions = true,
+            "--scrub-every" => {
+                args.scrub_every = Some(
+                    value("--scrub-every")?
+                        .parse()
+                        .map_err(|e| format!("--scrub-every: {e}"))?,
+                )
+            }
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
             "--help" | "-h" => {
@@ -132,8 +141,8 @@ fn parse_args() -> Result<Args, String> {
                             [--brute-force] [--sequential-commit] [--no-speculation]\n\
                             [--threads N] [--backend mem|lsm] [--fault-plan NAME]\n\
                             [--fault-seed N] [--sequential-repair]\n\
-                            [--sequential-decisions] [--metrics-json PATH]\n\
-                            [--bench-json PATH]\n\n\
+                            [--sequential-decisions] [--scrub-every N]\n\
+                            [--metrics-json PATH] [--bench-json PATH]\n\n\
                      --threads sets the epoch pipeline's worker budget (0 = all\n\
                      cores); same-seed output is bitwise identical at any value.\n\
                      --backend selects the replica storage engine: mem (default,\n\
@@ -144,12 +153,23 @@ fn parse_args() -> Result<Args, String> {
                      decision pass's speculative eq.-(3) targets (both oracles\n\
                      produce bitwise-identical output; CI's determinism matrix\n\
                      compares every mode).\n\
-                     --fault-plan injects seeded storage faults into the LSM\n\
-                     engine (none|torn-tails|flaky-fsync|partial-flush|bit-flips\n\
-                     |all); --fault-seed N seeds the plan (and defaults it to\n\
-                     'all'); the seed defaults to the scenario seed. Faults are\n\
+                     --fault-plan selects the seeded fault family: storage\n\
+                     faults injected into the LSM engine (torn-tails|\n\
+                     flaky-fsync|partial-flush|bit-flips|all) or server/\n\
+                     network degradation (gray = per-server read-only/slow/\n\
+                     partitioned modes plus a rotating continental cut,\n\
+                     partition = the continental cut alone); --fault-seed N\n\
+                     seeds the plan (and defaults it to 'all'); the seed\n\
+                     defaults to the scenario seed. Storage faults are\n\
                      transient by construction — same-seed same-plan output is\n\
-                     bitwise identical, faulted or not.\n\
+                     bitwise identical, faulted or not. Gray and partition\n\
+                     plans price degraded servers down through the confidence\n\
+                     EWMA, so they change the trajectory relative to a clean\n\
+                     run — but stay bitwise identical across --threads and\n\
+                     --backend for a given seed.\n\
+                     --scrub-every N folds the quarantine scrub into the epoch\n\
+                     loop every N epochs (0 = disabled, the default); scrubs\n\
+                     are observability-only and never perturb the trajectory.\n\
                      --sequential-repair routes the availability-repair pass\n\
                      through its sequential walk (the oracle for the default\n\
                      speculative plan/validate repair protocol).\n\
@@ -251,6 +271,9 @@ fn main() -> ExitCode {
     }
     if let Some(threads) = args.threads {
         scenario.config.threads = threads;
+    }
+    if let Some(every) = args.scrub_every {
+        scenario.config.scrub_every = every;
     }
     println!(
         "scenario {} — {} servers, {} apps, {} epochs, seed {}",
